@@ -1,0 +1,31 @@
+//! # pardp-apps — the dynamic programming problems of the paper
+//!
+//! The paper's recurrence (*) covers "computing an optimal order of matrix
+//! multiplications, finding an optimal binary search tree or an optimal
+//! triangulation of polygons" (§1). This crate provides those three
+//! instances as [`pardp_core::problem::DpProblem`] implementations, with
+//! solution interpretation (parenthesizations, search trees, diagonal
+//! sets) and instance generators, including the adversarial *shape
+//! forcing* family used to drive the algorithm into its zigzag worst case
+//! and skewed/balanced best cases (§6).
+//!
+//! | module | problem | `init(i)` | `f(i,k,j)` |
+//! |---|---|---|---|
+//! | [`matrix_chain`] | optimal matrix-chain order | 0 | `d_i d_k d_j` |
+//! | [`obst`] | optimal binary search tree | `q_i` | `W(i,j)` (interval weight) |
+//! | [`triangulation`] | min-weight polygon triangulation | 0 | triangle weight |
+//! | [`merge`] | optimal adjacent-run merging | 0 | `S(i,j)` (span length) |
+//! | [`generators`] | random & shape-forcing instances | — | — |
+
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod matrix_chain;
+pub mod merge;
+pub mod obst;
+pub mod triangulation;
+
+pub use matrix_chain::MatrixChain;
+pub use merge::MergeOrder;
+pub use obst::OptimalBst;
+pub use triangulation::{PointPolygon, WeightedPolygon};

@@ -1,0 +1,66 @@
+//! Criterion benches for the three applications end to end: solve +
+//! reconstruct the witness structure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pardp_apps::generators;
+use pardp_apps::{OptimalBst, PointPolygon};
+use pardp_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_matrix_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_chain");
+    group.sample_size(10);
+    for n in [64usize, 256, 512] {
+        let mc = generators::random_chain(n, 100, 11);
+        group.bench_with_input(BenchmarkId::new("optimal_order", n), &mc, |b, mc| {
+            b.iter(|| {
+                let (cost, tree) = mc.optimal_order();
+                black_box((cost, tree.height()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_obst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal_bst");
+    group.sample_size(10);
+    for m in [64usize, 256, 512] {
+        let bst = generators::random_obst(m, 1000, 12);
+        group.bench_with_input(BenchmarkId::new("optimal_tree", m), &bst, |b, bst| {
+            b.iter(|| {
+                let (cost, tree) = bst.optimal_tree();
+                black_box((cost, OptimalBst::inorder_keys(&tree).len()))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("knuth_value_only", m), &bst, |b, bst| {
+            b.iter(|| black_box(solve_knuth(bst).root()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_triangulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangulation");
+    group.sample_size(10);
+    for m in [64usize, 256] {
+        let poly = generators::random_polygon(m, 50, 13);
+        group.bench_with_input(BenchmarkId::new("weighted", m), &poly, |b, poly| {
+            b.iter(|| {
+                let (cost, diags) = poly.optimal_triangulation();
+                black_box((cost, diags.len()))
+            })
+        });
+        let pts = PointPolygon::regular(m);
+        group.bench_with_input(BenchmarkId::new("points_regular", m), &pts, |b, poly| {
+            b.iter(|| {
+                let (cost, diags) = poly.optimal_triangulation();
+                black_box((cost, diags.len()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matrix_chain, bench_obst, bench_triangulation);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches for the §3 pebbling game (E1–E3 timing companion):
+//! full games to root on each Fig. 2 shape, both square rules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pardp_pebble::game::moves_to_pebble;
+use pardp_pebble::{gen, SquareRule};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pebble_game");
+    group.sample_size(20);
+    for n in [256usize, 1024, 4096] {
+        let zig = gen::zigzag(n);
+        let comp = gen::complete(n);
+        let skew = gen::skewed(n, gen::Side::Left);
+        let rand_tree = gen::random_split(n, &mut SmallRng::seed_from_u64(1));
+        group.bench_with_input(BenchmarkId::new("zigzag/modified", n), &zig, |b, t| {
+            b.iter(|| black_box(moves_to_pebble(t, SquareRule::Modified)))
+        });
+        group.bench_with_input(BenchmarkId::new("zigzag/jump", n), &zig, |b, t| {
+            b.iter(|| black_box(moves_to_pebble(t, SquareRule::PointerJump)))
+        });
+        group.bench_with_input(BenchmarkId::new("complete/modified", n), &comp, |b, t| {
+            b.iter(|| black_box(moves_to_pebble(t, SquareRule::Modified)))
+        });
+        group.bench_with_input(BenchmarkId::new("skewed/modified", n), &skew, |b, t| {
+            b.iter(|| black_box(moves_to_pebble(t, SquareRule::Modified)))
+        });
+        group.bench_with_input(BenchmarkId::new("random/modified", n), &rand_tree, |b, t| {
+            b.iter(|| black_box(moves_to_pebble(t, SquareRule::Modified)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_generators");
+    group.sample_size(20);
+    for n in [1024usize, 8192] {
+        group.bench_with_input(BenchmarkId::new("zigzag", n), &n, |b, &n| {
+            b.iter(|| black_box(gen::zigzag(n).n_nodes()))
+        });
+        group.bench_with_input(BenchmarkId::new("random_split", n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            b.iter(|| black_box(gen::random_split(n, &mut rng).n_nodes()))
+        });
+        group.bench_with_input(BenchmarkId::new("random_remy", n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            b.iter(|| black_box(gen::random_remy(n, &mut rng).n_nodes()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shapes, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E1 (Lemma 3.3, Fig. 2a) — the zigzag tree is the pebbling game's
+//! `Theta(sqrt n)` worst case, always within the `2*ceil(sqrt n)` bound.
+//!
+//! Also regenerates F1: the heavy-chain decomposition statistics that the
+//! Lemma 3.3 proof (and the §5 band) rely on: chain length `k <= 2i + 1`.
+
+use pardp_bench::{banner, cell, fmt_f, print_table};
+use pardp_pebble::analysis::fit_power_law;
+use pardp_pebble::chain::{heavy_chain, window_of};
+use pardp_pebble::game::moves_to_pebble;
+use pardp_pebble::{gen, lemma_move_bound, SquareRule};
+
+fn main() {
+    banner(
+        "E1",
+        "zigzag worst case: moves grow as ~sqrt(n), never exceed 2*ceil(sqrt(n)) (Lemma 3.3)",
+    );
+    let sizes = [4usize, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    for &n in &sizes {
+        let tree = gen::zigzag(n);
+        let moves = moves_to_pebble(&tree, SquareRule::Modified);
+        let jump = moves_to_pebble(&tree, SquareRule::PointerJump);
+        let bound = lemma_move_bound(n);
+        points.push((n as f64, moves as f64));
+        rows.push(vec![
+            cell(n),
+            cell(moves),
+            cell(bound),
+            fmt_f(moves as f64 / (n as f64).sqrt()),
+            cell(jump),
+            cell(if moves <= bound { "ok" } else { "VIOLATED" }),
+        ]);
+    }
+    print_table(
+        &["n", "moves(modified)", "2*ceil(sqrt n)", "moves/sqrt(n)", "moves(jump)", "bound"],
+        &rows,
+    );
+    let (a, b) = fit_power_law(&points);
+    println!("\nfit: moves ~ {:.3} * n^{:.3}  (paper: Theta(n^0.5))", a, b);
+
+    banner("F1", "heavy-chain decomposition: chain length k <= 2i + 1 (Fig. 1)");
+    let mut rows = Vec::new();
+    for &n in &[64usize, 256, 1024, 4096] {
+        let shapes = [
+            ("zigzag", gen::zigzag(n)),
+            ("skewed", gen::skewed(n, gen::Side::Left)),
+            ("complete", gen::complete(n)),
+        ];
+        for (name, tree) in shapes {
+            let mut max_k = 0usize;
+            let mut max_bound = 0u64;
+            let mut checked = 0u64;
+            for x in tree.node_ids() {
+                let size = tree.size(x);
+                if size < 2 {
+                    continue;
+                }
+                let i = window_of(size);
+                if i == 0 {
+                    continue;
+                }
+                let chain = heavy_chain(&tree, x, i);
+                if chain.len() > max_k {
+                    max_k = chain.len();
+                    max_bound = 2 * i as u64 + 1;
+                }
+                assert!(chain.len() as u64 <= 2 * i as u64 + 1);
+                checked += 1;
+            }
+            rows.push(vec![cell(n), cell(name), cell(checked), cell(max_k), cell(max_bound)]);
+        }
+    }
+    print_table(&["n", "shape", "nodes checked", "max chain k", "bound 2i+1 (at max)"], &rows);
+    println!("\nAll chains within the Lemma 3.3 bound.");
+}

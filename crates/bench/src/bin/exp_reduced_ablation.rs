@@ -1,0 +1,98 @@
+//! E8 (§5) — ablation of the two processor-reduction ideas: banded
+//! partial weights and the windowed pebble step.
+//!
+//! All variants return identical tables; the interest is the measured
+//! per-iteration candidate counts and stored cells:
+//!
+//! * dense square: `Theta(n^5)` candidates per sweep;
+//! * banded square (`B = 2 ceil(sqrt n)`): `Theta(n^3.5)`;
+//! * pebble without window: all pairs every iteration;
+//! * pebble with window: only the `(l-1)^2 < d <= l^2` slice.
+
+use pardp_apps::generators;
+use pardp_bench::{banner, cell, print_table};
+use pardp_core::prelude::*;
+use pardp_core::reduced::default_band;
+use pardp_core::tables::{BandedPw, DensePw, PairIndexer};
+use pardp_pebble::analysis::fit_power_law;
+
+fn main() {
+    banner("E8", "§5 ablation: banded pw + windowed pebble vs dense");
+    let mut rows = Vec::new();
+    let mut dense_pts = Vec::new();
+    let mut band_pts = Vec::new();
+    for &n in &[16usize, 25, 36, 49, 64, 81, 100] {
+        let p = generators::random_chain(n, 80, 31415);
+        let oracle = solve_sequential(&p);
+
+        let scfg = SolverConfig {
+            exec: ExecMode::Parallel,
+            termination: Termination::FixedSqrtN,
+            record_trace: true,
+        };
+        let (sub_sq, sub_pb, dense_cells) = if n <= 72 {
+            let sol = solve_sublinear(&p, &scfg);
+            assert!(sol.w.table_eq(&oracle));
+            let (_, sq, pb) = sol.trace.work_by_op();
+            let per_iter = sq / sol.trace.iterations;
+            dense_pts.push((n as f64, per_iter as f64));
+            (cell(per_iter), cell(pb / sol.trace.iterations), {
+                let pcount = PairIndexer::new(n).len();
+                let _ = DensePw::<u64>::new(n); // allocable at these sizes
+                cell(pcount * pcount)
+            })
+        } else {
+            (cell("-"), cell("-"), cell("-"))
+        };
+
+        let rcfg = ReducedConfig { exec: ExecMode::Parallel, record_trace: true, ..Default::default() };
+        let red = solve_reduced(&p, &rcfg);
+        assert!(red.w.table_eq(&oracle));
+        let (_, rsq, rpb) = red.trace.work_by_op();
+        let rsq_per_iter = rsq / red.trace.iterations;
+        band_pts.push((n as f64, rsq_per_iter as f64));
+
+        let nowin = solve_reduced(
+            &p,
+            &ReducedConfig { windowed_pebble: false, record_trace: true, ..rcfg },
+        );
+        assert!(nowin.w.table_eq(&oracle));
+        let (_, _, npb) = nowin.trace.work_by_op();
+
+        let band = default_band(n);
+        let banded_cells = BandedPw::<u64>::new(n, band).stored_cells();
+        rows.push(vec![
+            cell(n),
+            cell(band),
+            sub_sq,
+            cell(rsq_per_iter),
+            sub_pb,
+            cell(rpb / red.trace.iterations),
+            cell(npb / nowin.trace.iterations),
+            dense_cells,
+            cell(banded_cells),
+        ]);
+    }
+    print_table(
+        &[
+            "n",
+            "B",
+            "dense sq/iter",
+            "banded sq/iter",
+            "dense pb/iter",
+            "win pb/iter",
+            "nowin pb/iter",
+            "dense cells",
+            "banded cells",
+        ],
+        &rows,
+    );
+    let (_, bd) = fit_power_law(&dense_pts);
+    let (_, bb) = fit_power_law(&band_pts);
+    println!(
+        "\nper-iteration square-work exponents: dense {:.2} (paper Theta(n^5) per sweep... \
+         measured on n<=72), banded {:.2} (paper Theta(n^3.5)); all variants returned \
+         identical tables.",
+        bd, bb
+    );
+}

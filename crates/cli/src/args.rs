@@ -1,0 +1,377 @@
+//! Hand-rolled argument parsing (no external parser dependency).
+
+use std::fmt;
+
+/// A parsing or execution error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Classic O(n^3) DP.
+    Sequential,
+    /// Knuth O(n^2) (quadrangle-inequality instances only).
+    Knuth,
+    /// Anti-diagonal rayon parallel DP.
+    Wavefront,
+    /// The paper's §2 algorithm.
+    Sublinear,
+    /// The paper's §5 reduced-processor variant.
+    Reduced,
+    /// Rytter's O(log^2 n) baseline.
+    Rytter,
+}
+
+impl Algo {
+    fn parse(s: &str) -> Result<Algo, CliError> {
+        Ok(match s {
+            "seq" | "sequential" => Algo::Sequential,
+            "knuth" => Algo::Knuth,
+            "wavefront" | "wave" => Algo::Wavefront,
+            "sublinear" | "paper" => Algo::Sublinear,
+            "reduced" => Algo::Reduced,
+            "rytter" => Algo::Rytter,
+            other => return Err(CliError(format!("unknown --algo '{other}'"))),
+        })
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Sequential => "sequential",
+            Algo::Knuth => "knuth",
+            Algo::Wavefront => "wavefront",
+            Algo::Sublinear => "sublinear",
+            Algo::Reduced => "reduced",
+            Algo::Rytter => "rytter",
+        }
+    }
+}
+
+/// The problem family of a `solve` command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Problem {
+    /// Matrix chain from a dimension list.
+    Chain(Vec<u64>),
+    /// Optimal BST from key and dummy frequencies.
+    Obst {
+        /// Key frequencies.
+        p: Vec<u64>,
+        /// Dummy frequencies (one more than keys).
+        q: Vec<u64>,
+    },
+    /// Weighted polygon triangulation.
+    Polygon(Vec<u64>),
+    /// Optimal adjacent merge order.
+    Merge(Vec<u64>),
+}
+
+/// The tree shape of a `game` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Fig. 2a zigzag caterpillar.
+    Zigzag,
+    /// Balanced splits.
+    Complete,
+    /// Left caterpillar.
+    Skewed,
+    /// Uniform random splits (seeded).
+    Random,
+}
+
+/// A fully parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parsed {
+    /// `pardp solve <family> ...`
+    Solve {
+        /// The instance.
+        problem: Problem,
+        /// Solver selection.
+        algo: Algo,
+        /// Print the witness structure.
+        witness: bool,
+        /// Print the per-iteration trace (paper algorithms only).
+        trace: bool,
+    },
+    /// `pardp game <shape> <n>`
+    Game {
+        /// Tree shape.
+        shape: Shape,
+        /// Leaves.
+        n: usize,
+        /// Use Rytter's pointer-jump square.
+        jump: bool,
+        /// RNG seed for random shapes.
+        seed: u64,
+    },
+    /// `pardp model <n> [--processors p]`
+    Model {
+        /// Problem size.
+        n: usize,
+        /// Processor count for Brent scheduling (0 = peak demand).
+        processors: u64,
+    },
+    /// `pardp bound <n>`
+    Bound {
+        /// Problem size.
+        n: usize,
+    },
+    /// `pardp help`
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+pardp — sublinear parallel dynamic programming (Huang–Liu–Viswanathan 1990/1992)
+
+USAGE:
+  pardp solve chain <d0,d1,...>        [--algo A] [--witness] [--trace]
+  pardp solve obst --p <p1,..> --q <q0,..> [--algo A] [--witness]
+  pardp solve polygon <w0,w1,...>      [--algo A] [--witness]
+  pardp solve merge <l0,l1,...>        [--algo A] [--witness]
+  pardp game <zigzag|complete|skewed|random> <n> [--rule jump] [--seed S]
+  pardp model <n> [--processors P]
+  pardp bound <n>
+  pardp help
+
+ALGORITHMS (--algo): seq | knuth | wavefront | sublinear (default) | reduced | rytter
+";
+
+fn parse_list(s: &str) -> Result<Vec<u64>, CliError> {
+    s.split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<u64>()
+                .map_err(|_| CliError(format!("'{t}' is not a non-negative integer")))
+        })
+        .collect()
+}
+
+fn take_flag(rest: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = rest.iter().position(|a| a == flag) {
+        rest.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn take_value(rest: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
+    if let Some(pos) = rest.iter().position(|a| a == flag) {
+        if pos + 1 >= rest.len() {
+            return Err(CliError(format!("{flag} needs a value")));
+        }
+        let v = rest.remove(pos + 1);
+        rest.remove(pos);
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Parse `argv` (without the program name).
+pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
+    let mut rest: Vec<String> = argv.to_vec();
+    if rest.is_empty() {
+        return Ok(Parsed::Help);
+    }
+    let cmd = rest.remove(0);
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Parsed::Help),
+        "solve" => {
+            let algo = match take_value(&mut rest, "--algo")? {
+                Some(s) => Algo::parse(&s)?,
+                None => Algo::Sublinear,
+            };
+            let witness = take_flag(&mut rest, "--witness");
+            let trace = take_flag(&mut rest, "--trace");
+            if rest.is_empty() {
+                return Err(CliError("solve needs a problem family".into()));
+            }
+            let family = rest.remove(0);
+            let problem = match family.as_str() {
+                "chain" => {
+                    let dims = parse_list(
+                        rest.first().ok_or_else(|| CliError("chain needs dimensions".into()))?,
+                    )?;
+                    if dims.len() < 2 {
+                        return Err(CliError("chain needs at least two dimensions".into()));
+                    }
+                    Problem::Chain(dims)
+                }
+                "obst" => {
+                    let p = parse_list(
+                        &take_value(&mut rest, "--p")?
+                            .ok_or_else(|| CliError("obst needs --p".into()))?,
+                    )?;
+                    let q = parse_list(
+                        &take_value(&mut rest, "--q")?
+                            .ok_or_else(|| CliError("obst needs --q".into()))?,
+                    )?;
+                    if q.len() != p.len() + 1 {
+                        return Err(CliError(format!(
+                            "--q needs exactly {} entries (one more than --p)",
+                            p.len() + 1
+                        )));
+                    }
+                    Problem::Obst { p, q }
+                }
+                "polygon" => {
+                    let w = parse_list(
+                        rest.first().ok_or_else(|| CliError("polygon needs weights".into()))?,
+                    )?;
+                    if w.len() < 3 {
+                        return Err(CliError("polygon needs at least three vertices".into()));
+                    }
+                    Problem::Polygon(w)
+                }
+                "merge" => {
+                    let l = parse_list(
+                        rest.first().ok_or_else(|| CliError("merge needs run lengths".into()))?,
+                    )?;
+                    Problem::Merge(l)
+                }
+                other => return Err(CliError(format!("unknown problem family '{other}'"))),
+            };
+            Ok(Parsed::Solve { problem, algo, witness, trace })
+        }
+        "game" => {
+            // --rule jump | modified
+            let rule = take_value(&mut rest, "--rule")?;
+            let jump = match rule.as_deref() {
+                Some("jump") => true,
+                Some("modified") | None => false,
+                Some(other) => return Err(CliError(format!("unknown --rule '{other}'"))),
+            };
+            let seed = match take_value(&mut rest, "--seed")? {
+                Some(s) => s.parse().map_err(|_| CliError("bad --seed".into()))?,
+                None => 1,
+            };
+            if rest.len() < 2 {
+                return Err(CliError("game needs <shape> <n>".into()));
+            }
+            let shape = match rest[0].as_str() {
+                "zigzag" => Shape::Zigzag,
+                "complete" => Shape::Complete,
+                "skewed" => Shape::Skewed,
+                "random" => Shape::Random,
+                other => return Err(CliError(format!("unknown shape '{other}'"))),
+            };
+            let n: usize =
+                rest[1].parse().map_err(|_| CliError(format!("bad n '{}'", rest[1])))?;
+            if n == 0 {
+                return Err(CliError("n must be positive".into()));
+            }
+            Ok(Parsed::Game { shape, n, jump, seed })
+        }
+        "model" => {
+            let processors = match take_value(&mut rest, "--processors")? {
+                Some(s) => s.parse().map_err(|_| CliError("bad --processors".into()))?,
+                None => 0,
+            };
+            let n: usize = rest
+                .first()
+                .ok_or_else(|| CliError("model needs <n>".into()))?
+                .parse()
+                .map_err(|_| CliError("bad n".into()))?;
+            if n == 0 || n > 128 {
+                return Err(CliError("model supports 1 <= n <= 128".into()));
+            }
+            Ok(Parsed::Model { n, processors })
+        }
+        "bound" => {
+            let n: usize = rest
+                .first()
+                .ok_or_else(|| CliError("bound needs <n>".into()))?
+                .parse()
+                .map_err(|_| CliError("bad n".into()))?;
+            Ok(Parsed::Bound { n })
+        }
+        other => Err(CliError(format!("unknown command '{other}'; try 'pardp help'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_solve_chain_defaults() {
+        let p = parse(&argv("solve chain 30,35,15")).unwrap();
+        assert_eq!(
+            p,
+            Parsed::Solve {
+                problem: Problem::Chain(vec![30, 35, 15]),
+                algo: Algo::Sublinear,
+                witness: false,
+                trace: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_solve_with_flags() {
+        let p = parse(&argv("solve --algo reduced --witness chain 2,3,4")).unwrap();
+        match p {
+            Parsed::Solve { algo, witness, trace, .. } => {
+                assert_eq!(algo, Algo::Reduced);
+                assert!(witness);
+                assert!(!trace);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_obst_requires_matching_lengths() {
+        assert!(parse(&argv("solve obst --p 1,2 --q 1,2,3")).is_ok());
+        let err = parse(&argv("solve obst --p 1,2 --q 1,2")).unwrap_err();
+        assert!(err.0.contains("exactly 3"));
+    }
+
+    #[test]
+    fn parse_game() {
+        let p = parse(&argv("game zigzag 128 --rule jump --seed 9")).unwrap();
+        assert_eq!(p, Parsed::Game { shape: Shape::Zigzag, n: 128, jump: true, seed: 9 });
+    }
+
+    #[test]
+    fn parse_model_and_bound() {
+        assert_eq!(parse(&argv("model 32")).unwrap(), Parsed::Model { n: 32, processors: 0 });
+        assert_eq!(
+            parse(&argv("model 32 --processors 500")).unwrap(),
+            Parsed::Model { n: 32, processors: 500 }
+        );
+        assert_eq!(parse(&argv("bound 100")).unwrap(), Parsed::Bound { n: 100 });
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(parse(&argv("solve")).unwrap_err().0.contains("problem family"));
+        assert!(parse(&argv("solve chain")).unwrap_err().0.contains("dimensions"));
+        assert!(parse(&argv("solve chain x,y")).unwrap_err().0.contains("not a non-negative"));
+        assert!(parse(&argv("frobnicate")).unwrap_err().0.contains("unknown command"));
+        assert!(parse(&argv("game zigzag 0")).unwrap_err().0.contains("positive"));
+        assert!(parse(&argv("model 5000")).unwrap_err().0.contains("n <= 128"));
+    }
+
+    #[test]
+    fn help_paths() {
+        assert_eq!(parse(&[]).unwrap(), Parsed::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Parsed::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Parsed::Help);
+    }
+}

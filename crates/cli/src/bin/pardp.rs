@@ -1,0 +1,18 @@
+//! The `pardp` command-line tool. See `pardp help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match pardp_cli::run(&argv) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try 'pardp help'");
+            ExitCode::FAILURE
+        }
+    }
+}

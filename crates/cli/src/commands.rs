@@ -1,0 +1,302 @@
+//! Command execution: build the instance, run the chosen solver, format
+//! the results.
+
+use pardp_apps::{MatrixChain, MergeOrder, OptimalBst, WeightedPolygon};
+use pardp_core::prelude::*;
+use pardp_core::pram_exec::{model_reduced, model_rytter, model_sublinear};
+use pardp_core::reconstruct::reconstruct_root;
+use pardp_core::rytter::rytter_schedule;
+use pardp_pebble::game::{moves_to_pebble, SquareRule};
+use pardp_pebble::{gen, lemma_move_bound};
+use pardp_pram::Timeline;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::args::{Algo, CliError, Parsed, Problem, Shape, USAGE};
+
+/// Execute a parsed command, producing the output text.
+pub fn execute(parsed: &Parsed) -> Result<String, CliError> {
+    match parsed {
+        Parsed::Help => Ok(USAGE.to_string()),
+        Parsed::Bound { n } => {
+            let b = pardp_core::schedule_bound(*n);
+            Ok(format!(
+                "n = {n}: schedule bound 2*ceil(sqrt(n)) = {b} iterations \
+                 (Lemma 3.3 move bound = {})\n",
+                lemma_move_bound(*n)
+            ))
+        }
+        Parsed::Game { shape, n, jump, seed } => run_game(*shape, *n, *jump, *seed),
+        Parsed::Model { n, processors } => run_model(*n, *processors),
+        Parsed::Solve { problem, algo, witness, trace } => {
+            run_solve(problem, *algo, *witness, *trace)
+        }
+    }
+}
+
+fn run_game(shape: Shape, n: usize, jump: bool, seed: u64) -> Result<String, CliError> {
+    let tree = match shape {
+        Shape::Zigzag => gen::zigzag(n),
+        Shape::Complete => gen::complete(n),
+        Shape::Skewed => gen::skewed(n, gen::Side::Left),
+        Shape::Random => gen::random_split(n, &mut SmallRng::seed_from_u64(seed)),
+    };
+    let rule = if jump { SquareRule::PointerJump } else { SquareRule::Modified };
+    let moves = moves_to_pebble(&tree, rule);
+    Ok(format!(
+        "shape = {shape:?}, n = {n}, rule = {rule:?}\n\
+         root pebbled after {moves} moves (bound {})\n",
+        lemma_move_bound(n)
+    ))
+}
+
+fn run_model(n: usize, processors: u64) -> Result<String, CliError> {
+    let mut out = String::new();
+    out.push_str(&format!("PRAM cost models at n = {n} (full worst-case schedules)\n\n"));
+    for (name, pram) in [
+        ("sublinear (§2)", model_sublinear(n)),
+        ("reduced   (§5)", model_reduced(n)),
+        ("rytter    [8]", model_rytter(n, rytter_schedule(n))),
+    ] {
+        let m = pram.metrics().clone();
+        let p = if processors == 0 { pram.processors_for_depth(1.0) } else { processors };
+        let t = pram.brent_time(p);
+        out.push_str(&format!(
+            "{name}: work {:>14}  depth {:>8}  time on p={p}: {t}  PT = {}\n",
+            m.work,
+            m.depth,
+            p as u128 * t as u128
+        ));
+        if n <= 24 {
+            let tl = Timeline::schedule(&pram, p);
+            out.push_str(&tl.render_gantt(60));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn run_solve(problem: &Problem, algo: Algo, witness: bool, trace: bool) -> Result<String, CliError> {
+    match problem {
+        Problem::Chain(dims) => {
+            let mc = MatrixChain::new(dims.clone());
+            let (out, w) = solve_with(&mc, algo, trace)?;
+            let mut s = format!("matrix chain, n = {}\n{out}", mc.n_matrices());
+            if witness {
+                let tree = reconstruct_root(&mc, &w)
+                    .map_err(|e| CliError(format!("reconstruction failed: {e}")))?;
+                s.push_str(&format!("optimal order: {}\n", mc.render(&tree)));
+            }
+            Ok(s)
+        }
+        Problem::Obst { p, q } => {
+            let bst = OptimalBst::new(p.clone(), q.clone());
+            let (out, w) = solve_with(&bst, algo, trace)?;
+            let mut s = format!("optimal BST, {} keys\n{out}", bst.n_keys());
+            if witness {
+                let tree = reconstruct_root(&bst, &w)
+                    .map_err(|e| CliError(format!("reconstruction failed: {e}")))?;
+                let b = OptimalBst::to_bst(&tree);
+                s.push_str(&format!("in-order keys: {:?}\n", OptimalBst::inorder_keys(&b)));
+                if let pardp_apps::obst::BstNode::Key { key, .. } = b {
+                    s.push_str(&format!("root key: k{key}\n"));
+                }
+            }
+            Ok(s)
+        }
+        Problem::Polygon(weights) => {
+            let poly = WeightedPolygon::new(weights.clone());
+            let (out, w) = solve_with(&poly, algo, trace)?;
+            let mut s = format!("polygon triangulation, {} vertices\n{out}", poly.n_vertices());
+            if witness {
+                let tree = reconstruct_root(&poly, &w)
+                    .map_err(|e| CliError(format!("reconstruction failed: {e}")))?;
+                let diags =
+                    pardp_apps::triangulation::diagonals_of(&tree, poly.n_vertices() - 1);
+                s.push_str(&format!("diagonals: {diags:?}\n"));
+            }
+            Ok(s)
+        }
+        Problem::Merge(lengths) => {
+            let m = MergeOrder::new(lengths.clone());
+            let (out, w) = solve_with(&m, algo, trace)?;
+            let mut s = format!("merge order, {} runs\n{out}", m.lengths().len());
+            if witness {
+                let tree = reconstruct_root(&m, &w)
+                    .map_err(|e| CliError(format!("reconstruction failed: {e}")))?;
+                s.push_str(&format!("schedule: {:?}\n", m.schedule(&tree)));
+            }
+            Ok(s)
+        }
+    }
+}
+
+/// Run the chosen solver; return formatted summary and the table (for
+/// witness extraction).
+fn solve_with<P: DpProblem<u64> + Sync + ?Sized>(
+    p: &P,
+    algo: Algo,
+    trace: bool,
+) -> Result<(String, WTable<u64>), CliError> {
+    let n = p.n();
+    match algo {
+        Algo::Sequential => {
+            let w = solve_sequential(p);
+            Ok((format!("algorithm: sequential O(n^3)\nc(0,{n}) = {}\n", w.root()), w))
+        }
+        Algo::Knuth => {
+            let w = solve_knuth(p);
+            let check = solve_sequential(p);
+            if !w.table_eq(&check) {
+                return Err(CliError(
+                    "knuth speedup disagrees with the full DP — instance lacks the \
+                     quadrangle inequality; use --algo seq"
+                        .into(),
+                ));
+            }
+            Ok((format!("algorithm: knuth O(n^2)\nc(0,{n}) = {}\n", w.root()), w))
+        }
+        Algo::Wavefront => {
+            let w = solve_wavefront_default(p);
+            Ok((format!("algorithm: wavefront (rayon)\nc(0,{n}) = {}\n", w.root()), w))
+        }
+        Algo::Sublinear => {
+            let cfg = SolverConfig {
+                exec: ExecMode::Parallel,
+                termination: Termination::Fixpoint,
+                record_trace: trace,
+            };
+            let sol = solve_sublinear(p, &cfg);
+            let mut s = format!(
+                "algorithm: sublinear (paper §2)\nc(0,{n}) = {}\niterations: {}/{} ({:?})\n",
+                sol.value(),
+                sol.trace.iterations,
+                sol.trace.schedule_bound,
+                sol.trace.stop
+            );
+            if trace {
+                for r in &sol.trace.per_iteration {
+                    s.push_str(&format!(
+                        "  iter {:>3}: activate {:>8} square {:>10} pebble {:>8} changed={}\n",
+                        r.iteration,
+                        r.activate.candidates,
+                        r.square.candidates,
+                        r.pebble.candidates,
+                        r.pebble.changed,
+                    ));
+                }
+            }
+            Ok((s, sol.w))
+        }
+        Algo::Reduced => {
+            let sol = solve_reduced(p, &ReducedConfig::default());
+            Ok((
+                format!(
+                    "algorithm: reduced (paper §5)\nc(0,{n}) = {}\niterations: {}\n",
+                    sol.value(),
+                    sol.trace.iterations
+                ),
+                sol.w,
+            ))
+        }
+        Algo::Rytter => {
+            let sol = solve_rytter(p, &RytterConfig::default());
+            Ok((
+                format!(
+                    "algorithm: rytter [8]\nc(0,{n}) = {}\niterations: {}\n",
+                    sol.value(),
+                    sol.trace.iterations
+                ),
+                sol.w,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run_line(s: &str) -> Result<String, CliError> {
+        let argv: Vec<String> = s.split_whitespace().map(|t| t.to_string()).collect();
+        execute(&parse(&argv)?)
+    }
+
+    #[test]
+    fn solve_chain_all_algorithms_agree() {
+        for algo in ["seq", "wavefront", "sublinear", "reduced", "rytter"] {
+            let out = run_line(&format!("solve --algo {algo} chain 30,35,15,5,10,20,25"))
+                .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(out.contains("= 15125"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn witness_renders_parenthesization() {
+        let out = run_line("solve --witness chain 30,35,15,5,10,20,25").unwrap();
+        assert!(out.contains("((A1 (A2 A3)) ((A4 A5) A6))"), "{out}");
+    }
+
+    #[test]
+    fn solve_obst_clrs() {
+        let out = run_line("solve --witness obst --p 15,10,5,10,20 --q 5,10,5,5,5,10").unwrap();
+        assert!(out.contains("= 275"), "{out}");
+        assert!(out.contains("root key: k2"), "{out}");
+    }
+
+    #[test]
+    fn solve_polygon_and_merge() {
+        let out = run_line("solve --witness polygon 1,10,1,10").unwrap();
+        assert!(out.contains("= 20"), "{out}");
+        assert!(out.contains("(0, 2)"), "{out}");
+        let out = run_line("solve --witness merge 10,20,30").unwrap();
+        assert!(out.contains("= 90"), "{out}");
+        assert!(out.contains("(0, 2)"), "{out}");
+    }
+
+    #[test]
+    fn knuth_guard_rejects_non_qi_instances() {
+        // Matrix chains are not QI in general; the guard may or may not
+        // trip for a specific instance, but on this crafted one Knuth's
+        // restriction provably misses the optimum.
+        let r = run_line("solve --algo knuth chain 10,1,10,1,10,1,10");
+        match r {
+            Ok(out) => assert!(out.contains("c(0,")),
+            Err(e) => assert!(e.0.contains("quadrangle")),
+        }
+    }
+
+    #[test]
+    fn game_and_bound_commands() {
+        let out = run_line("game zigzag 256").unwrap();
+        assert!(out.contains("root pebbled"), "{out}");
+        let out = run_line("game zigzag 256 --rule jump").unwrap();
+        assert!(out.contains("PointerJump"), "{out}");
+        let out = run_line("bound 100").unwrap();
+        assert!(out.contains("= 20"), "{out}");
+    }
+
+    #[test]
+    fn model_command_prints_all_algorithms() {
+        let out = run_line("model 16").unwrap();
+        assert!(out.contains("sublinear"));
+        assert!(out.contains("reduced"));
+        assert!(out.contains("rytter"));
+        assert!(out.contains("PT ="));
+        // n <= 24 includes Gantt charts.
+        assert!(out.contains('#'));
+    }
+
+    #[test]
+    fn trace_flag_prints_iterations() {
+        let out = run_line("solve --trace chain 3,5,7,2,8").unwrap();
+        assert!(out.contains("iter   1"), "{out}");
+    }
+
+    #[test]
+    fn help_contains_usage() {
+        let out = run_line("help").unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

@@ -1,0 +1,107 @@
+//! # pardp-core — sublinear parallel dynamic programming
+//!
+//! A faithful implementation of
+//!
+//! > S.-H. S. Huang, H. Liu, V. Viswanathan,
+//! > *A sublinear parallel algorithm for some dynamic programming
+//! > problems*, ICPP 1990; Theoretical Computer Science 106 (1992)
+//! > 361–371.
+//!
+//! The paper gives a CREW-PRAM algorithm for parenthesization-shaped
+//! dynamic programs (recurrence (*)):
+//!
+//! ```text
+//! c(i,j) = min_{i<k<j} { c(i,k) + c(k,j) + f(i,k,j) },   c(i,i+1) = init(i)
+//! ```
+//!
+//! running in `O(sqrt(n) log n)` time with `O(n^5 / log n)` processors
+//! (§2–4), reduced to `O(n^3.5 / log n)` processors in §5 — between
+//! Rytter's `O(log^2 n)`-time `O(n^6/log n)`-processor algorithm and the
+//! work-optimal sequential/wavefront algorithms.
+//!
+//! ## Solvers
+//!
+//! | function | algorithm | time × processors (paper) |
+//! |---|---|---|
+//! | [`seq::solve_sequential`] | classic DP [1] | `O(n^3)` × 1 |
+//! | [`seq::solve_knuth`] | Knuth–Yao (QI instances) | `O(n^2)` × 1 |
+//! | [`wavefront::solve_wavefront`] | anti-diagonal [10] | `O(n)` × `O(n^2)` |
+//! | [`sublinear::solve_sublinear`] | **this paper §2** | `O(sqrt(n) log n)` × `O(n^5/log n)` |
+//! | [`reduced::solve_reduced`] | **this paper §5** | `O(sqrt(n) log n)` × `O(n^3.5/log n)` |
+//! | [`rytter::solve_rytter`] | Rytter [8] | `O(log^2 n)` × `O(n^6/log n)` |
+//!
+//! All parallel solvers execute their data-parallel operations with rayon
+//! (or sequentially, for reference), and all agree exactly with the
+//! sequential oracle — property-tested across problem families.
+//!
+//! ## Verification and accounting
+//!
+//! * [`verify::verify_coupled`] executes the paper's §4 correctness
+//!   argument: the pebbling game on the optimal tree synchronised with
+//!   the algebraic algorithm, invariants checked at every step.
+//! * [`pram_exec`] replays the algorithms on the `pardp-pram` CREW cost
+//!   model (exact work / depth / processor counts, Brent scheduling), and
+//!   runs a fully audited exclusive-write execution.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pardp_core::prelude::*;
+//!
+//! // Optimal order for multiplying matrices of dimensions
+//! // 30x35, 35x15, 15x5, 5x10, 10x20, 20x25 (CLRS example).
+//! let dims = vec![30u64, 35, 15, 5, 10, 20, 25];
+//! let problem = FnProblem::new(
+//!     dims.len() - 1,
+//!     |_| 0u64,
+//!     move |i, k, j| dims[i] * dims[k] * dims[j],
+//! );
+//! let solution = solve_sublinear(&problem, &SolverConfig::default());
+//! assert_eq!(solution.value(), 15125);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ops;
+pub mod pram_exec;
+pub mod problem;
+pub mod reconstruct;
+pub mod reduced;
+pub mod rytter;
+pub mod seq;
+pub mod sublinear;
+pub mod tables;
+pub mod trace;
+pub mod verify;
+pub mod wavefront;
+pub mod weight;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use crate::problem::{DpProblem, FnProblem, TabulatedProblem};
+    pub use crate::reconstruct::{reconstruct_root, tree_cost, ParenTree};
+    pub use crate::reduced::{solve_reduced, ReducedConfig};
+    pub use crate::rytter::{solve_rytter, RytterConfig};
+    pub use crate::seq::{solve_knuth, solve_sequential};
+    pub use crate::sublinear::{solve_sublinear, ExecMode, Solution, SolverConfig};
+    pub use crate::tables::WTable;
+    pub use crate::trace::{StopReason, Termination};
+    pub use crate::wavefront::{solve_wavefront, solve_wavefront_default, WavefrontConfig};
+    pub use crate::weight::Weight;
+}
+
+/// `2 * ceil(sqrt(n))` — the iteration schedule of the paper (§2) and the
+/// move bound of Lemma 3.3.
+pub fn schedule_bound(n: usize) -> u64 {
+    2 * pardp_pebble::ceil_sqrt(n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn schedule_bound_matches_pebble_crate() {
+        for n in [1usize, 2, 5, 16, 17, 100] {
+            assert_eq!(super::schedule_bound(n), pardp_pebble::lemma_move_bound(n));
+        }
+    }
+}

@@ -1,0 +1,766 @@
+//! The three parallel operations of the algorithm (§2), in three storage
+//! regimes:
+//!
+//! * **dense** — the `O(n^5)`-work algorithm of §2/§4 over [`DensePw`];
+//! * **rytter** — the full-composition square of Rytter [8] (`O(n^6)`
+//!   work) over the same dense storage, used as the baseline;
+//! * **banded** — the §5 reduced-processor variant over [`BandedPw`]
+//!   (`O(n^3.5)` work per square), with the windowed pebble step.
+//!
+//! Every operation has PRAM semantics: all reads observe the *previous*
+//! state. `a-square` and `a-pebble` therefore read from one buffer and
+//! write another (the caller swaps); `a-activate` only writes cells no
+//! other task reads in the same step, so it updates in place.
+//!
+//! Each function returns [`OpStats`]: the number of composition candidates
+//! examined (the unit-work measure used by the E5/E8 accounting) and
+//! whether any table cell strictly improved (the §7 convergence signal).
+//! All functions take a `parallel` flag; the rayon path partitions work by
+//! table row, which keeps writes disjoint without locks.
+
+use rayon::prelude::*;
+
+use crate::problem::DpProblem;
+use crate::tables::{BandedPw, DensePw, WTable};
+use crate::weight::Weight;
+
+/// Work and change accounting for one operation application.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Composition candidates examined (pairs combined with `+` and fed to
+    /// `min`). This is the unit-work measure of the paper's analysis.
+    pub candidates: u64,
+    /// Table cells written.
+    pub writes: u64,
+    /// Whether any cell strictly improved.
+    pub changed: bool,
+}
+
+impl OpStats {
+    /// Merge statistics from two disjoint portions of the index space.
+    pub fn merge(self, other: OpStats) -> OpStats {
+        OpStats {
+            candidates: self.candidates + other.candidates,
+            writes: self.writes + other.writes,
+            changed: self.changed || other.changed,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// a-activate (eq. 1a/1b)
+// ---------------------------------------------------------------------------
+
+/// `a-activate` over dense storage:
+/// for all `0 <= i < k < j <= n` in parallel,
+///
+/// ```text
+/// pw'(i,j,i,k) := min { pw'(i,j,i,k), f(i,k,j) + w'(k,j) }
+/// pw'(i,j,k,j) := min { pw'(i,j,k,j), f(i,k,j) + w'(i,k) }
+/// ```
+///
+/// Each `pw'` cell is written by exactly one triple, so the update is
+/// CREW-safe in place.
+pub fn a_activate_dense<W: Weight, P: DpProblem<W> + ?Sized>(
+    problem: &P,
+    w: &WTable<W>,
+    pw: &mut DensePw<W>,
+    parallel: bool,
+) -> OpStats {
+    let dim = pw.dim();
+    let idx = pw.indexer().clone();
+    let process_row = |a: usize, row: &mut [W]| -> OpStats {
+        let (i, j) = idx.pair(a);
+        let mut stats = OpStats::default();
+        if j - i < 2 {
+            return stats;
+        }
+        for k in i + 1..j {
+            let fikj = problem.f(i, k, j);
+            // Gap (i,k): remaining subtree is (k,j).
+            let b1 = idx.index(i, k);
+            let cand1 = fikj.add(w.get(k, j));
+            if cand1 < row[b1] {
+                row[b1] = cand1;
+                stats.changed = true;
+            }
+            // Gap (k,j): remaining subtree is (i,k).
+            let b2 = idx.index(k, j);
+            let cand2 = fikj.add(w.get(i, k));
+            if cand2 < row[b2] {
+                row[b2] = cand2;
+                stats.changed = true;
+            }
+            stats.candidates += 2;
+            stats.writes += 2;
+        }
+        stats
+    };
+    if parallel {
+        pw.as_mut_slice()
+            .par_chunks_mut(dim)
+            .enumerate()
+            .map(|(a, row)| process_row(a, row))
+            .reduce(OpStats::default, OpStats::merge)
+    } else {
+        let mut total = OpStats::default();
+        for a in 0..dim {
+            let row_range = a * dim..(a + 1) * dim;
+            let row = &mut pw.as_mut_slice()[row_range];
+            total = total.merge(process_row(a, row));
+        }
+        total
+    }
+}
+
+// ---------------------------------------------------------------------------
+// a-square (eq. 2c) — the paper's restricted composition
+// ---------------------------------------------------------------------------
+
+/// `a-square` over dense storage:
+/// for all `0 <= i <= p < q <= j <= n` in parallel,
+///
+/// ```text
+/// pw'(i,j,p,q) := min { pw'(i,j,p,q),
+///                       min_{i <= r < p} pw'(i,j,r,q) + pw'(r,q,p,q),
+///                       min_{q < s <= j} pw'(i,j,p,s) + pw'(p,s,p,q) }
+/// ```
+///
+/// The composition is *restricted* to intermediate gaps sharing an
+/// endpoint with `(p,q)` — the source of the `O(n^5)` (vs Rytter's
+/// `O(n^6)`) work bound. Reads come from `prev`; writes go to `next`.
+pub fn a_square_dense<W: Weight>(
+    prev: &DensePw<W>,
+    next: &mut DensePw<W>,
+    parallel: bool,
+) -> OpStats {
+    let dim = prev.dim();
+    let idx = prev.indexer().clone();
+    let prev_data = prev.as_slice();
+    let process_row = |a: usize, next_row: &mut [W]| -> OpStats {
+        let (i, j) = idx.pair(a);
+        let prev_row = &prev_data[a * dim..(a + 1) * dim];
+        let mut stats = OpStats::default();
+        for p in i..j {
+            for q in p + 1..=j {
+                let b = idx.index(p, q);
+                let old = prev_row[b];
+                let mut best = old;
+                // Intermediate gaps (r, q), i <= r < p.
+                for r in i..p {
+                    let c = idx.index(r, q);
+                    let cand = prev_row[c].add(prev_data[c * dim + b]);
+                    best = best.min2(cand);
+                }
+                // Intermediate gaps (p, s), q < s <= j.
+                for s in q + 1..=j {
+                    let c = idx.index(p, s);
+                    let cand = prev_row[c].add(prev_data[c * dim + b]);
+                    best = best.min2(cand);
+                }
+                stats.candidates += (p - i) as u64 + (j - q) as u64;
+                stats.writes += 1;
+                if best < old {
+                    stats.changed = true;
+                }
+                next_row[b] = best;
+            }
+        }
+        stats
+    };
+    run_rows_dense(next, dim, parallel, process_row)
+}
+
+/// Rytter's square [8] over the same dense storage: composition through
+/// **every** intermediate gap,
+///
+/// ```text
+/// pw'(i,j,p,q) := min { pw'(i,j,p,q),
+///                       min_{(r,s): i<=r<=p, q<=s<=j, r<s}
+///                           pw'(i,j,r,s) + pw'(r,s,p,q) }
+/// ```
+///
+/// i.e. a masked min-plus matrix square — `Theta(n^6)` candidates, the
+/// work figure the paper improves on.
+pub fn a_square_rytter<W: Weight>(
+    prev: &DensePw<W>,
+    next: &mut DensePw<W>,
+    parallel: bool,
+) -> OpStats {
+    let dim = prev.dim();
+    let idx = prev.indexer().clone();
+    let prev_data = prev.as_slice();
+    let process_row = |a: usize, next_row: &mut [W]| -> OpStats {
+        let (i, j) = idx.pair(a);
+        let prev_row = &prev_data[a * dim..(a + 1) * dim];
+        let mut stats = OpStats::default();
+        for p in i..j {
+            for q in p + 1..=j {
+                let b = idx.index(p, q);
+                let old = prev_row[b];
+                let mut best = old;
+                for r in i..=p {
+                    for s in q.max(r + 1)..=j {
+                        let c = idx.index(r, s);
+                        let cand = prev_row[c].add(prev_data[c * dim + b]);
+                        best = best.min2(cand);
+                        stats.candidates += 1;
+                    }
+                }
+                stats.writes += 1;
+                if best < old {
+                    stats.changed = true;
+                }
+                next_row[b] = best;
+            }
+        }
+        stats
+    };
+    run_rows_dense(next, dim, parallel, process_row)
+}
+
+/// Shared row-parallel driver for dense squares.
+fn run_rows_dense<W: Weight>(
+    next: &mut DensePw<W>,
+    dim: usize,
+    parallel: bool,
+    process_row: impl Fn(usize, &mut [W]) -> OpStats + Sync,
+) -> OpStats {
+    if parallel {
+        next.as_mut_slice()
+            .par_chunks_mut(dim)
+            .enumerate()
+            .map(|(a, row)| process_row(a, row))
+            .reduce(OpStats::default, OpStats::merge)
+    } else {
+        let mut total = OpStats::default();
+        let data = next.as_mut_slice();
+        for a in 0..dim {
+            let row = &mut data[a * dim..(a + 1) * dim];
+            total = total.merge(process_row(a, row));
+        }
+        total
+    }
+}
+
+// ---------------------------------------------------------------------------
+// a-pebble (eq. 3)
+// ---------------------------------------------------------------------------
+
+/// `a-pebble` over dense storage:
+/// for all `0 <= i < j <= n` in parallel,
+///
+/// ```text
+/// w'(i,j) := min_{i <= p < q <= j} { pw'(i,j,p,q) + w'(p,q) }
+/// ```
+///
+/// The `(p,q) = (i,j)` candidate contributes `0 + w'(i,j)`, so the update
+/// is monotone non-increasing. Reads `w_prev`, writes `w_next`.
+pub fn a_pebble_dense<W: Weight>(
+    pw: &DensePw<W>,
+    w_prev: &WTable<W>,
+    w_next: &mut WTable<W>,
+    parallel: bool,
+) -> OpStats {
+    let n = w_prev.n();
+    let idx = pw.indexer().clone();
+    let dim = pw.dim();
+    let pw_data = pw.as_slice();
+    let process_pair = |i: usize, j: usize| -> (W, OpStats) {
+        let a = idx.index(i, j);
+        let row = &pw_data[a * dim..(a + 1) * dim];
+        let old = w_prev.get(i, j);
+        let mut best = old; // the (p,q) = (i,j) candidate: pw = 0
+        let mut stats = OpStats { candidates: 0, writes: 1, changed: false };
+        for p in i..j {
+            for q in p + 1..=j {
+                if p == i && q == j {
+                    continue;
+                }
+                let b = idx.index(p, q);
+                let cand = row[b].add(w_prev.get(p, q));
+                best = best.min2(cand);
+                stats.candidates += 1;
+            }
+        }
+        if best < old {
+            stats.changed = true;
+        }
+        (best, stats)
+    };
+    if parallel {
+        let results: Vec<(usize, usize, W, OpStats)> = (0..n)
+            .into_par_iter()
+            .flat_map_iter(|i| (i + 1..=n).map(move |j| (i, j)))
+            .map(|(i, j)| {
+                let (v, s) = process_pair(i, j);
+                (i, j, v, s)
+            })
+            .collect();
+        let mut total = OpStats::default();
+        for (i, j, v, s) in results {
+            w_next.set(i, j, v);
+            total = total.merge(s);
+        }
+        total
+    } else {
+        let mut total = OpStats::default();
+        for i in 0..n {
+            for j in i + 1..=n {
+                let (v, s) = process_pair(i, j);
+                w_next.set(i, j, v);
+                total = total.merge(s);
+            }
+        }
+        total
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Banded (§5) variants
+// ---------------------------------------------------------------------------
+
+/// `a-activate` over banded storage: identical to the dense rule but only
+/// in-band cells are kept — gap `(i,k)` needs `j - k <= B`, gap `(k,j)`
+/// needs `k - i <= B`, so each row does `O(B)` work.
+pub fn a_activate_banded<W: Weight, P: DpProblem<W> + ?Sized>(
+    problem: &P,
+    w: &WTable<W>,
+    pw: &mut BandedPw<W>,
+    parallel: bool,
+) -> OpStats {
+    let band = pw.band();
+    let idx = pw.indexer().clone();
+    let spans: Vec<(usize, usize)> = (0..idx.len()).map(|a| pw.row_span(a)).collect();
+    let process_row = |a: usize, row: &mut [W]| -> OpStats {
+        let (i, j) = idx.pair(a);
+        let d = j - i;
+        let mut stats = OpStats::default();
+        if d < 2 {
+            return stats;
+        }
+        // Gap (i,k): eccentricity e = j - k <= band  =>  k >= j - band.
+        let k_lo_1 = i + 1;
+        let k_lo = if j > band { k_lo_1.max(j - band) } else { k_lo_1 };
+        for k in k_lo..j {
+            let e = j - k;
+            let pos = e * (e + 1) / 2; // p - i = 0
+            let cand = problem.f(i, k, j).add(w.get(k, j));
+            if cand < row[pos] {
+                row[pos] = cand;
+                stats.changed = true;
+            }
+            stats.candidates += 1;
+            stats.writes += 1;
+        }
+        // Gap (k,j): eccentricity e = k - i <= band.
+        let k_hi = (j - 1).min(i + band);
+        for k in i + 1..=k_hi {
+            let e = k - i;
+            let pos = e * (e + 1) / 2 + (k - i);
+            let cand = problem.f(i, k, j).add(w.get(i, k));
+            if cand < row[pos] {
+                row[pos] = cand;
+                stats.changed = true;
+            }
+            stats.candidates += 1;
+            stats.writes += 1;
+        }
+        stats
+    };
+    run_rows_banded(pw, &spans, parallel, process_row)
+}
+
+/// `a-square` over banded storage with the §5 `O(sqrt n)` composition
+/// windows: intermediate gaps `(r,q)` need `r >= p - B` **and**
+/// `r <= q - d + B` to keep both factors in band (symmetrically for
+/// `(p,s)`), so every cell examines `O(B)` candidates.
+pub fn a_square_banded<W: Weight>(
+    prev: &BandedPw<W>,
+    next: &mut BandedPw<W>,
+    parallel: bool,
+) -> OpStats {
+    let band = prev.band();
+    let idx = prev.indexer().clone();
+    let spans: Vec<(usize, usize)> = (0..idx.len()).map(|a| next.row_span(a)).collect();
+    let process_row = |a: usize, next_row: &mut [W]| -> OpStats {
+        let (i, j) = idx.pair(a);
+        let d = j - i;
+        let mut stats = OpStats::default();
+        let emax = (d - 1).min(band);
+        for e in 0..=emax {
+            let g = d - e; // gap width q - p
+            for p in i..=i + e {
+                let q = p + g;
+                let old = prev.get(i, j, p, q);
+                let mut best = old;
+                // (r, q) intermediates: i <= r < p, with both factors in
+                // band: r >= p - B (for pw(r,q,p,q)) and r <= q + B - d
+                // (for pw(i,j,r,q)). In-band (p,q) guarantees
+                // q + B >= i + d, so the upper bound never underflows.
+                let r_lo = i.max(p.saturating_sub(band));
+                if p > r_lo {
+                    let r_hi = (p - 1).min(q + band - d);
+                    for r in r_lo..=r_hi {
+                        let cand = prev.get(i, j, r, q).add(prev.get(r, q, p, q));
+                        best = best.min2(cand);
+                        stats.candidates += 1;
+                    }
+                }
+                // (p, s) intermediates: q < s <= j, s >= p + d - B, s <= q + B.
+                let s_lo = (q + 1).max((p + d).saturating_sub(band));
+                let s_hi = j.min(q + band);
+                for s in s_lo..=s_hi {
+                    let cand = prev.get(i, j, p, s).add(prev.get(p, s, p, q));
+                    best = best.min2(cand);
+                    stats.candidates += 1;
+                }
+                let pos = e * (e + 1) / 2 + (p - i);
+                if best < old {
+                    stats.changed = true;
+                }
+                stats.writes += 1;
+                next_row[pos] = best;
+            }
+        }
+        stats
+    };
+    run_rows_banded(next, &spans, parallel, process_row)
+}
+
+/// Shared row-parallel driver for banded tables (rows have varying
+/// length, so the buffer is split at the row offsets).
+fn run_rows_banded<W: Weight>(
+    table: &mut BandedPw<W>,
+    spans: &[(usize, usize)],
+    parallel: bool,
+    process_row: impl Fn(usize, &mut [W]) -> OpStats + Sync,
+) -> OpStats {
+    if parallel {
+        let mut rows: Vec<(usize, &mut [W])> = Vec::with_capacity(spans.len());
+        let mut rest = table.as_mut_slice();
+        let mut consumed = 0usize;
+        for (a, &(s, e)) in spans.iter().enumerate() {
+            debug_assert_eq!(s, consumed);
+            let (head, tail) = rest.split_at_mut(e - s);
+            rows.push((a, head));
+            rest = tail;
+            consumed = e;
+        }
+        rows.into_par_iter()
+            .map(|(a, row)| process_row(a, row))
+            .reduce(OpStats::default, OpStats::merge)
+    } else {
+        let mut total = OpStats::default();
+        let data = table.as_mut_slice();
+        for (a, &(s, e)) in spans.iter().enumerate() {
+            total = total.merge(process_row(a, &mut data[s..e]));
+        }
+        total
+    }
+}
+
+/// `a-pebble` over banded storage, optionally restricted to the §5 size
+/// window: only pairs with `window.0 < j - i <= window.1` are re-minimised
+/// (others copy their previous value).
+///
+/// Two candidate families per pair, matching the §5 processor count of
+/// `O(n^1.5)` windowed pairs × `O(n^2)` candidates:
+///
+/// * the **in-band** stored gaps `pw'(i,j,p,q) + w'(p,q)` (the chain
+///   descents of the Lemma 3.3 decomposition);
+/// * the **direct** decompositions `f(i,k,j) + w'(i,k) + w'(k,j)` —
+///   equation (1) fused with (3). A single-edge partial tree's gap lags
+///   its root by the size of the *other* child, which can far exceed the
+///   band, so these partial weights are never stored; they are
+///   recomputed here on the fly. The decomposition lemma needs them for
+///   the terminal chain node `y`, both of whose children are small and
+///   already final.
+pub fn a_pebble_banded<W: Weight, P: DpProblem<W> + ?Sized>(
+    problem: &P,
+    pw: &BandedPw<W>,
+    w_prev: &WTable<W>,
+    w_next: &mut WTable<W>,
+    window: Option<(usize, usize)>,
+    parallel: bool,
+) -> OpStats {
+    let n = w_prev.n();
+    let process_pair = |i: usize, j: usize| -> (W, OpStats) {
+        let d = j - i;
+        let old = w_prev.get(i, j);
+        if let Some((lo, hi)) = window {
+            if d <= lo || d > hi {
+                return (old, OpStats { candidates: 0, writes: 0, changed: false });
+            }
+        }
+        let mut best = old;
+        let mut stats = OpStats { candidates: 0, writes: 1, changed: false };
+        for (p, q) in pw.gaps_of(i, j) {
+            if p == i && q == j {
+                continue;
+            }
+            let cand = pw.get(i, j, p, q).add(w_prev.get(p, q));
+            best = best.min2(cand);
+            stats.candidates += 1;
+        }
+        for k in i + 1..j {
+            let cand = problem.f(i, k, j).add(w_prev.get(i, k)).add(w_prev.get(k, j));
+            best = best.min2(cand);
+            stats.candidates += 1;
+        }
+        if best < old {
+            stats.changed = true;
+        }
+        (best, stats)
+    };
+    if parallel {
+        let results: Vec<(usize, usize, W, OpStats)> = (0..n)
+            .into_par_iter()
+            .flat_map_iter(|i| (i + 1..=n).map(move |j| (i, j)))
+            .map(|(i, j)| {
+                let (v, s) = process_pair(i, j);
+                (i, j, v, s)
+            })
+            .collect();
+        let mut total = OpStats::default();
+        for (i, j, v, s) in results {
+            w_next.set(i, j, v);
+            total = total.merge(s);
+        }
+        total
+    } else {
+        let mut total = OpStats::default();
+        for i in 0..n {
+            for j in i + 1..=n {
+                let (v, s) = process_pair(i, j);
+                w_next.set(i, j, v);
+                total = total.merge(s);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnProblem;
+    use crate::seq::solve_sequential;
+
+    fn chain(dims: Vec<u64>) -> impl DpProblem<u64> {
+        let n = dims.len() - 1;
+        FnProblem::new(n, |_| 0u64, move |i, k, j| dims[i] * dims[k] * dims[j])
+    }
+
+    /// Drive (activate, square, pebble) for 2*ceil(sqrt(n)) iterations and
+    /// return the w table — a miniature of the full solver, used to test
+    /// the ops in isolation.
+    fn run_dense(p: &impl DpProblem<u64>, parallel: bool) -> WTable<u64> {
+        let n = p.n();
+        let mut w = WTable::new(n);
+        for i in 0..n {
+            w.set(i, i + 1, p.init(i));
+        }
+        let mut pw = DensePw::new(n);
+        let mut pw_next = DensePw::new(n);
+        let mut w_next = w.clone();
+        let iters = 2 * pardp_pebble::ceil_sqrt(n as u64);
+        for _ in 0..iters {
+            a_activate_dense(p, &w, &mut pw, parallel);
+            a_square_dense(&pw, &mut pw_next, parallel);
+            std::mem::swap(&mut pw, &mut pw_next);
+            a_pebble_dense(&pw, &w, &mut w_next, parallel);
+            std::mem::swap(&mut w, &mut w_next);
+        }
+        w
+    }
+
+    #[test]
+    fn dense_ops_compute_clrs_chain() {
+        let p = chain(vec![30, 35, 15, 5, 10, 20, 25]);
+        let w = run_dense(&p, false);
+        assert_eq!(w.root(), 15125);
+        assert!(w.table_eq(&solve_sequential(&p)));
+    }
+
+    #[test]
+    fn parallel_and_sequential_ops_agree() {
+        let p = chain(vec![7, 3, 9, 4, 12, 5, 8, 6, 10, 2, 11]);
+        let seq = run_dense(&p, false);
+        let par = run_dense(&p, true);
+        assert!(seq.table_eq(&par));
+        assert!(seq.table_eq(&solve_sequential(&p)));
+    }
+
+    #[test]
+    fn activate_seeds_single_edge_partials() {
+        // After one activate on fresh tables, pw'(i,j,i,k) must equal
+        // f(i,k,j) + w'(k,j) when (k,j) is a leaf, else infinity.
+        let p = chain(vec![2, 3, 4, 5]);
+        let n = 3;
+        let mut w = WTable::new(n);
+        for i in 0..n {
+            w.set(i, i + 1, p.init(i));
+        }
+        let mut pw = DensePw::new(n);
+        let stats = a_activate_dense(&p, &w, &mut pw, false);
+        assert!(stats.changed);
+        // (0,3) with k=1: gap (0,1) gets f(0,1,3) + w(1,3) = inf (w(1,3) unknown).
+        assert!(!pw.get(0, 3, 0, 1).is_finite_cost());
+        // (0,2) with k=1: gap (0,1) gets f(0,1,2) + w(1,2) = 2*3*4 + 0.
+        assert_eq!(pw.get(0, 2, 0, 1), 24);
+        assert_eq!(pw.get(0, 2, 1, 2), 24); // symmetric gap
+        // Diagonal untouched.
+        assert_eq!(pw.get(0, 3, 0, 3), 0);
+    }
+
+    #[test]
+    fn square_is_monotone_and_idempotent_at_fixpoint() {
+        let p = chain(vec![4, 2, 7, 3, 5, 6]);
+        let n = p.n();
+        let mut w = solve_sequential(&p); // final w values
+        let mut pw = DensePw::new(n);
+        let mut pw_next = DensePw::new(n);
+        let mut w_next = w.clone();
+        // Iterate to fixpoint.
+        for _ in 0..20 {
+            a_activate_dense(&p, &w, &mut pw, false);
+            let s = a_square_dense(&pw, &mut pw_next, false);
+            std::mem::swap(&mut pw, &mut pw_next);
+            a_pebble_dense(&pw, &w, &mut w_next, false);
+            std::mem::swap(&mut w, &mut w_next);
+            if !s.changed {
+                break;
+            }
+        }
+        // One more round must change nothing.
+        let a = a_activate_dense(&p, &w, &mut pw, false);
+        let s = a_square_dense(&pw, &mut pw_next, false);
+        std::mem::swap(&mut pw, &mut pw_next);
+        let pb = a_pebble_dense(&pw, &w, &mut w_next, false);
+        assert!(!a.changed && !s.changed && !pb.changed);
+    }
+
+    #[test]
+    fn rytter_square_reaches_the_same_values() {
+        let p = chain(vec![5, 9, 2, 6, 7, 3, 8]);
+        let n = p.n();
+        let mut w = WTable::new(n);
+        for i in 0..n {
+            w.set(i, i + 1, p.init(i));
+        }
+        let mut pw = DensePw::new(n);
+        let mut pw_next = DensePw::new(n);
+        let mut w_next = w.clone();
+        for _ in 0..(2 * (n as f64).log2().ceil() as usize + 4) {
+            a_activate_dense(&p, &w, &mut pw, false);
+            a_square_rytter(&pw, &mut pw_next, false);
+            std::mem::swap(&mut pw, &mut pw_next);
+            a_pebble_dense(&pw, &w, &mut w_next, false);
+            std::mem::swap(&mut w, &mut w_next);
+        }
+        assert!(w.table_eq(&solve_sequential(&p)));
+    }
+
+    #[test]
+    fn rytter_examines_more_candidates_than_restricted() {
+        // The full composition is Theta(n^6) vs the restricted Theta(n^5):
+        // the ratio must exceed 1 and grow roughly linearly with n.
+        let ratio = |n: usize| {
+            let pw = DensePw::<u64>::new(n);
+            let mut next1 = DensePw::new(n);
+            let mut next2 = DensePw::new(n);
+            let restricted = a_square_dense(&pw, &mut next1, false);
+            let full = a_square_rytter(&pw, &mut next2, false);
+            assert!(full.candidates > restricted.candidates, "n={n}");
+            full.candidates as f64 / restricted.candidates as f64
+        };
+        let r10 = ratio(10);
+        let r30 = ratio(30);
+        assert!(r10 > 1.5, "r10={r10}");
+        assert!(r30 > 1.5 * r10, "ratio must grow with n: {r10} -> {r30}");
+    }
+
+    #[test]
+    fn banded_ops_match_dense_with_full_band() {
+        // With band >= n the banded algorithm stores everything, so it
+        // must agree with the dense one step by step.
+        let p = chain(vec![3, 8, 2, 5, 7, 4, 6, 9]);
+        let n = p.n();
+        let mut w_d = WTable::new(n);
+        let mut w_b = WTable::new(n);
+        for i in 0..n {
+            w_d.set(i, i + 1, p.init(i));
+            w_b.set(i, i + 1, p.init(i));
+        }
+        let mut pwd = DensePw::new(n);
+        let mut pwd_next = DensePw::new(n);
+        let mut pwb = BandedPw::new(n, n);
+        let mut pwb_next = BandedPw::new(n, n);
+        let mut wd_next = w_d.clone();
+        let mut wb_next = w_b.clone();
+        for _ in 0..6 {
+            a_activate_dense(&p, &w_d, &mut pwd, false);
+            a_activate_banded(&p, &w_b, &mut pwb, false);
+            a_square_dense(&pwd, &mut pwd_next, false);
+            a_square_banded(&pwb, &mut pwb_next, false);
+            std::mem::swap(&mut pwd, &mut pwd_next);
+            std::mem::swap(&mut pwb, &mut pwb_next);
+            a_pebble_dense(&pwd, &w_d, &mut wd_next, false);
+            a_pebble_banded(&p, &pwb, &w_b, &mut wb_next, None, false);
+            std::mem::swap(&mut w_d, &mut wd_next);
+            std::mem::swap(&mut w_b, &mut wb_next);
+            // Tables agree cell-for-cell at every step.
+            for i in 0..n {
+                for j in i + 1..=n {
+                    assert_eq!(w_d.get(i, j), w_b.get(i, j), "w ({i},{j})");
+                    for pp in i..j {
+                        for qq in pp + 1..=j {
+                            assert_eq!(
+                                pwd.get(i, j, pp, qq),
+                                pwb.get(i, j, pp, qq),
+                                "pw ({i},{j},{pp},{qq})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        assert!(w_d.table_eq(&solve_sequential(&p)));
+    }
+
+    #[test]
+    fn banded_square_work_is_much_smaller() {
+        let n = 24usize;
+        let band = 2 * pardp_pebble::ceil_sqrt(n as u64) as usize;
+        let dense = DensePw::<u64>::new(n);
+        let mut dense_next = DensePw::new(n);
+        let banded = BandedPw::<u64>::new(n, band);
+        let mut banded_next = BandedPw::new(n, band);
+        let sd = a_square_dense(&dense, &mut dense_next, false);
+        let sb = a_square_banded(&banded, &mut banded_next, false);
+        assert!(
+            sb.candidates * 2 < sd.candidates,
+            "banded {} vs dense {}",
+            sb.candidates,
+            sd.candidates
+        );
+    }
+
+    #[test]
+    fn windowed_pebble_skips_out_of_window_pairs() {
+        let p = chain(vec![3, 8, 2, 5, 7, 4]);
+        let n = p.n();
+        let mut w = WTable::new(n);
+        for i in 0..n {
+            w.set(i, i + 1, p.init(i));
+        }
+        let pw = BandedPw::new(n, n);
+        let mut w_next = w.clone();
+        // Window (0,1]: only leaf-sized pairs — nothing to improve, and
+        // longer pairs must not be touched (they stay infinity).
+        let stats = a_pebble_banded(&p, &pw, &w, &mut w_next, Some((0, 1)), false);
+        assert!(!stats.changed);
+        assert!(!w_next.get(0, n).is_finite_cost());
+    }
+}

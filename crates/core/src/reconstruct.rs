@@ -1,0 +1,221 @@
+//! Reconstructing the optimal parenthesization tree from a solved table.
+//!
+//! The solvers compute values only (`w'`); the realizing tree — "the tree
+//! in S_n of minimum weight" (§2) — is recovered by walking the table:
+//! at `(i,j)` pick the smallest `k` whose decomposition achieves `w(i,j)`.
+//! The result is exactly a member of the paper's tree set `S`: nodes are
+//! intervals, the sons of `(i,j)` are `(i,k)` and `(k,j)`, leaves are
+//! `(i, i+1)`.
+
+use pardp_pebble::tree::{FullBinaryTree, TreeBuilder};
+use pardp_pebble::NodeId;
+
+use crate::problem::DpProblem;
+use crate::tables::WTable;
+use crate::weight::Weight;
+
+/// An optimal parenthesization tree (a member of the paper's set `S`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParenTree {
+    /// The leaf `(i, i+1)`.
+    Leaf {
+        /// Left endpoint; the leaf covers `(i, i+1)`.
+        i: usize,
+    },
+    /// An internal node `(i, j)` split at `k`.
+    Node {
+        /// Left endpoint.
+        i: usize,
+        /// Right endpoint.
+        j: usize,
+        /// The split: sons are `(i, k)` and `(k, j)`.
+        k: usize,
+        /// The son `(i, k)`.
+        left: Box<ParenTree>,
+        /// The son `(k, j)`.
+        right: Box<ParenTree>,
+    },
+}
+
+impl ParenTree {
+    /// The interval `(i, j)` this subtree covers.
+    pub fn interval(&self) -> (usize, usize) {
+        match self {
+            ParenTree::Leaf { i } => (*i, *i + 1),
+            ParenTree::Node { i, j, .. } => (*i, *j),
+        }
+    }
+
+    /// Number of leaves (`j - i`).
+    pub fn n_leaves(&self) -> usize {
+        let (i, j) = self.interval();
+        j - i
+    }
+
+    /// Depth of the tree (leaf = 0).
+    pub fn height(&self) -> usize {
+        match self {
+            ParenTree::Leaf { .. } => 0,
+            ParenTree::Node { left, right, .. } => 1 + left.height().max(right.height()),
+        }
+    }
+
+    /// Render with one name per object, e.g. `((A1 A2) A3)`.
+    pub fn render(&self, names: &[String]) -> String {
+        match self {
+            ParenTree::Leaf { i } => names.get(*i).cloned().unwrap_or_else(|| format!("x{i}")),
+            ParenTree::Node { left, right, .. } => {
+                format!("({} {})", left.render(names), right.render(names))
+            }
+        }
+    }
+}
+
+/// Reconstruct an optimal tree for `(lo, hi)` from a solved `w` table by
+/// re-deriving the argmin at every node (smallest achieving `k`).
+///
+/// Returns an error if the table is inconsistent (no decomposition of some
+/// interval achieves its stored value — impossible for tables produced by
+/// the crate's solvers).
+pub fn reconstruct<W: Weight, P: DpProblem<W> + ?Sized>(
+    problem: &P,
+    w: &WTable<W>,
+    lo: usize,
+    hi: usize,
+) -> Result<ParenTree, String> {
+    assert!(lo < hi && hi <= problem.n());
+    if hi == lo + 1 {
+        return Ok(ParenTree::Leaf { i: lo });
+    }
+    let target = w.get(lo, hi);
+    if !target.is_finite_cost() {
+        return Err(format!("w({lo},{hi}) is infinite — table not solved"));
+    }
+    for k in lo + 1..hi {
+        let via = w.get(lo, k).add(w.get(k, hi)).add(problem.f(lo, k, hi));
+        if via.cost_eq(&target) {
+            let left = reconstruct(problem, w, lo, k)?;
+            let right = reconstruct(problem, w, k, hi)?;
+            return Ok(ParenTree::Node { i: lo, j: hi, k, left: Box::new(left), right: Box::new(right) });
+        }
+    }
+    Err(format!("no split of ({lo},{hi}) achieves w = {target:?} — inconsistent table"))
+}
+
+/// Reconstruct the root tree `(0, n)`.
+pub fn reconstruct_root<W: Weight, P: DpProblem<W> + ?Sized>(
+    problem: &P,
+    w: &WTable<W>,
+) -> Result<ParenTree, String> {
+    reconstruct(problem, w, 0, problem.n())
+}
+
+/// Independently evaluate the weight `W(T)` of a tree: the sum of
+/// `f(i,k,j)` over internal nodes plus `init(i)` over leaves (§2).
+pub fn tree_cost<W: Weight, P: DpProblem<W> + ?Sized>(problem: &P, tree: &ParenTree) -> W {
+    match tree {
+        ParenTree::Leaf { i } => problem.init(*i),
+        ParenTree::Node { i, j, k, left, right } => problem
+            .f(*i, *k, *j)
+            .add(tree_cost(problem, left))
+            .add(tree_cost(problem, right)),
+    }
+}
+
+/// Convert to a `pardp-pebble` tree for playing the §3 game on it. The
+/// returned tree's [interval labels](FullBinaryTree::interval_labels)
+/// shifted by `lo` coincide with the `ParenTree` intervals.
+pub fn to_pebble_tree(tree: &ParenTree) -> FullBinaryTree {
+    fn rec(t: &ParenTree, b: &mut TreeBuilder) -> NodeId {
+        match t {
+            ParenTree::Leaf { .. } => b.leaf(),
+            ParenTree::Node { left, right, .. } => {
+                let l = rec(left, b);
+                let r = rec(right, b);
+                b.internal(l, r)
+            }
+        }
+    }
+    let mut b = TreeBuilder::with_leaf_capacity(tree.n_leaves());
+    let root = rec(tree, &mut b);
+    b.build(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnProblem;
+    use crate::seq::solve_sequential;
+
+    fn chain(dims: Vec<u64>) -> impl DpProblem<u64> {
+        let n = dims.len() - 1;
+        FnProblem::new(n, |_| 0u64, move |i, k, j| dims[i] * dims[k] * dims[j])
+    }
+
+    #[test]
+    fn clrs_chain_reconstruction() {
+        // CLRS optimal parenthesization: ((A1 (A2 A3)) ((A4 A5) A6)).
+        let p = chain(vec![30, 35, 15, 5, 10, 20, 25]);
+        let w = solve_sequential(&p);
+        let t = reconstruct_root(&p, &w).unwrap();
+        assert_eq!(tree_cost(&p, &t), 15125);
+        let names: Vec<String> = (1..=6).map(|i| format!("A{i}")).collect();
+        assert_eq!(t.render(&names), "((A1 (A2 A3)) ((A4 A5) A6))");
+    }
+
+    #[test]
+    fn tree_cost_equals_table_value_on_random_instances() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(808);
+        for n in 1..=25usize {
+            let dims: Vec<u64> = (0..=n).map(|_| rng.gen_range(1..60)).collect();
+            let p = chain(dims);
+            let w = solve_sequential(&p);
+            let t = reconstruct_root(&p, &w).unwrap();
+            assert_eq!(tree_cost(&p, &t), w.root(), "n={n}");
+            assert_eq!(t.n_leaves(), n);
+        }
+    }
+
+    #[test]
+    fn pebble_tree_roundtrip_preserves_intervals() {
+        let p = chain(vec![30, 35, 15, 5, 10, 20, 25]);
+        let w = solve_sequential(&p);
+        let t = reconstruct_root(&p, &w).unwrap();
+        let pt = to_pebble_tree(&t);
+        assert_eq!(pt.n_leaves(), t.n_leaves());
+        // Interval labels of the pebble tree match the ParenTree intervals.
+        let labels = pt.interval_labels();
+        fn collect(t: &ParenTree, out: &mut Vec<(usize, usize)>) {
+            out.push(t.interval());
+            if let ParenTree::Node { left, right, .. } = t {
+                collect(left, out);
+                collect(right, out);
+            }
+        }
+        let mut intervals = Vec::new();
+        collect(&t, &mut intervals);
+        intervals.sort_unstable();
+        let mut pebble_intervals: Vec<(usize, usize)> =
+            pt.node_ids().map(|x| labels[x]).collect();
+        pebble_intervals.sort_unstable();
+        assert_eq!(intervals, pebble_intervals);
+    }
+
+    #[test]
+    fn reconstruction_fails_on_unsolved_table() {
+        let p = chain(vec![2, 3, 4, 5]);
+        let w = WTable::<u64>::new(3); // all infinity
+        assert!(reconstruct_root(&p, &w).is_err());
+    }
+
+    #[test]
+    fn height_and_interval_accessors() {
+        let p = chain(vec![2, 3, 4, 5, 6]);
+        let w = solve_sequential(&p);
+        let t = reconstruct_root(&p, &w).unwrap();
+        assert_eq!(t.interval(), (0, 4));
+        assert!(t.height() >= 2 && t.height() <= 3);
+    }
+}

@@ -1,0 +1,233 @@
+//! The §5 reduced-processor variant: `O(n^3.5 / log n)` processors,
+//! same `O(sqrt(n) log n)` time.
+//!
+//! Two §5 observations shrink the work per iteration:
+//!
+//! 1. **Windowed pebbling.** By Lemma 3.3, after `2l` iterations every
+//!    optimal-tree node of size ≤ `l^2` already holds its final value, and
+//!    nodes of size > `(l+1)^2` cannot be finalised yet; so the pebble
+//!    steps of iterations `2l - 1` and `2l` only need to consider pairs
+//!    with `(l-1)^2 < j - i <= l^2` — `O(n^1.5)` of them.
+//! 2. **Banded partial weights.** The heavy-chain decomposition shows the
+//!    pebbling only ever exploits partial trees whose root-to-gap size
+//!    difference is at most `2*ceil(sqrt(n))`; partial weights outside the
+//!    band `(j-i) - (q-p) <= B` are never needed, and each in-band cell
+//!    has only `O(sqrt(n))` in-band compositions.
+//!
+//! Because the window argument relies on the *fixed* `2*ceil(sqrt(n))`
+//! schedule, this solver does not support convergence-based early
+//! termination (change flags under a window are not a fixpoint signal).
+
+use crate::ops::{a_activate_banded, a_pebble_banded, a_square_banded};
+use crate::problem::DpProblem;
+use crate::sublinear::{ExecMode, Solution};
+use crate::tables::{BandedPw, WTable};
+use crate::trace::{IterationRecord, SolveTrace, StopReason};
+use crate::weight::Weight;
+
+/// Configuration of [`solve_reduced`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReducedConfig {
+    /// Sequential or rayon execution.
+    pub exec: ExecMode,
+    /// Keep per-iteration records.
+    pub record_trace: bool,
+    /// Apply the §5 size window to the pebble step. Disabling it keeps the
+    /// banded storage but re-minimises every pair each iteration — the E8
+    /// ablation point separating the two §5 ideas.
+    pub windowed_pebble: bool,
+    /// Band width override; `None` uses the paper's `2 * ceil(sqrt(n))`.
+    pub band: Option<usize>,
+}
+
+impl Default for ReducedConfig {
+    fn default() -> Self {
+        ReducedConfig {
+            exec: ExecMode::Parallel,
+            record_trace: false,
+            windowed_pebble: true,
+            band: None,
+        }
+    }
+}
+
+/// The §5 band width `B = 2 * ceil(sqrt(n))`.
+pub fn default_band(n: usize) -> usize {
+    2 * pardp_pebble::ceil_sqrt(n as u64) as usize
+}
+
+/// Solve recurrence (*) with the §5 reduced-processor algorithm.
+pub fn solve_reduced<W: Weight, P: DpProblem<W> + ?Sized>(
+    problem: &P,
+    config: &ReducedConfig,
+) -> Solution<W> {
+    let n = problem.n();
+    let parallel = config.exec == ExecMode::Parallel;
+    let band = config.band.unwrap_or_else(|| default_band(n));
+    let schedule = 2 * pardp_pebble::ceil_sqrt(n as u64);
+
+    let mut w = WTable::new(n);
+    for i in 0..n {
+        w.set(i, i + 1, problem.init(i));
+    }
+    let mut pw = BandedPw::new(n, band);
+    let mut pw_next = BandedPw::new(n, band);
+    let mut w_next = w.clone();
+
+    let mut trace = SolveTrace {
+        n,
+        iterations: 0,
+        schedule_bound: schedule,
+        stop: StopReason::ScheduleExhausted,
+        total_candidates: 0,
+        per_iteration: Vec::new(),
+    };
+
+    for iter in 1..=schedule {
+        let act = a_activate_banded(problem, &w, &mut pw, parallel);
+        let sq = a_square_banded(&pw, &mut pw_next, parallel);
+        std::mem::swap(&mut pw, &mut pw_next);
+        // Size window for iterations 2l-1 and 2l: (l-1)^2 < j-i <= l^2.
+        let window = if config.windowed_pebble {
+            let l = iter.div_ceil(2) as usize;
+            Some(((l - 1) * (l - 1), l * l))
+        } else {
+            None
+        };
+        let pb = a_pebble_banded(problem, &pw, &w, &mut w_next, window, parallel);
+        std::mem::swap(&mut w, &mut w_next);
+
+        trace.iterations = iter;
+        trace.total_candidates += act.candidates + sq.candidates + pb.candidates;
+        if config.record_trace {
+            trace.per_iteration.push(IterationRecord {
+                iteration: iter,
+                activate: act.into(),
+                square: sq.into(),
+                pebble: pb.into(),
+                root_finite: w.root().is_finite_cost(),
+            });
+        }
+    }
+
+    Solution { w, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{FnProblem, TabulatedProblem};
+    use crate::seq::solve_sequential;
+    use crate::sublinear::{solve_sublinear, SolverConfig};
+    use crate::trace::Termination;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn chain(dims: Vec<u64>) -> impl DpProblem<u64> {
+        let n = dims.len() - 1;
+        FnProblem::new(n, |_| 0u64, move |i, k, j| dims[i] * dims[k] * dims[j])
+    }
+
+    fn cfg() -> ReducedConfig {
+        ReducedConfig {
+            exec: ExecMode::Sequential,
+            record_trace: true,
+            windowed_pebble: true,
+            band: None,
+        }
+    }
+
+    #[test]
+    fn reduced_solves_clrs_chain() {
+        let p = chain(vec![30, 35, 15, 5, 10, 20, 25]);
+        let sol = solve_reduced(&p, &cfg());
+        assert_eq!(sol.value(), 15125);
+        assert!(sol.w.table_eq(&solve_sequential(&p)));
+    }
+
+    #[test]
+    fn reduced_matches_oracle_on_random_instances() {
+        let mut rng = SmallRng::seed_from_u64(4242);
+        for n in [1usize, 2, 3, 4, 6, 9, 13, 18, 25, 33] {
+            for _ in 0..3 {
+                let dims: Vec<u64> = (0..=n).map(|_| rng.gen_range(1..50)).collect();
+                let p = chain(dims);
+                let oracle = solve_sequential(&p);
+                let sol = solve_reduced(&p, &cfg());
+                assert!(sol.w.table_eq(&oracle), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_matches_oracle_on_arbitrary_costs() {
+        // Matrix chains have structured f; arbitrary tabulated costs probe
+        // the banded correctness argument harder.
+        let mut rng = SmallRng::seed_from_u64(777);
+        for n in [5usize, 10, 16, 24] {
+            let init: Vec<u64> = (0..n).map(|_| rng.gen_range(0..30)).collect();
+            let m = n + 1;
+            let f_vals: Vec<u64> = (0..m * m * m).map(|_| rng.gen_range(0..30)).collect();
+            let p = TabulatedProblem::new(init, |i, k, j| f_vals[(i * m + k) * m + j]);
+            let oracle = solve_sequential(&p);
+            let sol = solve_reduced(&p, &cfg());
+            assert!(sol.w.table_eq(&oracle), "n={n}");
+        }
+    }
+
+    #[test]
+    fn window_ablation_agrees() {
+        let p = chain(vec![9, 4, 7, 2, 8, 3, 6, 5, 10, 1, 12, 11]);
+        let windowed = solve_reduced(&p, &cfg());
+        let unwindowed = solve_reduced(
+            &p,
+            &ReducedConfig { windowed_pebble: false, ..cfg() },
+        );
+        assert!(windowed.w.table_eq(&unwindowed.w));
+        // The window strictly reduces pebble work.
+        let (_, _, pb_win) = windowed.trace.work_by_op();
+        let (_, _, pb_all) = unwindowed.trace.work_by_op();
+        assert!(pb_win < pb_all, "windowed {pb_win} vs full {pb_all}");
+    }
+
+    #[test]
+    fn reduced_does_much_less_square_work_than_dense() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let dims: Vec<u64> = (0..=36).map(|_| rng.gen_range(1..40)).collect();
+        let p = chain(dims);
+        let dense = solve_sublinear(
+            &p,
+            &SolverConfig {
+                exec: ExecMode::Sequential,
+                termination: Termination::FixedSqrtN,
+                record_trace: true,
+            },
+        );
+        let red = solve_reduced(&p, &cfg());
+        assert!(dense.w.table_eq(&red.w));
+        let (_, sq_dense, _) = dense.trace.work_by_op();
+        let (_, sq_red, _) = red.trace.work_by_op();
+        assert!(
+            sq_red * 2 < sq_dense,
+            "reduced square work {sq_red} not well below dense {sq_dense}"
+        );
+    }
+
+    #[test]
+    fn parallel_equals_sequential_reduced() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let dims: Vec<u64> = (0..=20).map(|_| rng.gen_range(1..30)).collect();
+        let p = chain(dims);
+        let seq = solve_reduced(&p, &cfg());
+        let par = solve_reduced(&p, &ReducedConfig { exec: ExecMode::Parallel, ..cfg() });
+        assert!(seq.w.table_eq(&par.w));
+    }
+
+    #[test]
+    fn band_wider_than_needed_is_harmless() {
+        let p = chain(vec![3, 7, 2, 9, 4, 8, 5]);
+        let default = solve_reduced(&p, &cfg());
+        let wide = solve_reduced(&p, &ReducedConfig { band: Some(100), ..cfg() });
+        assert!(default.w.table_eq(&wide.w));
+    }
+}

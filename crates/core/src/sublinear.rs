@@ -1,0 +1,251 @@
+//! The sublinear algorithm of §2: `2 * ceil(sqrt(n))` iterations of
+//! (`a-activate`, `a-square`, `a-pebble`) over dense tables.
+//!
+//! ```text
+//! Initialize w'(i, i+1) = init(i),          0 <= i < n;
+//! Initialize pw'(i, j, i, j) = 0,           0 <= i < j <= n;
+//! repeat 2*ceil(sqrt(n)) times begin
+//!     a-activate; a-square; a-pebble;
+//! end.
+//! ```
+//!
+//! On a CREW PRAM this runs in `O(sqrt(n) log n)` time with
+//! `O(n^5 / log n)` processors (§4). Here each operation is executed as a
+//! data-parallel pass (rayon) or sequentially; the PRAM costs are recorded
+//! separately by [`crate::pram_exec`].
+
+use crate::ops::{a_activate_dense, a_pebble_dense, a_square_dense};
+use crate::problem::DpProblem;
+use crate::tables::{DensePw, WTable};
+use crate::trace::{IterationRecord, SolveTrace, StopReason, Termination};
+use crate::weight::Weight;
+
+/// Execution mode for the data-parallel passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Single-threaded reference execution.
+    Sequential,
+    /// Rayon data-parallel execution (row-partitioned, lock-free).
+    Parallel,
+}
+
+/// Configuration of [`solve_sublinear`].
+#[derive(Debug, Clone, Copy)]
+pub struct SolverConfig {
+    /// Sequential or rayon execution.
+    pub exec: ExecMode,
+    /// Stopping rule (all rules are capped at `2 * ceil(sqrt(n))`, which
+    /// Lemma 3.3 proves sufficient, so every configuration is exact).
+    pub termination: Termination,
+    /// Keep per-iteration records in the trace.
+    pub record_trace: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            exec: ExecMode::Parallel,
+            termination: Termination::FixedSqrtN,
+            record_trace: false,
+        }
+    }
+}
+
+/// Result of a solver run: the full `w` table plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct Solution<W> {
+    /// The computed `w'` table; `w.root()` is `c(0, n)`.
+    pub w: WTable<W>,
+    /// Run diagnostics.
+    pub trace: SolveTrace,
+}
+
+impl<W: Weight> Solution<W> {
+    /// The goal value `c(0, n)`.
+    pub fn value(&self) -> W {
+        self.w.root()
+    }
+}
+
+/// Solve recurrence (*) with the paper's sublinear algorithm (§2, dense
+/// `O(n^4)`-memory tables).
+pub fn solve_sublinear<W: Weight, P: DpProblem<W> + ?Sized>(
+    problem: &P,
+    config: &SolverConfig,
+) -> Solution<W> {
+    let n = problem.n();
+    let parallel = config.exec == ExecMode::Parallel;
+    let schedule = 2 * pardp_pebble::ceil_sqrt(n as u64);
+
+    // Initialize w'(i, i+1) = init(i); everything else infinity.
+    let mut w = WTable::new(n);
+    for i in 0..n {
+        w.set(i, i + 1, problem.init(i));
+    }
+    // Initialize pw'(i,j,i,j) = 0; everything else infinity.
+    let mut pw = DensePw::new(n);
+    let mut pw_next = DensePw::new(n);
+    let mut w_next = w.clone();
+
+    let mut trace = SolveTrace {
+        n,
+        iterations: 0,
+        schedule_bound: schedule,
+        stop: StopReason::ScheduleExhausted,
+        total_candidates: 0,
+        per_iteration: Vec::new(),
+    };
+    let mut w_stable_streak = 0u32;
+
+    for iter in 1..=schedule {
+        let act = a_activate_dense(problem, &w, &mut pw, parallel);
+        let sq = a_square_dense(&pw, &mut pw_next, parallel);
+        std::mem::swap(&mut pw, &mut pw_next);
+        let pb = a_pebble_dense(&pw, &w, &mut w_next, parallel);
+        std::mem::swap(&mut w, &mut w_next);
+
+        trace.iterations = iter;
+        trace.total_candidates += act.candidates + sq.candidates + pb.candidates;
+        if config.record_trace {
+            trace.per_iteration.push(IterationRecord {
+                iteration: iter,
+                activate: act.into(),
+                square: sq.into(),
+                pebble: pb.into(),
+                root_finite: w.root().is_finite_cost(),
+            });
+        }
+
+        match config.termination {
+            Termination::FixedSqrtN => {}
+            Termination::Fixpoint => {
+                if !act.changed && !sq.changed && !pb.changed {
+                    trace.stop = StopReason::Fixpoint;
+                    break;
+                }
+            }
+            Termination::WStableTwice => {
+                if pb.changed {
+                    w_stable_streak = 0;
+                } else {
+                    w_stable_streak += 1;
+                    if w_stable_streak >= 2 {
+                        trace.stop = StopReason::WStable;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    Solution { w, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnProblem;
+    use crate::seq::solve_sequential;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn chain(dims: Vec<u64>) -> impl DpProblem<u64> {
+        let n = dims.len() - 1;
+        FnProblem::new(n, |_| 0u64, move |i, k, j| dims[i] * dims[k] * dims[j])
+    }
+
+    fn cfg(term: Termination) -> SolverConfig {
+        SolverConfig { exec: ExecMode::Sequential, termination: term, record_trace: true }
+    }
+
+    #[test]
+    fn solves_clrs_chain_exactly() {
+        let p = chain(vec![30, 35, 15, 5, 10, 20, 25]);
+        let sol = solve_sublinear(&p, &cfg(Termination::FixedSqrtN));
+        assert_eq!(sol.value(), 15125);
+        assert!(sol.w.table_eq(&solve_sequential(&p)));
+        assert_eq!(sol.trace.iterations, sol.trace.schedule_bound);
+    }
+
+    #[test]
+    fn all_terminations_agree_on_random_instances() {
+        let mut rng = SmallRng::seed_from_u64(31337);
+        for n in [1usize, 2, 3, 5, 9, 14, 20] {
+            for _ in 0..4 {
+                let dims: Vec<u64> = (0..=n).map(|_| rng.gen_range(1..40)).collect();
+                let p = chain(dims);
+                let oracle = solve_sequential(&p);
+                for term in
+                    [Termination::FixedSqrtN, Termination::Fixpoint, Termination::WStableTwice]
+                {
+                    let sol = solve_sublinear(&p, &cfg(term));
+                    assert!(sol.w.table_eq(&oracle), "n={n} {term:?}");
+                    assert!(sol.trace.iterations <= sol.trace.schedule_bound);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let mut rng = SmallRng::seed_from_u64(55);
+        let dims: Vec<u64> = (0..=18).map(|_| rng.gen_range(1..30)).collect();
+        let p = chain(dims);
+        let seq = solve_sublinear(&p, &cfg(Termination::FixedSqrtN));
+        let par = solve_sublinear(
+            &p,
+            &SolverConfig {
+                exec: ExecMode::Parallel,
+                termination: Termination::FixedSqrtN,
+                record_trace: false,
+            },
+        );
+        assert!(seq.w.table_eq(&par.w));
+        assert_eq!(seq.trace.iterations, par.trace.iterations);
+    }
+
+    #[test]
+    fn fixpoint_stops_early_on_easy_instances() {
+        // Uniform dims make balanced decompositions optimal: convergence
+        // in O(log n) iterations, well under 2*ceil(sqrt(n)).
+        let p = chain(vec![2u64; 65]); // n = 64, schedule bound 16
+        let sol = solve_sublinear(&p, &cfg(Termination::Fixpoint));
+        assert_eq!(sol.trace.stop, StopReason::Fixpoint);
+        assert!(
+            sol.trace.iterations < sol.trace.schedule_bound,
+            "expected early stop: {} < {}",
+            sol.trace.iterations,
+            sol.trace.schedule_bound
+        );
+        assert!(sol.w.table_eq(&solve_sequential(&p)));
+    }
+
+    #[test]
+    fn trace_candidate_totals_are_consistent() {
+        let p = chain(vec![3, 5, 7, 2, 8, 4]);
+        let sol = solve_sublinear(&p, &cfg(Termination::FixedSqrtN));
+        let (a, s, pb) = sol.trace.work_by_op();
+        assert_eq!(a + s + pb, sol.trace.total_candidates);
+        assert_eq!(sol.trace.per_iteration.len() as u64, sol.trace.iterations);
+        // Square dominates the work, as the analysis says (§4).
+        assert!(s > a && s > pb);
+    }
+
+    #[test]
+    fn float_instance_converges_to_reference() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let dims: Vec<f64> = (0..=12).map(|_| rng.gen_range(0.5..8.0)).collect();
+        let n = dims.len() - 1;
+        let p = FnProblem::new(n, |_| 0.0f64, move |i, k, j| dims[i] * dims[k] * dims[j]);
+        let sol = solve_sublinear(&p, &cfg(Termination::FixedSqrtN));
+        let oracle = solve_sequential(&p);
+        assert!(sol.w.table_eq(&oracle));
+    }
+
+    #[test]
+    fn n_equals_one_is_trivial() {
+        let p = FnProblem::new(1, |_| 5u64, |_, _, _| 0u64);
+        let sol = solve_sublinear(&p, &cfg(Termination::FixedSqrtN));
+        assert_eq!(sol.value(), 5);
+    }
+}

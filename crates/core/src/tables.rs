@@ -1,0 +1,534 @@
+//! Flat table storage for `w'(i,j)` and `pw'(i,j,p,q)`.
+//!
+//! * [`PairIndexer`] maps interval pairs `(i,j)`, `0 <= i < j <= n`, to a
+//!   dense index `0..P` with `P = n(n+1)/2` — the node names of the paper.
+//! * [`WTable`] holds `w'` as a flat `(n+1)^2` square (simple indexing).
+//! * [`DensePw`] holds `pw'` as a `P x P` matrix over pair indices: row
+//!   `(i,j)`, column `(p,q)`. Only *nested* cells (`i <= p < q <= j`) are
+//!   meaningful; all others stay `INFINITY` forever. This layout makes the
+//!   paper's `a-square` a (restricted) min-plus matrix product and
+//!   Rytter's square [8] a full min-plus matrix square over the same
+//!   storage.
+//! * [`BandedPw`] holds only the §5 band `(j-i) - (q-p) <= B` with
+//!   `B = 2 ceil(sqrt(n))`: `O(n^3)` memory instead of `O(n^4)`, realizing
+//!   the processor reduction's observation that the optimal-tree pebbling
+//!   never needs a partial weight whose gap lags the root by more than
+//!   `2 sqrt(n)` leaves.
+
+use crate::weight::Weight;
+
+/// Dense indexing of interval pairs `(i, j)` with `0 <= i < j <= n`.
+///
+/// Pairs are ordered lexicographically: `(0,1), (0,2), …, (0,n), (1,2), …`.
+#[derive(Debug, Clone)]
+pub struct PairIndexer {
+    n: usize,
+    /// `offsets[i]` = index of pair `(i, i+1)`.
+    offsets: Vec<u32>,
+}
+
+impl PairIndexer {
+    /// Indexer for intervals over `0..=n`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one object");
+        assert!(n < u16::MAX as usize, "n too large for 32-bit pair indexing");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        for i in 0..=n {
+            offsets.push(acc);
+            acc += (n - i) as u32;
+        }
+        PairIndexer { n, offsets }
+    }
+
+    /// The underlying `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of pairs `P = n(n+1)/2`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n * (self.n + 1) / 2
+    }
+
+    /// Whether there are no pairs (never, since `n >= 1`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Dense index of pair `(i, j)`.
+    #[inline]
+    pub fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j <= self.n, "invalid pair ({i},{j}) for n={}", self.n);
+        self.offsets[i] as usize + (j - i - 1)
+    }
+
+    /// Inverse of [`Self::index`].
+    pub fn pair(&self, idx: usize) -> (usize, usize) {
+        debug_assert!(idx < self.len());
+        // offsets is sorted; find the greatest i with offsets[i] <= idx.
+        let i = match self.offsets.binary_search(&(idx as u32)) {
+            Ok(mut exact) => {
+                // Skip duplicate offsets produced by i = n (zero-width row).
+                while exact < self.n && self.offsets[exact + 1] as usize == idx {
+                    exact += 1;
+                }
+                exact
+            }
+            Err(ins) => ins - 1,
+        };
+        let j = i + 1 + (idx - self.offsets[i] as usize);
+        (i, j)
+    }
+
+    /// Iterate all pairs in index order.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |i| (i + 1..=self.n).map(move |j| (i, j)))
+    }
+}
+
+/// The `w'(i,j)` table: a flat `(n+1) x (n+1)` square, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WTable<W> {
+    n: usize,
+    data: Vec<W>,
+}
+
+impl<W: Weight> WTable<W> {
+    /// All-infinity table for intervals over `0..=n`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        WTable { n, data: vec![W::INFINITY; (n + 1) * (n + 1)] }
+    }
+
+    /// The `n` this table was sized for.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Read `w'(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> W {
+        debug_assert!(i < j && j <= self.n);
+        self.data[i * (self.n + 1) + j]
+    }
+
+    /// Write `w'(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: W) {
+        debug_assert!(i < j && j <= self.n);
+        self.data[i * (self.n + 1) + j] = v;
+    }
+
+    /// The root value `w'(0, n)` — the goal `c(0, n)`.
+    #[inline]
+    pub fn root(&self) -> W {
+        self.get(0, self.n)
+    }
+
+    /// Number of finite entries (diagnostic).
+    pub fn finite_count(&self) -> usize {
+        let mut count = 0;
+        for i in 0..self.n {
+            for j in i + 1..=self.n {
+                if self.get(i, j).is_finite_cost() {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Whether two tables agree on every interval under [`Weight::cost_eq`].
+    pub fn table_eq(&self, other: &WTable<W>) -> bool {
+        if self.n != other.n {
+            return false;
+        }
+        for i in 0..self.n {
+            for j in i + 1..=self.n {
+                if !self.get(i, j).cost_eq(&other.get(i, j)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Dense `pw'` storage: a `P x P` matrix over pair indices.
+///
+/// Row `a = (i,j)`, column `b = (p,q)`; the cell is meaningful iff `(p,q)`
+/// is **nested** in `(i,j)` (`i <= p < q <= j`). The diagonal is
+/// `pw'(i,j,i,j) = 0`; all non-nested cells stay `INFINITY` and act as
+/// neutral elements in min-plus compositions.
+#[derive(Debug, Clone)]
+pub struct DensePw<W> {
+    idx: PairIndexer,
+    data: Vec<W>,
+}
+
+impl<W: Weight> DensePw<W> {
+    /// Fresh table: diagonal zero, everything else infinity.
+    pub fn new(n: usize) -> Self {
+        let idx = PairIndexer::new(n);
+        let p = idx.len();
+        let mut data = vec![W::INFINITY; p * p];
+        for a in 0..p {
+            data[a * p + a] = W::ZERO;
+        }
+        DensePw { idx, data }
+    }
+
+    /// The pair indexer.
+    #[inline]
+    pub fn indexer(&self) -> &PairIndexer {
+        &self.idx
+    }
+
+    /// Number of pairs `P` (the matrix dimension).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Read `pw'(i,j,p,q)` by pair indices.
+    #[inline]
+    pub fn get_ab(&self, a: usize, b: usize) -> W {
+        self.data[a * self.idx.len() + b]
+    }
+
+    /// Write by pair indices.
+    #[inline]
+    pub fn set_ab(&mut self, a: usize, b: usize, v: W) {
+        let p = self.idx.len();
+        self.data[a * p + b] = v;
+    }
+
+    /// Read `pw'(i,j,p,q)` by interval endpoints.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, p: usize, q: usize) -> W {
+        debug_assert!(i <= p && p < q && q <= j, "gap ({p},{q}) not nested in ({i},{j})");
+        self.get_ab(self.idx.index(i, j), self.idx.index(p, q))
+    }
+
+    /// Write by interval endpoints.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, p: usize, q: usize, v: W) {
+        debug_assert!(i <= p && p < q && q <= j);
+        let a = self.idx.index(i, j);
+        let b = self.idx.index(p, q);
+        self.set_ab(a, b, v);
+    }
+
+    /// Immutable row `a` (length `P`).
+    #[inline]
+    pub fn row(&self, a: usize) -> &[W] {
+        let p = self.idx.len();
+        &self.data[a * p..(a + 1) * p]
+    }
+
+    /// The full backing slice (rows concatenated).
+    #[inline]
+    pub fn as_slice(&self) -> &[W] {
+        &self.data
+    }
+
+    /// The full backing slice, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [W] {
+        &mut self.data
+    }
+
+    /// Copy all cells from `other` (same dimensions).
+    pub fn copy_from(&mut self, other: &DensePw<W>) {
+        assert_eq!(self.idx.n(), other.idx.n());
+        self.data.copy_from_slice(&other.data);
+    }
+}
+
+/// The §5 banded `pw'` storage: only cells with
+/// `(j - i) - (q - p) <= band` are stored.
+///
+/// Per root pair `(i,j)` with `d = j - i`, the stored gaps are grouped by
+/// *eccentricity* `e = d - (q - p)` (0 ≤ e ≤ min(d-1, band)); block `e`
+/// starts at offset `e(e+1)/2` within the row and holds the `e + 1` gaps
+/// `(p, p + d - e)` for `p = i ..= i + e`.
+#[derive(Debug, Clone)]
+pub struct BandedPw<W> {
+    idx: PairIndexer,
+    band: usize,
+    /// Start of each pair's row in `data`, plus one trailing end offset.
+    row_offsets: Vec<u64>,
+    data: Vec<W>,
+}
+
+impl<W: Weight> BandedPw<W> {
+    /// Fresh banded table with the given band width `B` (the §5 algorithm
+    /// uses `B = 2 ceil(sqrt(n))`): diagonal zero, everything else
+    /// infinity.
+    pub fn new(n: usize, band: usize) -> Self {
+        let idx = PairIndexer::new(n);
+        let p = idx.len();
+        let mut row_offsets = Vec::with_capacity(p + 1);
+        let mut acc = 0u64;
+        for (i, j) in idx.pairs() {
+            row_offsets.push(acc);
+            let d = j - i;
+            let emax = (d - 1).min(band);
+            acc += ((emax + 1) * (emax + 2) / 2) as u64;
+        }
+        row_offsets.push(acc);
+        let mut data = vec![W::INFINITY; acc as usize];
+        // Diagonal (e = 0, p = i) is the first cell of each row.
+        for a in 0..p {
+            data[row_offsets[a] as usize] = W::ZERO;
+        }
+        BandedPw { idx, band, row_offsets, data }
+    }
+
+    /// The pair indexer.
+    #[inline]
+    pub fn indexer(&self) -> &PairIndexer {
+        &self.idx
+    }
+
+    /// The band width `B`.
+    #[inline]
+    pub fn band(&self) -> usize {
+        self.band
+    }
+
+    /// Total stored cells (the §5 `O(n^3)` figure).
+    #[inline]
+    pub fn stored_cells(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether gap `(p,q)` of root `(i,j)` lies in the band.
+    #[inline]
+    pub fn in_band(&self, i: usize, j: usize, p: usize, q: usize) -> bool {
+        debug_assert!(i <= p && p < q && q <= j);
+        (j - i) - (q - p) <= self.band
+    }
+
+    #[inline]
+    fn cell(&self, i: usize, j: usize, p: usize, q: usize) -> usize {
+        let a = self.idx.index(i, j);
+        let e = (j - i) - (q - p);
+        debug_assert!(e <= self.band);
+        self.row_offsets[a] as usize + e * (e + 1) / 2 + (p - i)
+    }
+
+    /// Read `pw'(i,j,p,q)`; out-of-band cells read as `INFINITY`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, p: usize, q: usize) -> W {
+        debug_assert!(i <= p && p < q && q <= j);
+        if (j - i) - (q - p) > self.band {
+            return W::INFINITY;
+        }
+        self.data[self.cell(i, j, p, q)]
+    }
+
+    /// Write an in-band cell.
+    ///
+    /// # Panics (debug)
+    /// If the cell is out of band — the §5 algorithm never writes one.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, p: usize, q: usize, v: W) {
+        let c = self.cell(i, j, p, q);
+        self.data[c] = v;
+    }
+
+    /// Row span (offset range in `data`) of pair index `a`, for parallel
+    /// row partitioning.
+    #[inline]
+    pub fn row_span(&self, a: usize) -> (usize, usize) {
+        (self.row_offsets[a] as usize, self.row_offsets[a + 1] as usize)
+    }
+
+    /// The full backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[W] {
+        &self.data
+    }
+
+    /// The full backing slice, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [W] {
+        &mut self.data
+    }
+
+    /// Enumerate the in-band gaps `(p, q)` of root `(i, j)` in storage
+    /// order (eccentricity-major).
+    pub fn gaps_of(&self, i: usize, j: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let d = j - i;
+        let emax = (d - 1).min(self.band);
+        (0..=emax).flat_map(move |e| (0..=e).map(move |t| (i + t, i + t + d - e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_indexer_roundtrip() {
+        for n in 1..=20usize {
+            let idx = PairIndexer::new(n);
+            assert_eq!(idx.len(), n * (n + 1) / 2);
+            let mut seen = 0;
+            for (i, j) in idx.pairs() {
+                let a = idx.index(i, j);
+                assert_eq!(a, seen, "pairs() must enumerate in index order");
+                assert_eq!(idx.pair(a), (i, j));
+                seen += 1;
+            }
+            assert_eq!(seen, idx.len());
+        }
+    }
+
+    #[test]
+    fn pair_indexer_is_lexicographic() {
+        let idx = PairIndexer::new(4);
+        assert_eq!(idx.index(0, 1), 0);
+        assert_eq!(idx.index(0, 4), 3);
+        assert_eq!(idx.index(1, 2), 4);
+        assert_eq!(idx.index(3, 4), 9);
+        assert_eq!(idx.pair(9), (3, 4));
+    }
+
+    #[test]
+    fn wtable_get_set_root() {
+        let mut w = WTable::<u64>::new(5);
+        assert_eq!(w.get(0, 5), <u64 as Weight>::INFINITY);
+        w.set(0, 5, 42);
+        assert_eq!(w.root(), 42);
+        assert_eq!(w.finite_count(), 1);
+    }
+
+    #[test]
+    fn wtable_eq_uses_cost_eq() {
+        let mut a = WTable::<f64>::new(2);
+        let mut b = WTable::<f64>::new(2);
+        a.set(0, 2, 0.1 + 0.2);
+        b.set(0, 2, 0.3);
+        a.set(0, 1, 1.0);
+        b.set(0, 1, 1.0);
+        a.set(1, 2, 2.0);
+        b.set(1, 2, 2.0);
+        assert!(a.table_eq(&b));
+        b.set(1, 2, 2.5);
+        assert!(!a.table_eq(&b));
+    }
+
+    #[test]
+    fn dense_pw_initial_state() {
+        let pw = DensePw::<u64>::new(4);
+        let inf = <u64 as Weight>::INFINITY;
+        // Diagonal zero.
+        for (i, j) in pw.indexer().pairs().collect::<Vec<_>>() {
+            assert_eq!(pw.get(i, j, i, j), 0);
+        }
+        // Off-diagonal nested cells infinity.
+        assert_eq!(pw.get(0, 4, 1, 3), inf);
+        assert_eq!(pw.get(0, 2, 0, 1), inf);
+    }
+
+    #[test]
+    fn dense_pw_set_get() {
+        let mut pw = DensePw::<u64>::new(5);
+        pw.set(0, 5, 1, 3, 7);
+        assert_eq!(pw.get(0, 5, 1, 3), 7);
+        let a = pw.indexer().index(0, 5);
+        let b = pw.indexer().index(1, 3);
+        assert_eq!(pw.get_ab(a, b), 7);
+        assert_eq!(pw.row(a)[b], 7);
+    }
+
+    #[test]
+    fn banded_layout_roundtrip() {
+        for n in [3usize, 6, 10, 15] {
+            for band in [1usize, 2, 4, 7, 100] {
+                let mut pw = BandedPw::<u64>::new(n, band);
+                // Write a distinct value into every in-band cell, then read
+                // them all back.
+                let idx = PairIndexer::new(n);
+                let mut v = 1u64;
+                for (i, j) in idx.pairs() {
+                    let gaps: Vec<_> = pw.gaps_of(i, j).collect();
+                    for &(p, q) in &gaps {
+                        assert!(pw.in_band(i, j, p, q));
+                        pw.set(i, j, p, q, v);
+                        v += 1;
+                    }
+                }
+                let mut v2 = 1u64;
+                for (i, j) in idx.pairs() {
+                    let gaps: Vec<_> = pw.gaps_of(i, j).collect();
+                    for &(p, q) in &gaps {
+                        assert_eq!(pw.get(i, j, p, q), v2, "({i},{j},{p},{q})");
+                        v2 += 1;
+                    }
+                }
+                assert_eq!(v2 as usize - 1, pw.stored_cells());
+            }
+        }
+    }
+
+    #[test]
+    fn banded_out_of_band_reads_infinity() {
+        let pw = BandedPw::<u64>::new(10, 2);
+        // (0,10) with gap (4,5): e = 10 - 1 = 9 > 2.
+        assert_eq!(pw.get(0, 10, 4, 5), <u64 as Weight>::INFINITY);
+        // In-band diagonal still zero.
+        assert_eq!(pw.get(0, 10, 0, 10), 0);
+        assert_eq!(pw.get(0, 10, 1, 10), <u64 as Weight>::INFINITY); // e=1, stored, inf
+    }
+
+    #[test]
+    fn banded_cell_count_is_cubic_not_quartic() {
+        // With B = 2 ceil(sqrt(n)), cells should be O(n^3), far below the
+        // dense P^2 ~ n^4/4 figure.
+        let n = 40usize;
+        let b = 2 * ((n as f64).sqrt().ceil() as usize);
+        let banded = BandedPw::<u64>::new(n, b);
+        let dense_cells = PairIndexer::new(n).len().pow(2);
+        assert!(banded.stored_cells() * 4 < dense_cells,
+            "banded {} vs dense {}", banded.stored_cells(), dense_cells);
+    }
+
+    #[test]
+    fn banded_row_spans_partition_data() {
+        let pw = BandedPw::<u64>::new(8, 3);
+        let p = pw.indexer().len();
+        let mut end_prev = 0usize;
+        for a in 0..p {
+            let (s, e) = pw.row_span(a);
+            assert_eq!(s, end_prev);
+            assert!(e >= s);
+            end_prev = e;
+        }
+        assert_eq!(end_prev, pw.stored_cells());
+    }
+
+    #[test]
+    fn gaps_of_matches_band_predicate() {
+        let pw = BandedPw::<u64>::new(12, 4);
+        for (i, j) in PairIndexer::new(12).pairs() {
+            let from_iter: std::collections::BTreeSet<_> = pw.gaps_of(i, j).collect();
+            let mut expected = std::collections::BTreeSet::new();
+            for p in i..j {
+                for q in p + 1..=j {
+                    if (j - i) - (q - p) <= 4 {
+                        expected.insert((p, q));
+                    }
+                }
+            }
+            assert_eq!(from_iter, expected, "({i},{j})");
+        }
+    }
+}

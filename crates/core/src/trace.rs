@@ -1,0 +1,137 @@
+//! Iteration traces and termination policies shared by all solvers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ops::OpStats;
+
+/// When a solver stops iterating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Termination {
+    /// Run exactly `2 * ceil(sqrt(n))` iterations — the schedule proved
+    /// sufficient by Lemma 3.3. Always correct.
+    FixedSqrtN,
+    /// Stop as soon as one whole iteration changes **neither** `w'` nor
+    /// `pw'` (a true fixpoint: the operations are deterministic functions
+    /// of the tables, so no further iteration can change anything). This
+    /// is the *sufficient* condition discussed in §7. Capped at
+    /// `2 * ceil(sqrt(n))` iterations, so it is always correct too.
+    Fixpoint,
+    /// The §7 heuristic suggested by the authors' simulations: stop when
+    /// the `w'` values did not change during two consecutive iterations
+    /// (`pw'` may still be evolving). Also capped at `2 * ceil(sqrt(n))`.
+    /// Experiment E6 probes whether this heuristic can ever stop early
+    /// with a wrong value.
+    WStableTwice,
+}
+
+/// Per-iteration record of one solver run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// 1-based iteration number.
+    pub iteration: u64,
+    /// `a-activate` statistics.
+    pub activate: OpRecord,
+    /// `a-square` statistics.
+    pub square: OpRecord,
+    /// `a-pebble` statistics.
+    pub pebble: OpRecord,
+    /// Whether `w'(0,n)` was finite after this iteration.
+    pub root_finite: bool,
+}
+
+/// Serializable mirror of [`OpStats`].
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct OpRecord {
+    /// Composition candidates examined.
+    pub candidates: u64,
+    /// Cells written.
+    pub writes: u64,
+    /// Whether any cell strictly improved.
+    pub changed: bool,
+}
+
+impl From<OpStats> for OpRecord {
+    fn from(s: OpStats) -> Self {
+        OpRecord { candidates: s.candidates, writes: s.writes, changed: s.changed }
+    }
+}
+
+/// Why the solver stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// Ran the full `2 * ceil(sqrt(n))` schedule.
+    ScheduleExhausted,
+    /// Reached a `w'`+`pw'` fixpoint before the schedule ended.
+    Fixpoint,
+    /// The §7 heuristic fired (`w'` unchanged two iterations in a row).
+    WStable,
+}
+
+/// Aggregate of a full solver run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveTrace {
+    /// Problem size `n`.
+    pub n: usize,
+    /// Iterations actually executed.
+    pub iterations: u64,
+    /// The schedule bound `2 * ceil(sqrt(n))`.
+    pub schedule_bound: u64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Total composition candidates across all ops and iterations — the
+    /// measured work figure of experiments E5/E8.
+    pub total_candidates: u64,
+    /// Per-iteration details (empty unless trace recording was enabled).
+    pub per_iteration: Vec<IterationRecord>,
+}
+
+impl SolveTrace {
+    /// Work split per operation kind: `(activate, square, pebble)` summed
+    /// over iterations. Only available when per-iteration records were
+    /// kept.
+    pub fn work_by_op(&self) -> (u64, u64, u64) {
+        let mut a = 0;
+        let mut s = 0;
+        let mut p = 0;
+        for it in &self.per_iteration {
+            a += it.activate.candidates;
+            s += it.square.candidates;
+            p += it.pebble.candidates;
+        }
+        (a, s, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_record_from_stats() {
+        let s = OpStats { candidates: 5, writes: 3, changed: true };
+        let r = OpRecord::from(s);
+        assert_eq!(r.candidates, 5);
+        assert_eq!(r.writes, 3);
+        assert!(r.changed);
+    }
+
+    #[test]
+    fn work_by_op_sums() {
+        let rec = |c| IterationRecord {
+            iteration: 1,
+            activate: OpRecord { candidates: c, writes: 0, changed: false },
+            square: OpRecord { candidates: 2 * c, writes: 0, changed: false },
+            pebble: OpRecord { candidates: 3 * c, writes: 0, changed: false },
+            root_finite: false,
+        };
+        let trace = SolveTrace {
+            n: 4,
+            iterations: 2,
+            schedule_bound: 4,
+            stop: StopReason::ScheduleExhausted,
+            total_candidates: 0,
+            per_iteration: vec![rec(1), rec(10)],
+        };
+        assert_eq!(trace.work_by_op(), (11, 22, 33));
+    }
+}

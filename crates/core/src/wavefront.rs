@@ -1,0 +1,119 @@
+//! The anti-diagonal ("wavefront") parallel algorithm — reference [10].
+//!
+//! The paper cites two *work-optimal* parallel algorithms: `O(n^2)` time on
+//! `O(n)` processors and `O(n)` time on `O(n^2)` processors. Both process
+//! the DP table diagonal by diagonal: all cells `(i, i+d)` of diagonal `d`
+//! depend only on strictly shorter intervals, so they can be computed
+//! simultaneously. This is the practical multicore baseline (experiment
+//! E7): `O(n^3)` total work, `O(n)` span when each cell's min is also
+//! parallelised.
+//!
+//! The rayon implementation parallelises over the cells of a diagonal and
+//! falls back to sequential execution for small diagonals, where the
+//! fork-join overhead would dominate.
+
+use rayon::prelude::*;
+
+use crate::problem::DpProblem;
+use crate::tables::WTable;
+use crate::weight::Weight;
+
+/// Tuning for [`solve_wavefront`].
+#[derive(Debug, Clone, Copy)]
+pub struct WavefrontConfig {
+    /// Diagonals with fewer candidate evaluations than this run
+    /// sequentially (avoids fork-join overhead on tiny diagonals).
+    pub parallel_threshold: usize,
+}
+
+impl Default for WavefrontConfig {
+    fn default() -> Self {
+        WavefrontConfig { parallel_threshold: 4096 }
+    }
+}
+
+/// Solve recurrence (*) by parallel anti-diagonal sweeps.
+pub fn solve_wavefront<W: Weight, P: DpProblem<W> + Sync + ?Sized>(
+    problem: &P,
+    config: &WavefrontConfig,
+) -> WTable<W> {
+    let n = problem.n();
+    let mut w = WTable::new(n);
+    for i in 0..n {
+        w.set(i, i + 1, problem.init(i));
+    }
+    let mut diag: Vec<W> = Vec::with_capacity(n);
+    for d in 2..=n {
+        let cells = n - d + 1;
+        let cell_value = |i: usize, w: &WTable<W>| {
+            let j = i + d;
+            let mut best = W::INFINITY;
+            for k in i + 1..j {
+                let cand = w.get(i, k).add(w.get(k, j)).add(problem.f(i, k, j));
+                best = best.min2(cand);
+            }
+            best
+        };
+        diag.clear();
+        if cells * (d - 1) >= config.parallel_threshold {
+            (0..cells).into_par_iter().map(|i| cell_value(i, &w)).collect_into_vec(&mut diag);
+        } else {
+            diag.extend((0..cells).map(|i| cell_value(i, &w)));
+        }
+        for (i, &v) in diag.iter().enumerate() {
+            w.set(i, i + d, v);
+        }
+    }
+    w
+}
+
+/// Convenience wrapper with default tuning.
+pub fn solve_wavefront_default<W: Weight, P: DpProblem<W> + Sync + ?Sized>(
+    problem: &P,
+) -> WTable<W> {
+    solve_wavefront(problem, &WavefrontConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnProblem;
+    use crate::seq::solve_sequential;
+
+    fn chain(dims: Vec<u64>) -> impl DpProblem<u64> {
+        let n = dims.len() - 1;
+        FnProblem::new(n, |_| 0u64, move |i, k, j| dims[i] * dims[k] * dims[j])
+    }
+
+    #[test]
+    fn wavefront_matches_sequential_small() {
+        let p = chain(vec![30, 35, 15, 5, 10, 20, 25]);
+        let seq = solve_sequential(&p);
+        let par = solve_wavefront_default(&p);
+        assert!(seq.table_eq(&par));
+        assert_eq!(par.root(), 15125);
+    }
+
+    #[test]
+    fn wavefront_matches_sequential_random() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        for n in [2usize, 3, 5, 17, 40, 80] {
+            let dims: Vec<u64> = (0..=n).map(|_| rng.gen_range(1..64)).collect();
+            let p = chain(dims);
+            let seq = solve_sequential(&p);
+            // Force the parallel path with a zero threshold.
+            let par = solve_wavefront(&p, &WavefrontConfig { parallel_threshold: 0 });
+            assert!(seq.table_eq(&par), "n={n}");
+        }
+    }
+
+    #[test]
+    fn threshold_zero_and_huge_agree() {
+        let p = chain(vec![7, 3, 9, 4, 12, 5, 8, 6, 10]);
+        let a = solve_wavefront(&p, &WavefrontConfig { parallel_threshold: 0 });
+        let b = solve_wavefront(&p, &WavefrontConfig { parallel_threshold: usize::MAX });
+        assert!(a.table_eq(&b));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the solvers on arbitrary non-negative cost
+//! structures: exactness against the DP-free brute-force oracle,
+//! cross-solver agreement, monotone convergence and witness validity.
+
+use pardp_core::ops::{a_activate_dense, a_pebble_dense, a_square_dense};
+use pardp_core::prelude::*;
+use pardp_core::problem::TabulatedProblem;
+use pardp_core::reconstruct::{reconstruct_root, tree_cost};
+use pardp_core::seq::brute_force_value;
+use pardp_core::tables::{DensePw, PairIndexer, WTable};
+use proptest::prelude::*;
+
+/// Strategy: a complete instance (init values + f values) for size n.
+fn instance_strategy(n: usize) -> impl Strategy<Value = TabulatedProblem<u64>> {
+    let m = n + 1;
+    (
+        proptest::collection::vec(0u64..100, n),
+        proptest::collection::vec(0u64..100, m * m * m),
+    )
+        .prop_map(move |(init, f)| {
+            TabulatedProblem::new(init, |i, k, j| f[(i * m + k) * m + j])
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sequential_matches_brute_force(n in 1usize..8, seed in 0u64..u64::MAX) {
+        let p = make_instance(n, seed);
+        let w = solve_sequential(&p);
+        prop_assert_eq!(w.root(), brute_force_value(&p, 0, n));
+    }
+
+    #[test]
+    fn all_parallel_solvers_match_sequential(p in instance_strategy(9)) {
+        let oracle = solve_sequential(&p);
+        let cfg = SolverConfig {
+            exec: ExecMode::Sequential,
+            termination: Termination::FixedSqrtN,
+            record_trace: false,
+        };
+        prop_assert!(solve_sublinear(&p, &cfg).w.table_eq(&oracle));
+        let rcfg = ReducedConfig { exec: ExecMode::Sequential, ..Default::default() };
+        prop_assert!(solve_reduced(&p, &rcfg).w.table_eq(&oracle));
+        let ycfg = RytterConfig { exec: ExecMode::Sequential, ..Default::default() };
+        prop_assert!(solve_rytter(&p, &ycfg).w.table_eq(&oracle));
+        prop_assert!(solve_wavefront_default(&p).table_eq(&oracle));
+    }
+
+    #[test]
+    fn w_values_decrease_monotonically_and_stay_sound(p in instance_strategy(8)) {
+        // Drive the ops manually: every w'(i,j) is non-increasing over
+        // iterations and never dips below the true optimum.
+        let n = 8usize;
+        let truth = solve_sequential(&p);
+        let mut w = WTable::new(n);
+        for i in 0..n {
+            w.set(i, i + 1, p.init(i));
+        }
+        let mut pw = DensePw::new(n);
+        let mut pw_next = DensePw::new(n);
+        let mut w_next = w.clone();
+        for _ in 0..2 * pardp_pebble::ceil_sqrt(n as u64) {
+            let before = w.clone();
+            a_activate_dense(&p, &w, &mut pw, false);
+            a_square_dense(&pw, &mut pw_next, false);
+            std::mem::swap(&mut pw, &mut pw_next);
+            a_pebble_dense(&pw, &w, &mut w_next, false);
+            std::mem::swap(&mut w, &mut w_next);
+            for i in 0..n {
+                for j in i + 1..=n {
+                    prop_assert!(w.get(i, j) <= before.get(i, j), "monotone ({i},{j})");
+                    prop_assert!(w.get(i, j) >= truth.get(i, j), "sound ({i},{j})");
+                }
+            }
+        }
+        prop_assert!(w.table_eq(&truth));
+    }
+
+    #[test]
+    fn reconstruction_witnesses_the_optimum(p in instance_strategy(9)) {
+        let w = solve_sequential(&p);
+        let tree = reconstruct_root(&p, &w).unwrap();
+        prop_assert_eq!(tree_cost(&p, &tree), w.root());
+        prop_assert_eq!(tree.n_leaves(), 9);
+    }
+
+    #[test]
+    fn pair_indexer_roundtrip(n in 1usize..200) {
+        let idx = PairIndexer::new(n);
+        for a in 0..idx.len() {
+            let (i, j) = idx.pair(a);
+            prop_assert!(i < j && j <= n);
+            prop_assert_eq!(idx.index(i, j), a);
+        }
+    }
+
+    #[test]
+    fn knuth_agrees_on_quadrangle_instances(
+        weights in proptest::collection::vec(1u64..50, 2..25)
+    ) {
+        // f(i,k,j) = interval weight sum: satisfies the quadrangle
+        // inequality, so Knuth's speedup must be exact.
+        let n = weights.len() - 1;
+        let mut prefix = vec![0u64];
+        for &x in &weights {
+            prefix.push(prefix.last().unwrap() + x);
+        }
+        let p = FnProblem::new(n, |_| 1u64, move |i, _k, j| prefix[j] - prefix[i]);
+        let full = solve_sequential(&p);
+        let fast = solve_knuth(&p);
+        prop_assert!(full.table_eq(&fast));
+    }
+
+    #[test]
+    fn termination_policies_agree(p in instance_strategy(8)) {
+        let fixed = solve_sublinear(&p, &SolverConfig {
+            exec: ExecMode::Sequential,
+            termination: Termination::FixedSqrtN,
+            record_trace: false,
+        });
+        for term in [Termination::Fixpoint, Termination::WStableTwice] {
+            let sol = solve_sublinear(&p, &SolverConfig {
+                exec: ExecMode::Sequential,
+                termination: term,
+                record_trace: false,
+            });
+            prop_assert!(sol.w.table_eq(&fixed.w));
+            prop_assert!(sol.trace.iterations <= fixed.trace.iterations);
+        }
+    }
+}
+
+/// Deterministic instance from a seed (cheaper than a full vec strategy
+/// for the brute-force comparison, where n varies).
+fn make_instance(n: usize, seed: u64) -> TabulatedProblem<u64> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m = n + 1;
+    let init: Vec<u64> = (0..n).map(|_| rng.gen_range(0..100)).collect();
+    let f: Vec<u64> = (0..m * m * m).map(|_| rng.gen_range(0..100)).collect();
+    TabulatedProblem::new(init, |i, k, j| f[(i * m + k) * m + j])
+}

@@ -1,0 +1,234 @@
+//! Average-case analysis of the game (§6).
+//!
+//! Under the model that every internal node splits its leaves at a
+//! uniformly random position, the paper bounds the expected number of
+//! moves by the recurrence
+//!
+//! ```text
+//! T(1) = 0,
+//! T(n) = 1 + (1 / (n-1)) * sum_{i=1}^{n-1} max(T(i), T(n-i)),
+//! ```
+//!
+//! which is `O(log n)` — so the algorithm typically finishes in
+//! `O(log^2 n)` time rather than the worst-case `O(sqrt(n) log n)`.
+//!
+//! This module evaluates the recurrence exactly (using monotonicity of `T`
+//! and prefix sums, `O(n)` per value) and gathers empirical move counts on
+//! random trees for comparison. The recurrence models "a node pebbles one
+//! move after its slower child" and ignores the square acceleration, so it
+//! upper-bounds the expected empirical count; both are `Theta(log n)`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::game::{moves_to_pebble, SquareRule};
+use crate::gen;
+
+/// Evaluate `T(1..=n_max)` of the §6 recurrence exactly.
+///
+/// Uses the monotonicity of `T` (verified by a test) to rewrite
+/// `sum_i max(T(i), T(n-i))` with prefix sums, so the whole table costs
+/// `O(n_max)` time.
+pub fn recurrence_t(n_max: usize) -> Vec<f64> {
+    assert!(n_max >= 1);
+    let mut t = vec![0.0f64; n_max + 1];
+    // prefix[m] = sum_{j=1}^{m} T(j)
+    let mut prefix = vec![0.0f64; n_max + 1];
+    for n in 2..=n_max {
+        let sum_max = if n % 2 == 0 {
+            let half = n / 2;
+            2.0 * (prefix[n - 1] - prefix[half]) + t[half]
+        } else {
+            let lo = n.div_ceil(2);
+            2.0 * (prefix[n - 1] - prefix[lo - 1])
+        };
+        t[n] = 1.0 + sum_max / (n - 1) as f64;
+        prefix[n] = prefix[n - 1] + t[n];
+    }
+    // Fill prefix[1] retroactively unused; t[0] unused.
+    t
+}
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SampleStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for single samples).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+impl SampleStats {
+    /// Compute statistics from raw values.
+    ///
+    /// # Panics
+    /// If `values` is empty.
+    pub fn from_values(values: &[u64]) -> Self {
+        assert!(!values.is_empty());
+        let n = values.len() as f64;
+        let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var = if values.len() > 1 {
+            values.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        SampleStats {
+            mean,
+            std_dev: var.sqrt(),
+            min: *values.iter().min().unwrap(),
+            max: *values.iter().max().unwrap(),
+            samples: values.len(),
+        }
+    }
+}
+
+/// The random-tree model to sample from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RandomModel {
+    /// Uniform split positions (the paper's §6 model).
+    UniformSplit,
+    /// Uniform over binary tree shapes (Catalan / Rémy).
+    Catalan,
+}
+
+/// Empirical distribution of game move counts on random trees with
+/// `n` leaves.
+pub fn empirical_moves(
+    n: usize,
+    trials: usize,
+    model: RandomModel,
+    rule: SquareRule,
+    seed: u64,
+) -> SampleStats {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let values: Vec<u64> = (0..trials)
+        .map(|_| {
+            let tree = match model {
+                RandomModel::UniformSplit => gen::random_split(n, &mut rng),
+                RandomModel::Catalan => gen::random_remy(n, &mut rng),
+            };
+            moves_to_pebble(&tree, rule)
+        })
+        .collect();
+    SampleStats::from_values(&values)
+}
+
+/// Fit `y ~ a * x^b` by least squares on `(ln x, ln y)`; returns `(a, b)`.
+/// Used by the experiment harnesses to report growth exponents (e.g. the
+/// `~0.5` exponent of the zigzag worst case).
+pub fn fit_power_law(points: &[(f64, f64)]) -> (f64, f64) {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|(x, _)| x).sum();
+    let sy: f64 = logs.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = logs.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| x * y).sum();
+    let b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let a = ((sy - b * sx) / n).exp();
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recurrence_base_cases() {
+        let t = recurrence_t(4);
+        assert_eq!(t[1], 0.0);
+        assert_eq!(t[2], 1.0); // only split is (1,1): max(0,0)+1
+        // T(3) = 1 + (max(T1,T2) + max(T2,T1)) / 2 = 1 + T2 = 2.
+        assert!((t[3] - 2.0).abs() < 1e-12);
+        // T(4) = 1 + (T3 + T2 + T3)/3 = 1 + 5/3.
+        assert!((t[4] - (1.0 + 5.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recurrence_matches_direct_evaluation() {
+        // Cross-check the prefix-sum evaluation against the O(n^2) direct
+        // form for small n.
+        let fast = recurrence_t(200);
+        let mut direct = vec![0.0f64; 201];
+        for n in 2..=200usize {
+            let mut s = 0.0;
+            for i in 1..n {
+                s += direct[i].max(direct[n - i]);
+            }
+            direct[n] = 1.0 + s / (n - 1) as f64;
+        }
+        for n in 1..=200 {
+            assert!((fast[n] - direct[n]).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn recurrence_is_monotone_and_logarithmic() {
+        let t = recurrence_t(20_000);
+        for n in 2..=20_000usize {
+            assert!(t[n] + 1e-12 >= t[n - 1], "monotone at {n}");
+        }
+        // O(log n): T(n) / ln(n) should be bounded by a small constant.
+        for n in [100usize, 1_000, 10_000, 20_000] {
+            let ratio = t[n] / (n as f64).ln();
+            assert!(ratio < 4.0, "n={n} ratio={ratio}");
+            assert!(ratio > 0.5, "n={n} ratio={ratio}");
+        }
+        // Growth from n to n^2 should about double T (log behaviour).
+        let r = t[10_000] / t[100];
+        assert!(r > 1.5 && r < 2.6, "T(10000)/T(100) = {r}");
+    }
+
+    #[test]
+    fn empirical_moves_are_logarithmic_on_average() {
+        let t = recurrence_t(512);
+        for n in [64usize, 256, 512] {
+            let stats =
+                empirical_moves(n, 60, RandomModel::UniformSplit, SquareRule::Modified, 42);
+            // The recurrence upper-bounds the mean (it ignores square
+            // acceleration); allow a +1 cushion for sampling noise.
+            assert!(
+                stats.mean <= t[n] + 1.0,
+                "n={n}: mean {} vs T(n) {}",
+                stats.mean,
+                t[n]
+            );
+            // And the mean must be clearly sub-sqrt.
+            assert!(stats.mean < (n as f64).sqrt(), "n={n} mean={}", stats.mean);
+        }
+    }
+
+    #[test]
+    fn sample_stats_basics() {
+        let s = SampleStats::from_values(&[2, 4, 6]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 6);
+        assert_eq!(s.samples, 3);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        let single = SampleStats::from_values(&[7]);
+        assert_eq!(single.std_dev, 0.0);
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exponents() {
+        let pts: Vec<(f64, f64)> = (1..=20).map(|i| {
+            let x = (i * 10) as f64;
+            (x, 3.0 * x.powf(0.5))
+        }).collect();
+        let (a, b) = fit_power_law(&pts);
+        assert!((b - 0.5).abs() < 1e-9, "b={b}");
+        assert!((a - 3.0).abs() < 1e-6, "a={a}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Heavy-chain decomposition from the proof of Lemma 3.3 (Fig. 1).
+//!
+//! For a node `x` with `i^2 < size(x) <= (i+1)^2`, at most one child of any
+//! node on the way down can have size exceeding `i^2` (two would give
+//! `size > 2 i^2 + 2 > (i+1)^2` for `i > 1`). Following those heavy
+//! children yields a **chain** `v_1 = x, ..., v_k` ending at the first node
+//! both of whose children have size `<= i^2`. The proof shows `k <= 2i + 1`
+//! because the off-chain subtree sizes `n_1..n_{k-1}` are each at least 1
+//! and sum to at most `2i`.
+//!
+//! The same decomposition powers the §5 processor reduction: a tree with
+//! `i^2 < size <= (i+1)^2` splits into a partial tree with a small
+//! root-to-gap size difference (`<= 2i`) and a subtree in the previous
+//! size window — which is why only banded partial weights
+//! (`(j-i)-(q-p) <= 2*ceil(sqrt(n))`) are ever needed.
+
+use crate::tree::{FullBinaryTree, NodeId};
+
+/// A heavy chain (see module docs).
+#[derive(Debug, Clone)]
+pub struct Chain {
+    /// Chain nodes `v_1 = x, ..., v_k`, each of size `> threshold^2`.
+    pub nodes: Vec<NodeId>,
+    /// The window parameter `i`.
+    pub threshold: u32,
+    /// Sizes `n_j` of the off-chain child of `v_j` for `j < k`, plus the
+    /// sizes `n_k`, `n_{k+1}` of the last node's two children.
+    pub side_sizes: Vec<u32>,
+}
+
+impl Chain {
+    /// Chain length `k`.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the chain is a single node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Compute the heavy chain of `x` for window parameter `i` (`threshold`):
+/// follow children of size `> i^2` until both children are `<= i^2`.
+///
+/// # Panics
+/// If `size(x) <= i^2` (then `x` is not in the window) or `x` is a leaf
+/// with `i >= 1`.
+pub fn heavy_chain(tree: &FullBinaryTree, x: NodeId, threshold: u32) -> Chain {
+    let t2 = threshold as u64 * threshold as u64;
+    assert!(
+        tree.size(x) as u64 > t2,
+        "chain root must have size > i^2 (size={}, i={})",
+        tree.size(x),
+        threshold
+    );
+    let mut nodes = vec![x];
+    let mut side_sizes = Vec::new();
+    let mut v = x;
+    loop {
+        let node = tree.node(v);
+        let (l, r) = match (node.left, node.right) {
+            (Some(l), Some(r)) => (l, r),
+            _ => break, // a heavy leaf can only happen for threshold = 0
+        };
+        let (ls, rs) = (tree.size(l) as u64, tree.size(r) as u64);
+        debug_assert!(
+            !(ls > t2 && rs > t2) || threshold <= 1,
+            "at most one child can exceed i^2 for i > 1"
+        );
+        if ls > t2 {
+            side_sizes.push(rs as u32);
+            nodes.push(l);
+            v = l;
+        } else if rs > t2 {
+            side_sizes.push(ls as u32);
+            nodes.push(r);
+            v = r;
+        } else {
+            side_sizes.push(ls as u32);
+            side_sizes.push(rs as u32);
+            break;
+        }
+    }
+    Chain { nodes, threshold, side_sizes }
+}
+
+/// The window parameter of a node: the unique `i >= 0` with
+/// `i^2 < size(x) <= (i+1)^2`.
+pub fn window_of(size: u32) -> u32 {
+    // i = ceil(sqrt(size)) - 1.
+    (crate::ceil_sqrt(size as u64) as u32).saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn window_of_is_the_inverse_square() {
+        for size in 1..=1000u32 {
+            let i = window_of(size) as u64;
+            let s = size as u64;
+            assert!(i * i < s, "size={size} i={i}");
+            assert!(s <= (i + 1) * (i + 1), "size={size} i={i}");
+        }
+    }
+
+    #[test]
+    fn chain_length_bound_on_all_shapes() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut trees = vec![
+            gen::complete(90),
+            gen::skewed(90, gen::Side::Left),
+            gen::zigzag(90),
+        ];
+        for _ in 0..30 {
+            trees.push(gen::random_split(2 + rand::Rng::gen_range(&mut rng, 0..150usize), &mut rng));
+        }
+        for t in &trees {
+            for x in t.node_ids() {
+                let size = t.size(x);
+                if size < 2 {
+                    continue;
+                }
+                let i = window_of(size);
+                if i == 0 {
+                    continue;
+                }
+                let chain = heavy_chain(t, x, i);
+                assert!(
+                    chain.len() as u64 <= 2 * i as u64 + 1,
+                    "size={size} i={i} k={}",
+                    chain.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_nodes_are_heavy_and_terminal_is_light() {
+        let t = gen::zigzag(100);
+        let root = t.root();
+        let i = window_of(t.size(root));
+        let chain = heavy_chain(&t, root, i);
+        let t2 = (i as u64) * (i as u64);
+        for &v in &chain.nodes {
+            assert!(t.size(v) as u64 > t2);
+        }
+        let last = *chain.nodes.last().unwrap();
+        if let (Some(l), Some(r)) = (t.node(last).left, t.node(last).right) {
+            assert!(t.size(l) as u64 <= t2);
+            assert!(t.size(r) as u64 <= t2);
+        }
+    }
+
+    #[test]
+    fn side_sizes_sum_bound() {
+        // n_1 + ... + n_{k+1} = size(x); the first k-1 sum to <= 2i when
+        // size(x) <= (i+1)^2 and size(v_k) > i^2.
+        let mut rng = SmallRng::seed_from_u64(23);
+        for _ in 0..20 {
+            let n = 5 + rand::Rng::gen_range(&mut rng, 0..200usize);
+            let t = gen::random_split(n, &mut rng);
+            let root = t.root();
+            let i = window_of(t.size(root));
+            if i == 0 {
+                continue;
+            }
+            let chain = heavy_chain(&t, root, i);
+            let total: u64 = chain.side_sizes.iter().map(|&s| s as u64).sum();
+            assert_eq!(total, t.size(root) as u64, "side sizes partition the leaves");
+            if chain.len() >= 2 {
+                let off_chain: u64 = chain.side_sizes[..chain.len() - 1]
+                    .iter()
+                    .map(|&s| s as u64)
+                    .sum();
+                assert!(
+                    off_chain <= 2 * i as u64,
+                    "n={n} off-chain sum {off_chain} > 2i = {}",
+                    2 * i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_on_complete_tree_is_short() {
+        let t = gen::complete(256);
+        let i = window_of(256); // 15 (15^2=225 < 256 <= 256)
+        let chain = heavy_chain(&t, t.root(), i);
+        // Balanced halving exits the window quickly: one step halves size.
+        assert!(chain.len() <= 3, "k={}", chain.len());
+    }
+}

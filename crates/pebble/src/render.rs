@@ -1,0 +1,125 @@
+//! ASCII renderings of tree shapes — regenerates the paper's Fig. 2
+//! illustrations (zigzag, complete and skewed binary trees).
+
+use crate::tree::{FullBinaryTree, NodeId};
+
+/// Render the tree as an indented outline, one node per line:
+///
+/// ```text
+/// (0,8) n=8
+/// ├─(0,7) n=7
+/// │ ├─(0,1)
+/// ...
+/// ```
+pub fn render_indented(tree: &FullBinaryTree) -> String {
+    let labels = tree.interval_labels();
+    let mut out = String::new();
+    fn rec(
+        tree: &FullBinaryTree,
+        labels: &[(usize, usize)],
+        x: NodeId,
+        prefix: &str,
+        is_last: bool,
+        is_root: bool,
+        out: &mut String,
+    ) {
+        let (i, j) = labels[x];
+        if is_root {
+            out.push_str(&format!("({i},{j}) n={}\n", tree.size(x)));
+        } else {
+            let branch = if is_last { "└─" } else { "├─" };
+            if tree.is_leaf(x) {
+                out.push_str(&format!("{prefix}{branch}({i},{j})\n"));
+            } else {
+                out.push_str(&format!("{prefix}{branch}({i},{j}) n={}\n", tree.size(x)));
+            }
+        }
+        if let (Some(l), Some(r)) = (tree.node(x).left, tree.node(x).right) {
+            let child_prefix = if is_root {
+                String::new()
+            } else {
+                format!("{prefix}{}", if is_last { "  " } else { "│ " })
+            };
+            rec(tree, labels, l, &child_prefix, false, false, out);
+            rec(tree, labels, r, &child_prefix, true, false, out);
+        }
+    }
+    rec(tree, &labels, tree.root(), "", true, true, &mut out);
+    out
+}
+
+/// Render as a bracket expression with `·` leaves: `((··)·)` etc.
+pub fn render_brackets(tree: &FullBinaryTree) -> String {
+    fn rec(tree: &FullBinaryTree, x: NodeId, out: &mut String) {
+        match (tree.node(x).left, tree.node(x).right) {
+            (Some(l), Some(r)) => {
+                out.push('(');
+                rec(tree, l, out);
+                rec(tree, r, out);
+                out.push(')');
+            }
+            _ => out.push('·'),
+        }
+    }
+    let mut out = String::new();
+    rec(tree, tree.root(), &mut out);
+    out
+}
+
+/// A one-line profile of the spine: for caterpillar-like trees, the
+/// sequence of turns (`L`/`R`) taken by the largest-child path from the
+/// root. The zigzag tree of Fig. 2a reads `LRLRLR…` and the skewed tree of
+/// Fig. 2b reads `LLLL…`.
+pub fn spine_profile(tree: &FullBinaryTree) -> String {
+    let mut out = String::new();
+    let mut x = tree.root();
+    while let (Some(l), Some(r)) = (tree.node(x).left, tree.node(x).right) {
+        if tree.size(l) >= tree.size(r) {
+            out.push('L');
+            x = l;
+        } else {
+            out.push('R');
+            x = r;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn brackets_of_small_trees() {
+        assert_eq!(render_brackets(&gen::complete(1)), "·");
+        assert_eq!(render_brackets(&gen::complete(2)), "(··)");
+        assert_eq!(render_brackets(&gen::skewed(3, gen::Side::Left)), "((··)·)");
+        assert_eq!(render_brackets(&gen::skewed(3, gen::Side::Right)), "(·(··))");
+    }
+
+    #[test]
+    fn bracket_length_is_linear() {
+        let t = gen::zigzag(50);
+        let s = render_brackets(&t);
+        // 50 leaves + 49 internal nodes with two brackets each.
+        assert_eq!(s.chars().count(), 50 + 2 * 49);
+    }
+
+    #[test]
+    fn spine_profiles_match_fig2() {
+        let zig = spine_profile(&gen::zigzag(9));
+        assert!(zig.starts_with("LRLR") || zig.starts_with("RLRL"), "{zig}");
+        let skew = spine_profile(&gen::skewed(9, gen::Side::Left));
+        assert!(skew.chars().all(|c| c == 'L'), "{skew}");
+    }
+
+    #[test]
+    fn indented_contains_all_intervals() {
+        let t = gen::complete(4);
+        let s = render_indented(&t);
+        for needle in ["(0,4)", "(0,2)", "(2,4)", "(0,1)", "(1,2)", "(2,3)", "(3,4)"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! Arena-allocated full binary trees.
+//!
+//! The pebbling game needs, per node: children, parent, the subtree **size**
+//! (number of leaves — Definition 3.2 of the paper), and constant-time
+//! ancestor tests (for the modified square move). Nodes live in a flat
+//! arena and are addressed by [`NodeId`], so the whole game state is a pair
+//! of flat vectors — cache-friendly and trivially cloneable.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in the tree arena.
+pub type NodeId = usize;
+
+/// A node of a full binary tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Left child, if internal.
+    pub left: Option<NodeId>,
+    /// Right child, if internal.
+    pub right: Option<NodeId>,
+    /// Parent, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Number of leaves in the subtree rooted here (`size` in the paper).
+    pub size: u32,
+    /// Depth from the root (root has depth 0).
+    pub depth: u32,
+}
+
+impl Node {
+    /// Whether this node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.left.is_none()
+    }
+}
+
+/// An immutable full binary tree with precomputed sizes, depths and
+/// Euler-tour intervals for O(1) ancestor queries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FullBinaryTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+    n_leaves: usize,
+    /// Euler-tour entry times.
+    tin: Vec<u32>,
+    /// Euler-tour exit times.
+    tout: Vec<u32>,
+}
+
+/// Incremental builder for [`FullBinaryTree`].
+///
+/// ```
+/// use pardp_pebble::tree::TreeBuilder;
+/// let mut b = TreeBuilder::new();
+/// let l1 = b.leaf();
+/// let l2 = b.leaf();
+/// let l3 = b.leaf();
+/// let inner = b.internal(l1, l2);
+/// let root = b.internal(inner, l3);
+/// let tree = b.build(root);
+/// assert_eq!(tree.n_leaves(), 3);
+/// assert_eq!(tree.size(root), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct TreeBuilder {
+    nodes: Vec<Node>,
+}
+
+impl TreeBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        TreeBuilder { nodes: Vec::new() }
+    }
+
+    /// Builder with preallocated capacity for a tree with `n_leaves` leaves
+    /// (which has exactly `2 * n_leaves - 1` nodes).
+    pub fn with_leaf_capacity(n_leaves: usize) -> Self {
+        TreeBuilder { nodes: Vec::with_capacity(2 * n_leaves.max(1) - 1) }
+    }
+
+    /// Add a leaf; returns its id.
+    pub fn leaf(&mut self) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node { left: None, right: None, parent: None, size: 1, depth: 0 });
+        id
+    }
+
+    /// Add an internal node over two existing, parentless nodes.
+    ///
+    /// # Panics
+    /// If either child does not exist or already has a parent (which would
+    /// make the structure a DAG, not a tree).
+    pub fn internal(&mut self, left: NodeId, right: NodeId) -> NodeId {
+        assert!(left < self.nodes.len() && right < self.nodes.len(), "child out of range");
+        assert_ne!(left, right, "children must be distinct");
+        assert!(self.nodes[left].parent.is_none(), "left child already has a parent");
+        assert!(self.nodes[right].parent.is_none(), "right child already has a parent");
+        let id = self.nodes.len();
+        let size = self.nodes[left].size + self.nodes[right].size;
+        self.nodes.push(Node { left: Some(left), right: Some(right), parent: None, size, depth: 0 });
+        self.nodes[left].parent = Some(id);
+        self.nodes[right].parent = Some(id);
+        id
+    }
+
+    /// Finalise the tree with the given root, computing depths and the
+    /// Euler tour.
+    ///
+    /// # Panics
+    /// If `root` has a parent, or if any built node is unreachable from
+    /// `root` (the builder must be used to build exactly one tree).
+    pub fn build(self, root: NodeId) -> FullBinaryTree {
+        let mut nodes = self.nodes;
+        assert!(root < nodes.len(), "root out of range");
+        assert!(nodes[root].parent.is_none(), "root must not have a parent");
+
+        let mut tin = vec![u32::MAX; nodes.len()];
+        let mut tout = vec![0u32; nodes.len()];
+        let mut clock = 0u32;
+        let mut n_leaves = 0usize;
+        // Iterative DFS: (node, entering?) to set depth / tin / tout.
+        let mut stack: Vec<(NodeId, bool)> = vec![(root, true)];
+        nodes[root].depth = 0;
+        while let Some((x, entering)) = stack.pop() {
+            if entering {
+                tin[x] = clock;
+                clock += 1;
+                stack.push((x, false));
+                let d = nodes[x].depth;
+                if let (Some(l), Some(r)) = (nodes[x].left, nodes[x].right) {
+                    nodes[l].depth = d + 1;
+                    nodes[r].depth = d + 1;
+                    stack.push((r, true));
+                    stack.push((l, true));
+                } else {
+                    n_leaves += 1;
+                }
+            } else {
+                tout[x] = clock;
+                clock += 1;
+            }
+        }
+        assert!(
+            tin.iter().all(|&t| t != u32::MAX),
+            "all built nodes must be reachable from the root"
+        );
+        assert_eq!(nodes.len(), 2 * n_leaves - 1, "tree must be full binary");
+        FullBinaryTree { nodes, root, n_leaves, tin, tout }
+    }
+}
+
+impl FullBinaryTree {
+    /// Number of leaves (`n` in the paper's analysis).
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// Total number of nodes (`2n - 1`).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Node accessor.
+    #[inline]
+    pub fn node(&self, x: NodeId) -> &Node {
+        &self.nodes[x]
+    }
+
+    /// Subtree size (number of leaves under `x`) — Definition 3.2.
+    #[inline]
+    pub fn size(&self, x: NodeId) -> u32 {
+        self.nodes[x].size
+    }
+
+    /// Whether `x` is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, x: NodeId) -> bool {
+        self.nodes[x].is_leaf()
+    }
+
+    /// Depth of `x` (root = 0).
+    #[inline]
+    pub fn depth(&self, x: NodeId) -> u32 {
+        self.nodes[x].depth
+    }
+
+    /// Height of the tree (max depth over nodes).
+    pub fn height(&self) -> u32 {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Whether `a` is an ancestor of `b`. **Every node is an ancestor of
+    /// itself**, matching the paper's convention in the square move.
+    #[inline]
+    pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        self.tin[a] <= self.tin[b] && self.tout[b] <= self.tout[a]
+    }
+
+    /// The child of `y` that is an ancestor of `z`, where `z` is a proper
+    /// descendant of `y`. Used verbatim by the modified square move.
+    ///
+    /// # Panics
+    /// If `z` is not a proper descendant of `y`.
+    #[inline]
+    pub fn child_towards(&self, y: NodeId, z: NodeId) -> NodeId {
+        debug_assert!(self.is_ancestor(y, z) && y != z, "z must be a proper descendant of y");
+        let l = self.nodes[y].left.expect("internal node");
+        if self.is_ancestor(l, z) {
+            l
+        } else {
+            let r = self.nodes[y].right.expect("internal node");
+            debug_assert!(self.is_ancestor(r, z));
+            r
+        }
+    }
+
+    /// All node ids (arena order).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.nodes.len()
+    }
+
+    /// Leaves in left-to-right order.
+    pub fn leaves_in_order(&self) -> Vec<NodeId> {
+        let mut leaves = Vec::with_capacity(self.n_leaves);
+        let mut stack = vec![self.root];
+        while let Some(x) = stack.pop() {
+            match (self.nodes[x].left, self.nodes[x].right) {
+                (Some(l), Some(r)) => {
+                    stack.push(r);
+                    stack.push(l);
+                }
+                _ => leaves.push(x),
+            }
+        }
+        leaves
+    }
+
+    /// Label every node with its dynamic-programming interval `(i, j)`:
+    /// the `t`-th leaf (left to right) gets `(t, t+1)` and an internal node
+    /// over intervals `(i, k)`, `(k, j)` gets `(i, j)` — exactly the node
+    /// names `(i, j)` used throughout the paper (§2, set `S`).
+    pub fn interval_labels(&self) -> Vec<(usize, usize)> {
+        let mut labels = vec![(usize::MAX, usize::MAX); self.nodes.len()];
+        let mut next_leaf = 0usize;
+        // Post-order so children are labelled before parents.
+        let mut stack: Vec<(NodeId, bool)> = vec![(self.root, true)];
+        while let Some((x, entering)) = stack.pop() {
+            if entering {
+                if let (Some(l), Some(r)) = (self.nodes[x].left, self.nodes[x].right) {
+                    stack.push((x, false));
+                    stack.push((r, true));
+                    stack.push((l, true));
+                } else {
+                    labels[x] = (next_leaf, next_leaf + 1);
+                    next_leaf += 1;
+                }
+            } else {
+                let l = self.nodes[x].left.unwrap();
+                let r = self.nodes[x].right.unwrap();
+                debug_assert_eq!(labels[l].1, labels[r].0, "children intervals must abut");
+                labels[x] = (labels[l].0, labels[r].1);
+            }
+        }
+        labels
+    }
+
+    /// Structural equality check useful in tests (ignores arena numbering).
+    pub fn same_shape(&self, other: &FullBinaryTree) -> bool {
+        fn rec(a: &FullBinaryTree, x: NodeId, b: &FullBinaryTree, y: NodeId) -> bool {
+            match ((a.nodes[x].left, a.nodes[x].right), (b.nodes[y].left, b.nodes[y].right)) {
+                ((None, None), (None, None)) => true,
+                ((Some(al), Some(ar)), (Some(bl), Some(br))) => {
+                    rec(a, al, b, bl) && rec(a, ar, b, br)
+                }
+                _ => false,
+            }
+        }
+        self.n_leaves == other.n_leaves && rec(self, self.root, other, other.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_leaf_tree() -> FullBinaryTree {
+        let mut b = TreeBuilder::new();
+        let l1 = b.leaf();
+        let l2 = b.leaf();
+        let l3 = b.leaf();
+        let inner = b.internal(l1, l2);
+        let root = b.internal(inner, l3);
+        b.build(root)
+    }
+
+    #[test]
+    fn sizes_and_counts() {
+        let t = three_leaf_tree();
+        assert_eq!(t.n_leaves(), 3);
+        assert_eq!(t.n_nodes(), 5);
+        assert_eq!(t.size(t.root()), 3);
+        assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn depths_are_levels() {
+        let t = three_leaf_tree();
+        assert_eq!(t.depth(t.root()), 0);
+        let inner = t.node(t.root()).left.unwrap();
+        assert_eq!(t.depth(inner), 1);
+        let l1 = t.node(inner).left.unwrap();
+        assert_eq!(t.depth(l1), 2);
+    }
+
+    #[test]
+    fn ancestor_queries() {
+        let t = three_leaf_tree();
+        let root = t.root();
+        let inner = t.node(root).left.unwrap();
+        let l1 = t.node(inner).left.unwrap();
+        let l3 = t.node(root).right.unwrap();
+        assert!(t.is_ancestor(root, l1));
+        assert!(t.is_ancestor(root, root));
+        assert!(t.is_ancestor(inner, l1));
+        assert!(!t.is_ancestor(l1, inner));
+        assert!(!t.is_ancestor(inner, l3));
+        assert_eq!(t.child_towards(root, l1), inner);
+        assert_eq!(t.child_towards(root, l3), l3);
+        assert_eq!(t.child_towards(inner, l1), l1);
+    }
+
+    #[test]
+    fn interval_labels_match_structure() {
+        let t = three_leaf_tree();
+        let labels = t.interval_labels();
+        assert_eq!(labels[t.root()], (0, 3));
+        let inner = t.node(t.root()).left.unwrap();
+        assert_eq!(labels[inner], (0, 2));
+        let leaves = t.leaves_in_order();
+        assert_eq!(labels[leaves[0]], (0, 1));
+        assert_eq!(labels[leaves[1]], (1, 2));
+        assert_eq!(labels[leaves[2]], (2, 3));
+    }
+
+    #[test]
+    fn leaves_in_order_is_left_to_right() {
+        let t = three_leaf_tree();
+        let leaves = t.leaves_in_order();
+        assert_eq!(leaves.len(), 3);
+        let labels = t.interval_labels();
+        for (idx, &leaf) in leaves.iter().enumerate() {
+            assert_eq!(labels[leaf], (idx, idx + 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a parent")]
+    fn builder_rejects_dags() {
+        let mut b = TreeBuilder::new();
+        let l1 = b.leaf();
+        let l2 = b.leaf();
+        let _x = b.internal(l1, l2);
+        let _y = b.internal(l1, l2); // l1 already has a parent
+    }
+
+    #[test]
+    #[should_panic(expected = "must be distinct")]
+    fn builder_rejects_shared_child() {
+        let mut b = TreeBuilder::new();
+        let l1 = b.leaf();
+        let _ = b.internal(l1, l1);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let mut b = TreeBuilder::new();
+        let l = b.leaf();
+        let t = b.build(l);
+        assert_eq!(t.n_leaves(), 1);
+        assert_eq!(t.n_nodes(), 1);
+        assert!(t.is_leaf(t.root()));
+    }
+
+    #[test]
+    fn same_shape_distinguishes() {
+        let a = three_leaf_tree();
+        let b = three_leaf_tree();
+        assert!(a.same_shape(&b));
+        let mut bb = TreeBuilder::new();
+        let l1 = bb.leaf();
+        let l2 = bb.leaf();
+        let l3 = bb.leaf();
+        let inner = bb.internal(l2, l3);
+        let root = bb.internal(l1, inner);
+        let c = bb.build(root);
+        assert!(!a.same_shape(&c));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the pebbling game on *arbitrary* full binary
+//! trees: Lemma 3.3 and its invariants must hold for every shape, not
+//! just the named generators.
+
+use pardp_pebble::game::{moves_to_pebble, PebbleGame};
+use pardp_pebble::gen::{from_shape, TreeShape};
+use pardp_pebble::invariants::play_checked;
+use pardp_pebble::{lemma_move_bound, SquareRule};
+use proptest::prelude::*;
+
+/// Strategy: arbitrary tree shapes with up to `max_leaves` leaves.
+fn shape_strategy(max_leaves: usize) -> impl Strategy<Value = TreeShape> {
+    let leaf = Just(TreeShape::Leaf).boxed();
+    leaf.prop_recursive(12, max_leaves as u32, 2, |inner| {
+        (inner.clone(), inner)
+            .prop_map(|(l, r)| TreeShape::Node(Box::new(l), Box::new(r)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lemma_bound_holds_for_arbitrary_shapes(shape in shape_strategy(64)) {
+        let tree = from_shape(&shape);
+        let n = tree.n_leaves();
+        let moves = moves_to_pebble(&tree, SquareRule::Modified);
+        prop_assert!(moves <= lemma_move_bound(n), "{moves} > bound for n={n}");
+    }
+
+    #[test]
+    fn pointer_jump_never_slower(shape in shape_strategy(48)) {
+        let tree = from_shape(&shape);
+        let modified = moves_to_pebble(&tree, SquareRule::Modified);
+        let jump = moves_to_pebble(&tree, SquareRule::PointerJump);
+        prop_assert!(jump <= modified, "jump {jump} > modified {modified}");
+    }
+
+    #[test]
+    fn invariants_hold_for_arbitrary_shapes(shape in shape_strategy(48)) {
+        let tree = from_shape(&shape);
+        let mut game = PebbleGame::new(&tree, SquareRule::Modified);
+        let result = play_checked(&mut game);
+        prop_assert!(result.is_ok(), "violation: {:?}", result.err());
+    }
+
+    #[test]
+    fn moves_bounded_by_height_plus_one(shape in shape_strategy(48)) {
+        // A node pebbles at most one move after its slower child, so the
+        // game never needs more than height+1 moves.
+        let tree = from_shape(&shape);
+        let moves = moves_to_pebble(&tree, SquareRule::Modified);
+        prop_assert!(moves <= tree.height() as u64 + 1,
+            "{moves} > height {} + 1", tree.height());
+    }
+
+    #[test]
+    fn interval_labels_partition_leaves(shape in shape_strategy(48)) {
+        let tree = from_shape(&shape);
+        let labels = tree.interval_labels();
+        let n = tree.n_leaves();
+        // Root covers (0, n); leaf labels are exactly (t, t+1) for t in 0..n.
+        prop_assert_eq!(labels[tree.root()], (0, n));
+        let mut leaf_starts: Vec<usize> = tree
+            .node_ids()
+            .filter(|&x| tree.is_leaf(x))
+            .map(|x| {
+                let (i, j) = labels[x];
+                assert_eq!(j, i + 1);
+                i
+            })
+            .collect();
+        leaf_starts.sort_unstable();
+        prop_assert_eq!(leaf_starts, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn subtree_sizes_are_consistent(shape in shape_strategy(48)) {
+        let tree = from_shape(&shape);
+        for x in tree.node_ids() {
+            let node = tree.node(x);
+            match (node.left, node.right) {
+                (Some(l), Some(r)) => {
+                    prop_assert_eq!(tree.size(x), tree.size(l) + tree.size(r));
+                    prop_assert!(tree.is_ancestor(x, l) && tree.is_ancestor(x, r));
+                    prop_assert!(!tree.is_ancestor(l, r));
+                }
+                _ => prop_assert_eq!(tree.size(x), 1),
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic(shape in shape_strategy(32)) {
+        let tree = from_shape(&shape);
+        let mut g1 = PebbleGame::new(&tree, SquareRule::Modified);
+        let s1 = g1.play();
+        let mut g2 = PebbleGame::new(&tree, SquareRule::Modified);
+        let s2 = g2.play();
+        prop_assert_eq!(s1.moves, s2.moves);
+        prop_assert_eq!(s1.per_move.len(), s2.per_move.len());
+    }
+}

@@ -1,0 +1,202 @@
+//! Audited shared memory: CREW discipline checking.
+//!
+//! [`SharedArray`] wraps a flat vector and tracks, per synchronous step,
+//! which cells have been written. Under [`AuditMode::Full`] it reports
+//! * a second write to the same cell in one step (**exclusive-write
+//!   violation**), and
+//! * a read of a cell already written in the current step (**synchrony
+//!   violation**: on a PRAM, a step's reads all precede its writes, so an
+//!   emulation that observes the freshly written value is not executing the
+//!   PRAM program).
+//!
+//! The tracker costs one `u32` stamp per cell and O(1) per access, so fully
+//! audited runs remain practical for the table sizes used in tests
+//! (`n <= 24`, i.e. tens of millions of accesses).
+
+use crate::error::PramError;
+
+/// Whether accesses are audited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditMode {
+    /// Check every access against the CREW discipline.
+    Full,
+    /// No checking; `SharedArray` behaves like a plain vector.
+    Off,
+}
+
+/// A shared-memory array with per-step CREW access auditing.
+#[derive(Debug, Clone)]
+pub struct SharedArray<T> {
+    name: &'static str,
+    data: Vec<T>,
+    /// Step stamp of the last write to each cell; `0` means "never written
+    /// in any step" (step counters start at 1).
+    write_stamp: Vec<u32>,
+    step: u32,
+    mode: AuditMode,
+}
+
+impl<T: Clone> SharedArray<T> {
+    /// Create an array of `len` cells initialised to `init`.
+    pub fn new(name: &'static str, len: usize, init: T, mode: AuditMode) -> Self {
+        SharedArray {
+            name,
+            data: vec![init; len],
+            write_stamp: match mode {
+                AuditMode::Full => vec![0; len],
+                AuditMode::Off => Vec::new(),
+            },
+            step: 1,
+            mode,
+        }
+    }
+
+    /// Wrap an existing vector.
+    pub fn from_vec(name: &'static str, data: Vec<T>, mode: AuditMode) -> Self {
+        let len = data.len();
+        SharedArray {
+            name,
+            data,
+            write_stamp: match mode {
+                AuditMode::Full => vec![0; len],
+                AuditMode::Off => Vec::new(),
+            },
+            step: 1,
+            mode,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Advance to the next synchronous step: all write stamps of the
+    /// previous step become stale.
+    pub fn barrier(&mut self) {
+        self.step = self.step.checked_add(1).expect("step counter overflow");
+    }
+
+    /// Current step counter.
+    pub fn step(&self) -> u32 {
+        self.step
+    }
+
+    /// Audited read.
+    pub fn read(&self, index: usize) -> Result<T, PramError> {
+        if index >= self.data.len() {
+            return Err(PramError::OutOfBounds { array: self.name, index, len: self.data.len() });
+        }
+        if self.mode == AuditMode::Full && self.write_stamp[index] == self.step {
+            return Err(PramError::ReadAfterWriteInStep {
+                array: self.name,
+                index,
+                step: self.step as u64,
+            });
+        }
+        Ok(self.data[index].clone())
+    }
+
+    /// Audited exclusive write.
+    pub fn write(&mut self, index: usize, value: T) -> Result<(), PramError> {
+        if index >= self.data.len() {
+            return Err(PramError::OutOfBounds { array: self.name, index, len: self.data.len() });
+        }
+        if self.mode == AuditMode::Full {
+            if self.write_stamp[index] == self.step {
+                return Err(PramError::WriteConflict {
+                    array: self.name,
+                    index,
+                    step: self.step as u64,
+                });
+            }
+            self.write_stamp[index] = self.step;
+        }
+        self.data[index] = value;
+        Ok(())
+    }
+
+    /// Unchecked view of the underlying data (for inspection after a run).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consume the wrapper, returning the underlying vector.
+    pub fn into_inner(self) -> Vec<T> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_and_writes_roundtrip() {
+        let mut a = SharedArray::new("t", 4, 0i64, AuditMode::Full);
+        a.write(2, 42).unwrap();
+        a.barrier();
+        assert_eq!(a.read(2).unwrap(), 42);
+        assert_eq!(a.read(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn double_write_in_step_is_a_crew_violation() {
+        let mut a = SharedArray::new("t", 4, 0i64, AuditMode::Full);
+        a.write(1, 1).unwrap();
+        let err = a.write(1, 2).unwrap_err();
+        assert!(matches!(err, PramError::WriteConflict { index: 1, .. }));
+        // After a barrier the cell is writable again.
+        a.barrier();
+        a.write(1, 3).unwrap();
+        assert_eq!(a.as_slice()[1], 3);
+    }
+
+    #[test]
+    fn distinct_cells_in_one_step_are_fine() {
+        let mut a = SharedArray::new("t", 8, 0u32, AuditMode::Full);
+        for i in 0..8 {
+            a.write(i, i as u32).unwrap();
+        }
+        a.barrier();
+        for i in 0..8 {
+            assert_eq!(a.read(i).unwrap(), i as u32);
+        }
+    }
+
+    #[test]
+    fn read_after_write_in_same_step_is_flagged() {
+        let mut a = SharedArray::new("t", 4, 0i64, AuditMode::Full);
+        a.write(3, 7).unwrap();
+        let err = a.read(3).unwrap_err();
+        assert!(matches!(err, PramError::ReadAfterWriteInStep { index: 3, .. }));
+    }
+
+    #[test]
+    fn audit_off_allows_everything() {
+        let mut a = SharedArray::new("t", 2, 0i64, AuditMode::Off);
+        a.write(0, 1).unwrap();
+        a.write(0, 2).unwrap();
+        assert_eq!(a.read(0).unwrap(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut a = SharedArray::new("t", 2, 0i64, AuditMode::Full);
+        assert!(matches!(a.read(5), Err(PramError::OutOfBounds { .. })));
+        assert!(matches!(a.write(5, 0), Err(PramError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn from_vec_and_into_inner() {
+        let a = SharedArray::from_vec("t", vec![1, 2, 3], AuditMode::Full);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert_eq!(a.into_inner(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for CREW PRAM audit violations.
+
+use std::fmt;
+
+/// A violation of the PRAM execution discipline detected by an audited run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PramError {
+    /// Two (or more) processors wrote the same shared-memory cell within a
+    /// single synchronous step. This violates the *exclusive write* rule of
+    /// the CREW PRAM.
+    WriteConflict {
+        /// Name of the audited array.
+        array: &'static str,
+        /// Linear index of the conflicting cell.
+        index: usize,
+        /// Step counter at which the conflict occurred.
+        step: u64,
+    },
+    /// A processor read a cell that had already been written *within the
+    /// same synchronous step*. On a real PRAM, all reads of a step happen
+    /// before all writes, so a sequential emulation that observes the new
+    /// value diverges from PRAM semantics. We flag this as an error because
+    /// it almost always indicates a missing double buffer.
+    ReadAfterWriteInStep {
+        /// Name of the audited array.
+        array: &'static str,
+        /// Linear index of the offending cell.
+        index: usize,
+        /// Step counter at which the violation occurred.
+        step: u64,
+    },
+    /// An access was out of the bounds of the audited array.
+    OutOfBounds {
+        /// Name of the audited array.
+        array: &'static str,
+        /// Linear index of the offending access.
+        index: usize,
+        /// Length of the array.
+        len: usize,
+    },
+}
+
+impl fmt::Display for PramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PramError::WriteConflict { array, index, step } => write!(
+                f,
+                "CREW violation: concurrent writes to {array}[{index}] in step {step}"
+            ),
+            PramError::ReadAfterWriteInStep { array, index, step } => write!(
+                f,
+                "PRAM synchrony violation: read of {array}[{index}] after a write in step {step}"
+            ),
+            PramError::OutOfBounds { array, index, len } => {
+                write!(f, "out-of-bounds access: {array}[{index}] (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = PramError::WriteConflict { array: "pw", index: 7, step: 3 };
+        let s = e.to_string();
+        assert!(s.contains("pw[7]"));
+        assert!(s.contains("step 3"));
+        let e = PramError::ReadAfterWriteInStep { array: "w", index: 1, step: 9 };
+        assert!(e.to_string().contains("synchrony"));
+        let e = PramError::OutOfBounds { array: "w", index: 10, len: 10 };
+        assert!(e.to_string().contains("out-of-bounds"));
+    }
+}

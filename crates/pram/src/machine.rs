@@ -1,0 +1,180 @@
+//! The PRAM machine: a sequence of recorded synchronous phases.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{brent_time_of_layers, Metrics, PhaseRecord};
+
+/// A CREW PRAM execution recorder.
+///
+/// A `Pram` owns an ordered log of [`PhaseRecord`]s. Algorithms under study
+/// call [`Pram::map_phase`] / [`Pram::reduce_phase`] as they execute their
+/// parallel steps; the machine aggregates PRAM work, depth and processor
+/// demand, and can afterwards report the exact Brent-scheduled time on any
+/// processor count, per-operation breakdowns, and the processor–time
+/// product used by the paper's comparisons.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pram {
+    name: String,
+    phases: Vec<PhaseRecord>,
+    metrics: Metrics,
+}
+
+impl Pram {
+    /// Create an empty machine with a label used in reports.
+    pub fn new(name: impl Into<String>) -> Self {
+        Pram { name: name.into(), phases: Vec::new(), metrics: Metrics::default() }
+    }
+
+    /// The machine's label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record a flat parallel map of `tasks` unit operations
+    /// (work `tasks`, depth 1).
+    pub fn map_phase(&mut self, name: &str, tasks: u64) {
+        self.push(PhaseRecord::map(name, tasks));
+    }
+
+    /// Record `reductions` simultaneous balanced-tree reductions over
+    /// `fan_in` candidates each (work `reductions * (fan_in - 1)`, depth
+    /// `ceil(log2 fan_in)`).
+    pub fn reduce_phase(&mut self, name: &str, reductions: u64, fan_in: u64) {
+        self.push(PhaseRecord::reduce(name, reductions, fan_in));
+    }
+
+    /// Record a pre-built phase.
+    pub fn push(&mut self, phase: PhaseRecord) {
+        self.metrics.work += phase.work;
+        self.metrics.depth += phase.depth;
+        self.metrics.peak_processors = self.metrics.peak_processors.max(phase.peak_processors);
+        self.metrics.phases += 1;
+        self.phases.push(phase);
+    }
+
+    /// Aggregated metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The ordered phase log.
+    pub fn phases(&self) -> &[PhaseRecord] {
+        &self.phases
+    }
+
+    /// Exact execution time on `p` processors: each unit-depth layer of each
+    /// phase runs in `ceil(layer_work / p)` steps (Brent scheduling).
+    pub fn brent_time(&self, p: u64) -> u64 {
+        self.phases.iter().map(|ph| brent_time_of_layers(&ph.layers, p)).sum()
+    }
+
+    /// The smallest processor count for which the Brent time is within
+    /// `slack` steps of the unbounded-processor depth. This is the
+    /// "processors sufficient for the stated time bound" quantity the paper
+    /// reports (e.g. `O(n^5 / log n)` processors for `O(sqrt(n) log n)`
+    /// time): beyond it, more processors no longer help.
+    pub fn processors_for_depth(&self, slack_factor: f64) -> u64 {
+        let depth = self.metrics.depth.max(1);
+        let target = ((depth as f64) * slack_factor).ceil() as u64;
+        let mut lo = 1u64;
+        let mut hi = self.metrics.peak_processors.max(1);
+        if self.brent_time(hi) > target {
+            return hi;
+        }
+        // Binary search for the smallest p with brent_time(p) <= target.
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.brent_time(mid) <= target {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// Work aggregated by phase-name prefix (everything before the first
+    /// `'/'`), for per-operation breakdowns like
+    /// `a-activate` / `a-square` / `a-pebble`.
+    pub fn work_by_operation(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = Vec::new();
+        for ph in &self.phases {
+            let key = ph.name.split('/').next().unwrap_or(&ph.name).to_string();
+            match out.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, w)) => *w += ph.work,
+                None => out.push((key, ph.work)),
+            }
+        }
+        out
+    }
+
+    /// Merge another machine's log into this one (appending its phases).
+    pub fn absorb(&mut self, other: Pram) {
+        for ph in other.phases {
+            self.push(ph);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_across_phases() {
+        let mut pram = Pram::new("t");
+        pram.map_phase("a", 100);
+        pram.reduce_phase("b", 10, 16); // work 150, depth 4, peak 80
+        let m = pram.metrics();
+        assert_eq!(m.work, 100 + 150);
+        assert_eq!(m.depth, 1 + 4);
+        assert_eq!(m.peak_processors, 100);
+        assert_eq!(m.phases, 2);
+    }
+
+    #[test]
+    fn brent_time_sums_layers() {
+        let mut pram = Pram::new("t");
+        pram.map_phase("a", 100);
+        pram.reduce_phase("b", 1, 8); // layers 4,2,1
+        assert_eq!(pram.brent_time(1), 100 + 7);
+        assert_eq!(pram.brent_time(4), 25 + 1 + 1 + 1);
+        assert_eq!(pram.brent_time(1000), 1 + 3);
+    }
+
+    #[test]
+    fn processors_for_depth_is_monotone_boundary() {
+        let mut pram = Pram::new("t");
+        pram.map_phase("a", 1 << 16);
+        pram.reduce_phase("b", 1 << 8, 1 << 8);
+        let p = pram.processors_for_depth(1.0);
+        assert!(p >= 1);
+        assert!(pram.brent_time(p) <= pram.metrics().depth);
+        if p > 1 {
+            assert!(pram.brent_time(p - 1) > pram.metrics().depth);
+        }
+    }
+
+    #[test]
+    fn work_by_operation_groups_prefixes() {
+        let mut pram = Pram::new("t");
+        pram.map_phase("a-square/seed", 5);
+        pram.reduce_phase("a-square/min", 2, 4);
+        pram.map_phase("a-pebble/close", 7);
+        let groups = pram.work_by_operation();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], ("a-square".to_string(), 5 + 2 * 3));
+        assert_eq!(groups[1], ("a-pebble".to_string(), 7));
+    }
+
+    #[test]
+    fn absorb_appends() {
+        let mut a = Pram::new("a");
+        a.map_phase("x", 1);
+        let mut b = Pram::new("b");
+        b.map_phase("y", 2);
+        a.absorb(b);
+        assert_eq!(a.metrics().work, 3);
+        assert_eq!(a.phases().len(), 2);
+    }
+}

@@ -1,0 +1,262 @@
+//! Work / depth / processor accounting for PRAM executions.
+//!
+//! The costs recorded here follow the standard work-depth model used by the
+//! paper's analysis (§4):
+//!
+//! * a **map phase** over `t` tasks costs work `t`, depth `1`, and demands
+//!   `t` processors;
+//! * a **reduce phase** of `r` independent reductions, each over `m`
+//!   candidates, is scheduled as `r` balanced binary trees: work
+//!   `r * (m - 1)`, depth `ceil(log2 m)`, peak demand `r * ceil(m / 2)`.
+//!
+//! The paper's headline processor counts divide by `log n` because `p`
+//! processors can simulate a reduction layer by layer (Brent's theorem)
+//! without changing the asymptotic time; [`Metrics::brent_time`] computes
+//! that schedule exactly from the recorded per-layer work.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ceil_log2;
+
+/// The kind of a recorded phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// A flat parallel map: every task is one unit of work in one time step.
+    Map,
+    /// A collection of independent balanced-tree reductions.
+    Reduce,
+}
+
+/// One recorded phase of a PRAM execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseRecord {
+    /// Human-readable label, e.g. `"a-square/compose"`.
+    pub name: String,
+    /// Phase kind.
+    pub kind: PhaseKind,
+    /// Total unit operations in this phase.
+    pub work: u64,
+    /// Parallel time of this phase with unbounded processors.
+    pub depth: u64,
+    /// Maximum number of simultaneously busy processors in this phase.
+    pub peak_processors: u64,
+    /// Work per unit-depth layer, outermost first. For a map phase this is
+    /// a single layer; for a reduce phase there is one layer per reduction
+    /// tree level. Used for exact Brent scheduling.
+    pub layers: Vec<u64>,
+}
+
+/// Aggregated metrics of a PRAM execution.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Total unit operations across all phases.
+    pub work: u64,
+    /// Total parallel time with unbounded processors.
+    pub depth: u64,
+    /// Maximum processor demand over all phases.
+    pub peak_processors: u64,
+    /// Number of recorded phases.
+    pub phases: u64,
+}
+
+impl Metrics {
+    /// The processor–time product at the machine's peak demand: the
+    /// quantity the paper uses to compare algorithms ("PT product").
+    pub fn pt_product(&self) -> u128 {
+        self.peak_processors as u128 * self.depth as u128
+    }
+}
+
+/// Exact Brent-scheduled execution time on `p` processors for a sequence of
+/// layers with the given work counts: `sum_i ceil(w_i / p)`.
+pub fn brent_time_of_layers(layers: &[u64], p: u64) -> u64 {
+    assert!(p >= 1, "Brent scheduling needs at least one processor");
+    layers.iter().map(|&w| w.div_ceil(p)).sum()
+}
+
+/// Build the layer profile of a reduce phase: `r` simultaneous balanced
+/// binary reductions over `m` candidates each.
+///
+/// Layer `l` (starting from the leaves) pairs up the `ceil(m / 2^l)`
+/// survivors of the previous layer, costing `r * floor(m_l / 2)` operations
+/// where `m_l` is the survivor count entering the layer.
+pub fn reduce_layers(reductions: u64, fan_in: u64) -> Vec<u64> {
+    let mut layers = Vec::with_capacity(ceil_log2(fan_in.max(1)) as usize);
+    let mut m = fan_in;
+    while m > 1 {
+        let ops = m / 2;
+        layers.push(reductions * ops);
+        m -= ops;
+    }
+    layers
+}
+
+impl PhaseRecord {
+    /// A flat map phase over `tasks` unit operations.
+    pub fn map(name: impl Into<String>, tasks: u64) -> Self {
+        PhaseRecord {
+            name: name.into(),
+            kind: PhaseKind::Map,
+            work: tasks,
+            depth: if tasks == 0 { 0 } else { 1 },
+            peak_processors: tasks,
+            layers: if tasks == 0 { vec![] } else { vec![tasks] },
+        }
+    }
+
+    /// `reductions` independent balanced-tree min-reductions, each over
+    /// `fan_in` candidates.
+    pub fn reduce(name: impl Into<String>, reductions: u64, fan_in: u64) -> Self {
+        let layers = reduce_layers(reductions, fan_in);
+        let work: u64 = layers.iter().sum();
+        let depth = layers.len() as u64;
+        let peak = layers.first().copied().unwrap_or(0);
+        PhaseRecord {
+            name: name.into(),
+            kind: PhaseKind::Reduce,
+            work,
+            depth,
+            peak_processors: peak,
+            layers,
+        }
+    }
+
+    /// Simultaneous reductions with *mixed* fan-ins, given as a histogram
+    /// of `(fan_in, count)` entries. All reductions start in the same
+    /// step, so layer `l` aggregates the `l`-th reduction-tree level of
+    /// every group; the phase depth is the largest group's depth. This is
+    /// how the `a-square` / `a-pebble` steps are accounted: every cell
+    /// `(i,j,p,q)` has its own candidate count.
+    pub fn reduce_from_histogram(
+        name: impl Into<String>,
+        hist: impl IntoIterator<Item = (u64, u64)>,
+    ) -> Self {
+        let mut layers: Vec<u64> = Vec::new();
+        for (fan_in, count) in hist {
+            let group = reduce_layers(count, fan_in);
+            if group.len() > layers.len() {
+                layers.resize(group.len(), 0);
+            }
+            for (l, w) in group.into_iter().enumerate() {
+                layers[l] += w;
+            }
+        }
+        let work: u64 = layers.iter().sum();
+        let depth = layers.len() as u64;
+        let peak = layers.first().copied().unwrap_or(0);
+        PhaseRecord {
+            name: name.into(),
+            kind: PhaseKind::Reduce,
+            work,
+            depth,
+            peak_processors: peak,
+            layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_phase_costs() {
+        let ph = PhaseRecord::map("m", 10);
+        assert_eq!(ph.work, 10);
+        assert_eq!(ph.depth, 1);
+        assert_eq!(ph.peak_processors, 10);
+        assert_eq!(ph.layers, vec![10]);
+    }
+
+    #[test]
+    fn empty_map_phase_is_free() {
+        let ph = PhaseRecord::map("m", 0);
+        assert_eq!(ph.work, 0);
+        assert_eq!(ph.depth, 0);
+        assert!(ph.layers.is_empty());
+    }
+
+    #[test]
+    fn reduce_phase_costs_match_closed_forms() {
+        // One reduction over m candidates costs m-1 work, ceil(log2 m) depth.
+        for m in 1..200u64 {
+            let ph = PhaseRecord::reduce("r", 1, m);
+            assert_eq!(ph.work, m.saturating_sub(1), "work for m={m}");
+            assert_eq!(ph.depth, ceil_log2(m) as u64, "depth for m={m}");
+        }
+    }
+
+    #[test]
+    fn reduce_phase_scales_linearly_in_reductions() {
+        let one = PhaseRecord::reduce("r", 1, 37);
+        let many = PhaseRecord::reduce("r", 100, 37);
+        assert_eq!(many.work, 100 * one.work);
+        assert_eq!(many.depth, one.depth);
+        assert_eq!(many.peak_processors, 100 * one.peak_processors);
+    }
+
+    #[test]
+    fn reduce_layers_halve() {
+        let layers = reduce_layers(1, 8);
+        assert_eq!(layers, vec![4, 2, 1]);
+        let layers = reduce_layers(1, 7);
+        // 7 -> 3 ops leaves 4; 4 -> 2 ops leaves 2; 2 -> 1 op leaves 1.
+        assert_eq!(layers, vec![3, 2, 1]);
+        let layers = reduce_layers(3, 2);
+        assert_eq!(layers, vec![3]);
+    }
+
+    #[test]
+    fn brent_time_endpoints() {
+        let layers = reduce_layers(10, 64); // work 630, depth 6
+        let work: u64 = layers.iter().sum();
+        assert_eq!(brent_time_of_layers(&layers, 1), work);
+        // With unbounded processors the time equals the depth.
+        assert_eq!(brent_time_of_layers(&layers, u64::MAX), layers.len() as u64);
+        // Monotone non-increasing in p.
+        let mut prev = u64::MAX;
+        for p in 1..100 {
+            let t = brent_time_of_layers(&layers, p);
+            assert!(t <= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn brent_inequality_holds() {
+        // T_p <= W/p + D (Brent's theorem).
+        let layers = reduce_layers(17, 93);
+        let work: u64 = layers.iter().sum();
+        let depth = layers.len() as u64;
+        for p in 1..50 {
+            let t = brent_time_of_layers(&layers, p);
+            assert!(t <= work / p + depth, "p={p}");
+            assert!(t >= depth);
+            assert!(t >= work.div_ceil(p));
+        }
+    }
+
+    #[test]
+    fn histogram_reduce_matches_uniform_when_degenerate() {
+        let uniform = PhaseRecord::reduce("r", 10, 16);
+        let hist = PhaseRecord::reduce_from_histogram("r", vec![(16, 10)]);
+        assert_eq!(uniform.work, hist.work);
+        assert_eq!(uniform.depth, hist.depth);
+        assert_eq!(uniform.layers, hist.layers);
+    }
+
+    #[test]
+    fn histogram_reduce_mixes_depths() {
+        // One reduction over 8 (depth 3) + four over 2 (depth 1).
+        let ph = PhaseRecord::reduce_from_histogram("r", vec![(8, 1), (2, 4)]);
+        assert_eq!(ph.depth, 3);
+        assert_eq!(ph.work, 7 + 4);
+        assert_eq!(ph.layers, vec![4 + 4, 2, 1]);
+    }
+
+    #[test]
+    fn pt_product() {
+        let m = Metrics { work: 10, depth: 4, peak_processors: 8, phases: 2 };
+        assert_eq!(m.pt_product(), 32);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the PRAM cost model: Brent-time laws,
+//! timeline consistency and audit behaviour on arbitrary phase logs.
+
+use pardp_pram::{AuditMode, PhaseRecord, Pram, SharedArray, Timeline};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary phase (map or reduce with mixed histogram).
+fn phase_strategy() -> impl Strategy<Value = PhaseRecord> {
+    prop_oneof![
+        (1u64..10_000).prop_map(|t| PhaseRecord::map("m", t)),
+        (1u64..200, 1u64..100).prop_map(|(r, f)| PhaseRecord::reduce("r", r, f)),
+        proptest::collection::vec((1u64..64, 1u64..50), 1..6)
+            .prop_map(|h| PhaseRecord::reduce_from_histogram("h", h)),
+    ]
+}
+
+fn pram_strategy() -> impl Strategy<Value = Pram> {
+    proptest::collection::vec(phase_strategy(), 1..12).prop_map(|phases| {
+        let mut pram = Pram::new("prop");
+        for ph in phases {
+            pram.push(ph);
+        }
+        pram
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn brent_time_laws(pram in pram_strategy(), p in 1u64..10_000) {
+        let m = pram.metrics().clone();
+        // T_1 = W; T_inf = D; D <= T_p <= W; Brent's inequality.
+        prop_assert_eq!(pram.brent_time(1), m.work);
+        prop_assert_eq!(pram.brent_time(u64::MAX), m.depth);
+        let t = pram.brent_time(p);
+        prop_assert!(t >= m.depth);
+        prop_assert!(t <= m.work);
+        prop_assert!(t <= m.work / p + m.depth);
+        prop_assert!(t >= m.work.div_ceil(p));
+    }
+
+    #[test]
+    fn brent_time_is_monotone_in_p(pram in pram_strategy()) {
+        let mut prev = u64::MAX;
+        for p in [1u64, 2, 3, 5, 8, 16, 64, 1024, 1 << 20] {
+            let t = pram.brent_time(p);
+            prop_assert!(t <= prev, "p={p}: {t} > {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn timeline_is_consistent_with_machine(pram in pram_strategy(), p in 1u64..5_000) {
+        let tl = Timeline::schedule(&pram, p);
+        prop_assert_eq!(tl.makespan, pram.brent_time(p));
+        prop_assert_eq!(tl.total_work, pram.metrics().work);
+        prop_assert_eq!(tl.phases.len(), pram.phases().len());
+        // Contiguous, ordered spans.
+        let mut cursor = 0;
+        for ph in &tl.phases {
+            prop_assert_eq!(ph.start, cursor);
+            cursor = ph.end;
+        }
+        prop_assert_eq!(cursor, tl.makespan);
+        // Utilisation in (0, 1].
+        let u = tl.utilisation();
+        prop_assert!(u > 0.0 && u <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn processors_for_depth_is_sufficient(pram in pram_strategy()) {
+        let p = pram.processors_for_depth(1.0);
+        prop_assert!(pram.brent_time(p) <= pram.metrics().depth);
+        if p > 1 {
+            prop_assert!(pram.brent_time(p - 1) > pram.metrics().depth);
+        }
+    }
+
+    #[test]
+    fn reduce_histogram_work_matches_sum(hist in proptest::collection::vec((1u64..64, 1u64..50), 1..8)) {
+        let ph = PhaseRecord::reduce_from_histogram("h", hist.clone());
+        let expect: u64 = hist.iter().map(|&(f, c)| (f - 1) * c).sum();
+        prop_assert_eq!(ph.work, expect);
+        let max_depth = hist.iter().map(|&(f, _)| pardp_pram::ceil_log2(f) as u64).max().unwrap();
+        prop_assert_eq!(ph.depth, max_depth);
+    }
+
+    #[test]
+    fn shared_array_detects_any_double_write(len in 2usize..64, idx in 0usize..64) {
+        let idx = idx % len;
+        let mut a = SharedArray::new("t", len, 0u64, AuditMode::Full);
+        a.write(idx, 1).unwrap();
+        prop_assert!(a.write(idx, 2).is_err());
+        a.barrier();
+        prop_assert!(a.write(idx, 3).is_ok());
+    }
+
+    #[test]
+    fn shared_array_allows_disjoint_writes(len in 1usize..64) {
+        let mut a = SharedArray::new("t", len, 0u64, AuditMode::Full);
+        for i in 0..len {
+            prop_assert!(a.write(i, i as u64).is_ok());
+        }
+        a.barrier();
+        for i in 0..len {
+            prop_assert_eq!(a.read(i).unwrap(), i as u64);
+        }
+    }
+}

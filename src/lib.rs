@@ -1,0 +1,50 @@
+//! # sublinear-dp
+//!
+//! A production-quality Rust reproduction of
+//!
+//! > S.-H. S. Huang, H. Liu, V. Viswanathan,
+//! > *A sublinear parallel algorithm for some dynamic programming
+//! > problems*, ICPP 1990; Theoretical Computer Science 106 (1992)
+//! > 361–371.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] (`pardp-core`) — the paper's `O(sqrt(n) log n)`-time CREW
+//!   PRAM algorithm (§2), its §5 reduced-processor variant, Rytter's
+//!   baseline, sequential/wavefront/Knuth baselines, optimal-tree
+//!   reconstruction, the §4 coupled verification and PRAM accounting;
+//! * [`pebble`] (`pardp-pebble`) — the §3 pebbling game, Fig. 2 tree
+//!   shapes, Lemma 3.3 invariants and the §6 average-case analysis;
+//! * [`pram`] (`pardp-pram`) — the CREW PRAM cost-model simulator;
+//! * [`apps`] (`pardp-apps`) — matrix chains, optimal binary search
+//!   trees, polygon triangulation, and instance generators.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sublinear_dp::prelude::*;
+//!
+//! // The CLRS matrix-chain example.
+//! let chain = MatrixChain::new(vec![30, 35, 15, 5, 10, 20, 25]);
+//! let solution = solve_sublinear(&chain, &SolverConfig::default());
+//! assert_eq!(solution.value(), 15125);
+//!
+//! let (cost, order) = chain.optimal_order();
+//! assert_eq!(cost, 15125);
+//! assert_eq!(chain.render(&order), "((A1 (A2 A3)) ((A4 A5) A6))");
+//! ```
+//!
+//! See `examples/` for runnable tours of each application and of the
+//! pebbling game, and `crates/bench` for the experiment harnesses that
+//! regenerate every quantitative claim of the paper (EXPERIMENTS.md).
+
+pub use pardp_apps as apps;
+pub use pardp_core as core;
+pub use pardp_pebble as pebble;
+pub use pardp_pram as pram;
+
+/// Combined prelude: core solvers plus the applications.
+pub mod prelude {
+    pub use pardp_apps::{MatrixChain, MergeOrder, OptimalBst, PointPolygon, WeightedPolygon};
+    pub use pardp_core::prelude::*;
+}
