@@ -58,13 +58,16 @@ pub fn shape_forcing(tree: &FullBinaryTree) -> TabulatedProblem<u64> {
             split[i * m + j] = k;
         }
     }
-    TabulatedProblem::new(vec![0u64; n], |i, k, j| {
-        if split[i * m + j] == k {
-            0
-        } else {
-            1
-        }
-    })
+    TabulatedProblem::new(
+        vec![0u64; n],
+        |i, k, j| {
+            if split[i * m + j] == k {
+                0
+            } else {
+                1
+            }
+        },
+    )
     .with_name("shape-forcing")
 }
 

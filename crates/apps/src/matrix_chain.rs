@@ -126,9 +126,18 @@ mod tests {
                 record_trace: false,
             };
             assert_eq!(solve_sublinear(&mc, &cfg).value(), seq, "n={n}");
-            assert_eq!(solve_reduced(&mc, &ReducedConfig {
-                exec: ExecMode::Sequential, ..Default::default()
-            }).value(), seq, "n={n}");
+            assert_eq!(
+                solve_reduced(
+                    &mc,
+                    &ReducedConfig {
+                        exec: ExecMode::Sequential,
+                        ..Default::default()
+                    }
+                )
+                .value(),
+                seq,
+                "n={n}"
+            );
         }
     }
 

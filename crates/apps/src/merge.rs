@@ -60,9 +60,9 @@ impl MergeOrder {
     pub fn merge_cost(&self, tree: &ParenTree) -> u64 {
         match tree {
             ParenTree::Leaf { .. } => 0,
-            ParenTree::Node { i, j, left, right, .. } => {
-                self.span(*i, *j) + self.merge_cost(left) + self.merge_cost(right)
-            }
+            ParenTree::Node {
+                i, j, left, right, ..
+            } => self.span(*i, *j) + self.merge_cost(left) + self.merge_cost(right),
         }
     }
 
@@ -71,7 +71,10 @@ impl MergeOrder {
     pub fn schedule(&self, tree: &ParenTree) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
         fn rec(t: &ParenTree, out: &mut Vec<(usize, usize)>) {
-            if let ParenTree::Node { i, j, left, right, .. } = t {
+            if let ParenTree::Node {
+                i, j, left, right, ..
+            } = t
+            {
                 rec(left, out);
                 rec(right, out);
                 out.push((*i, *j));
@@ -168,7 +171,10 @@ mod tests {
             record_trace: false,
         };
         assert!(solve_sublinear(&m, &cfg).w.table_eq(&oracle));
-        let rcfg = ReducedConfig { exec: ExecMode::Sequential, ..Default::default() };
+        let rcfg = ReducedConfig {
+            exec: ExecMode::Sequential,
+            ..Default::default()
+        };
         assert!(solve_reduced(&m, &rcfg).w.table_eq(&oracle));
     }
 
@@ -182,9 +188,15 @@ mod tests {
         let mut groups: Vec<(usize, usize)> = (0..6).map(|i| (i, i + 1)).collect();
         for (i, j) in schedule {
             // Find the two adjacent groups covering (i, j).
-            let a = groups.iter().position(|&(gi, _)| gi == i).expect("left group");
+            let a = groups
+                .iter()
+                .position(|&(gi, _)| gi == i)
+                .expect("left group");
             let (_, mid) = groups[a];
-            let b = groups.iter().position(|&(gi, _)| gi == mid).expect("right group");
+            let b = groups
+                .iter()
+                .position(|&(gi, _)| gi == mid)
+                .expect("right group");
             assert_eq!(groups[b].1, j, "groups must tile ({i},{j})");
             let merged = (i, j);
             groups.remove(a.max(b));

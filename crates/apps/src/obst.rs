@@ -67,7 +67,12 @@ impl OptimalBst {
         for &x in &q {
             q_prefix.push(q_prefix.last().unwrap() + x);
         }
-        OptimalBst { p, q, p_prefix, q_prefix }
+        OptimalBst {
+            p,
+            q,
+            p_prefix,
+            q_prefix,
+        }
     }
 
     /// The *alphabetic tree* special case: only leaf (dummy) weights, no
@@ -264,7 +269,10 @@ mod tests {
                 record_trace: false,
             };
             assert_eq!(solve_sublinear(&bst, &cfg).value(), oracle, "m={m}");
-            let rcfg = ReducedConfig { exec: ExecMode::Sequential, ..Default::default() };
+            let rcfg = ReducedConfig {
+                exec: ExecMode::Sequential,
+                ..Default::default()
+            };
             assert_eq!(solve_reduced(&bst, &rcfg).value(), oracle, "m={m}");
         }
     }

@@ -134,7 +134,10 @@ impl DpProblem<f64> for PointPolygon {
 pub fn diagonals_of(tree: &ParenTree, n: usize) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     fn rec(t: &ParenTree, n: usize, out: &mut Vec<(usize, usize)>) {
-        if let ParenTree::Node { i, j, left, right, .. } = t {
+        if let ParenTree::Node {
+            i, j, left, right, ..
+        } = t
+        {
             if j - i >= 2 && !(*i == 0 && *j == n) {
                 out.push((*i, *j));
             }
@@ -196,7 +199,10 @@ mod tests {
             let weights: Vec<u64> = (0..m).map(|_| rng.gen_range(1..15)).collect();
             let poly = WeightedPolygon::new(weights);
             let n = poly.n();
-            assert_eq!(solve_sequential(&poly).root(), brute_force_value(&poly, 0, n));
+            assert_eq!(
+                solve_sequential(&poly).root(),
+                brute_force_value(&poly, 0, n)
+            );
         }
     }
 
@@ -214,7 +220,10 @@ mod tests {
         for k in 1..7 {
             fan += poly.dist(0, k) + poly.dist(k, k + 1) + poly.dist(0, k + 1);
         }
-        assert!(cost <= fan + 1e-9, "optimal {cost} must not exceed fan {fan}");
+        assert!(
+            cost <= fan + 1e-9,
+            "optimal {cost} must not exceed fan {fan}"
+        );
         assert!(cost > 0.0);
     }
 
@@ -229,7 +238,10 @@ mod tests {
         };
         let sub = solve_sublinear(&poly, &cfg).value();
         assert!(sub.cost_eq(&oracle), "{sub} vs {oracle}");
-        let rcfg = ReducedConfig { exec: ExecMode::Sequential, ..Default::default() };
+        let rcfg = ReducedConfig {
+            exec: ExecMode::Sequential,
+            ..Default::default()
+        };
         let red = solve_reduced(&poly, &rcfg).value();
         assert!(red.cost_eq(&oracle), "{red} vs {oracle}");
     }
@@ -240,9 +252,6 @@ mod tests {
         let dims = vec![30u64, 35, 15, 5, 10, 20, 25];
         let poly = WeightedPolygon::new(dims.clone());
         let mc = crate::matrix_chain::MatrixChain::new(dims);
-        assert_eq!(
-            solve_sequential(&poly).root(),
-            solve_sequential(&mc).root()
-        );
+        assert_eq!(solve_sequential(&poly).root(), solve_sequential(&mc).root());
     }
 }

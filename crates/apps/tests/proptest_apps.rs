@@ -20,7 +20,10 @@ fn clrs_obst(p: &[u64], q: &[u64]) -> u64 {
         for i in 1..=m - l + 1 {
             let j = i + l - 1;
             w[i][j] = w[i][j - 1] + p[j - 1] + q[j];
-            e[i][j] = (i..=j).map(|r| e[i][r - 1] + e[r + 1][j] + w[i][j]).min().unwrap();
+            e[i][j] = (i..=j)
+                .map(|r| e[i][r - 1] + e[r + 1][j] + w[i][j])
+                .min()
+                .unwrap();
         }
     }
     e[1][m]

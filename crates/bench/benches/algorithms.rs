@@ -66,8 +66,11 @@ fn bench_termination_modes(c: &mut Criterion) {
         ("fixpoint", Termination::Fixpoint),
         ("w_stable_twice", Termination::WStableTwice),
     ] {
-        let cfg =
-            SolverConfig { exec: ExecMode::Parallel, termination: term, record_trace: false };
+        let cfg = SolverConfig {
+            exec: ExecMode::Parallel,
+            termination: term,
+            record_trace: false,
+        };
         group.bench_with_input(BenchmarkId::new(name, n), &p, |b, p| {
             b.iter(|| black_box(solve_sublinear(p, &cfg).value()))
         });
@@ -75,5 +78,10 @@ fn bench_termination_modes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_baselines, bench_paper_algorithms, bench_termination_modes);
+criterion_group!(
+    benches,
+    bench_baselines,
+    bench_paper_algorithms,
+    bench_termination_modes
+);
 criterion_main!(benches);

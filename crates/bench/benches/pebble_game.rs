@@ -28,9 +28,11 @@ fn bench_shapes(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("skewed/modified", n), &skew, |b, t| {
             b.iter(|| black_box(moves_to_pebble(t, SquareRule::Modified)))
         });
-        group.bench_with_input(BenchmarkId::new("random/modified", n), &rand_tree, |b, t| {
-            b.iter(|| black_box(moves_to_pebble(t, SquareRule::Modified)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("random/modified", n),
+            &rand_tree,
+            |b, t| b.iter(|| black_box(moves_to_pebble(t, SquareRule::Modified))),
+        );
     }
     group.finish();
 }

@@ -7,6 +7,7 @@ use pardp_apps::generators;
 use pardp_core::ops::{
     a_activate_dense, a_pebble_dense, a_square_banded, a_square_dense, a_square_rytter,
 };
+use pardp_core::prelude::ExecBackend;
 use pardp_core::problem::DpProblem;
 use pardp_core::reduced::default_band;
 use pardp_core::tables::{BandedPw, DensePw, WTable};
@@ -24,10 +25,10 @@ fn warm_tables(n: usize) -> (WTable<u64>, DensePw<u64>) {
     let mut pw_next = DensePw::new(n);
     let mut w_next = w.clone();
     for _ in 0..3 {
-        a_activate_dense(&p, &w, &mut pw, false);
-        a_square_dense(&pw, &mut pw_next, false);
+        a_activate_dense(&p, &w, &mut pw, &ExecBackend::Sequential);
+        a_square_dense(&pw, &mut pw_next, &ExecBackend::Sequential);
         std::mem::swap(&mut pw, &mut pw_next);
-        a_pebble_dense(&pw, &w, &mut w_next, false);
+        a_pebble_dense(&pw, &w, &mut w_next, &ExecBackend::Sequential);
         std::mem::swap(&mut w, &mut w_next);
     }
     (w, pw)
@@ -40,19 +41,19 @@ fn bench_square_variants(c: &mut Criterion) {
         let (_, pw) = warm_tables(n);
         let mut next = DensePw::new(n);
         group.bench_with_input(BenchmarkId::new("restricted_seq", n), &pw, |b, pw| {
-            b.iter(|| black_box(a_square_dense(pw, &mut next, false)))
+            b.iter(|| black_box(a_square_dense(pw, &mut next, &ExecBackend::Sequential)))
         });
         group.bench_with_input(BenchmarkId::new("restricted_rayon", n), &pw, |b, pw| {
-            b.iter(|| black_box(a_square_dense(pw, &mut next, true)))
+            b.iter(|| black_box(a_square_dense(pw, &mut next, &ExecBackend::Parallel)))
         });
         group.bench_with_input(BenchmarkId::new("rytter_full_seq", n), &pw, |b, pw| {
-            b.iter(|| black_box(a_square_rytter(pw, &mut next, false)))
+            b.iter(|| black_box(a_square_rytter(pw, &mut next, &ExecBackend::Sequential)))
         });
         let band = default_band(n);
         let banded = BandedPw::<u64>::new(n, band);
         let mut bnext = BandedPw::new(n, band);
         group.bench_with_input(BenchmarkId::new("banded_seq", n), &banded, |b, pw| {
-            b.iter(|| black_box(a_square_banded(pw, &mut bnext, false)))
+            b.iter(|| black_box(a_square_banded(pw, &mut bnext, &ExecBackend::Sequential)))
         });
     }
     group.finish();
@@ -66,14 +67,28 @@ fn bench_activate_pebble(c: &mut Criterion) {
         let (w, pw) = warm_tables(n);
         let mut pw_work = pw.clone();
         group.bench_with_input(BenchmarkId::new("activate_seq", n), &w, |b, w| {
-            b.iter(|| black_box(a_activate_dense(&p, w, &mut pw_work, false)))
+            b.iter(|| {
+                black_box(a_activate_dense(
+                    &p,
+                    w,
+                    &mut pw_work,
+                    &ExecBackend::Sequential,
+                ))
+            })
         });
         let mut w_next = w.clone();
         group.bench_with_input(BenchmarkId::new("pebble_seq", n), &pw, |b, pw| {
-            b.iter(|| black_box(a_pebble_dense(pw, &w, &mut w_next, false)))
+            b.iter(|| {
+                black_box(a_pebble_dense(
+                    pw,
+                    &w,
+                    &mut w_next,
+                    &ExecBackend::Sequential,
+                ))
+            })
         });
         group.bench_with_input(BenchmarkId::new("pebble_rayon", n), &pw, |b, pw| {
-            b.iter(|| black_box(a_pebble_dense(pw, &w, &mut w_next, true)))
+            b.iter(|| black_box(a_pebble_dense(pw, &w, &mut w_next, &ExecBackend::Parallel)))
         });
     }
     group.finish();

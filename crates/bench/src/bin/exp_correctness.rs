@@ -1,13 +1,51 @@
 //! E4 (§2, §4) — every solver computes `c(0, n)` exactly, on every
 //! problem family, within the `2*ceil(sqrt n)` schedule; and the §4
 //! coupled game/algorithm run maintains its invariants throughout.
+//!
+//! ```text
+//! exp_correctness [--quick] [--json PATH]
+//! ```
+//!
+//! `--quick` restricts to tiny instances (the CI bench-smoke
+//! configuration); `--json PATH` additionally writes the result records
+//! as a machine-readable report (uploaded as a CI artifact).
 
 use pardp_apps::generators;
 use pardp_bench::{banner, cell, print_table};
 use pardp_core::prelude::*;
 use pardp_core::verify::verify_coupled;
+use serde::{Deserialize, Serialize};
 
-fn check<PB: DpProblem<u64> + ?Sized>(p: &PB, rows: &mut Vec<Vec<String>>, family: &str, n: usize) {
+/// One instance's verdicts, exported in the JSON report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CheckRecord {
+    family: String,
+    n: usize,
+    value: u64,
+    sublinear_ok: bool,
+    reduced_ok: bool,
+    rytter_ok: bool,
+    wavefront_ok: bool,
+    iterations: u64,
+    schedule_bound: u64,
+    coupled: String,
+}
+
+/// The full report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Report {
+    experiment: String,
+    quick: bool,
+    records: Vec<CheckRecord>,
+    all_ok: bool,
+}
+
+fn check<PB: DpProblem<u64> + ?Sized>(
+    p: &PB,
+    records: &mut Vec<CheckRecord>,
+    family: &str,
+    n: usize,
+) {
     let oracle = solve_sequential(p);
     let cfg = SolverConfig {
         exec: ExecMode::Parallel,
@@ -30,43 +68,116 @@ fn check<PB: DpProblem<u64> + ?Sized>(p: &PB, rows: &mut Vec<Vec<String>>, famil
     } else {
         "-".to_string()
     };
-    rows.push(vec![
-        cell(family),
-        cell(n),
-        cell(oracle.root()),
-        cell(if sub_ok { "ok" } else { "FAIL" }),
-        cell(if red_ok { "ok" } else { "FAIL" }),
-        cell(if ryt_ok { "ok" } else { "FAIL" }),
-        cell(if wav_ok { "ok" } else { "FAIL" }),
-        cell(format!("{}/{}", sub.trace.iterations, sub.trace.schedule_bound)),
+    records.push(CheckRecord {
+        family: family.to_string(),
+        n,
+        value: oracle.root(),
+        sublinear_ok: sub_ok,
+        reduced_ok: red_ok,
+        rytter_ok: ryt_ok,
+        wavefront_ok: wav_ok,
+        iterations: sub.trace.iterations,
+        schedule_bound: sub.trace.schedule_bound,
         coupled,
-    ]);
+    });
     assert!(sub_ok && red_ok && ryt_ok && wav_ok, "{family} n={n}");
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|pos| args.get(pos + 1).expect("--json needs a path").clone());
+
     banner(
         "E4",
         "exact agreement of sublinear / reduced / rytter / wavefront with the sequential oracle",
     );
-    let mut rows = Vec::new();
-    for (idx, &n) in [6usize, 12, 20, 32].iter().enumerate() {
+    let mut records = Vec::new();
+    let sizes: &[usize] = if quick { &[6, 10] } else { &[6, 12, 20, 32] };
+    for (idx, &n) in sizes.iter().enumerate() {
         let seed = 1000 + idx as u64;
         let chain = generators::random_chain(n, 60, seed);
-        check(&chain, &mut rows, "matrix-chain", n);
+        check(&chain, &mut records, "matrix-chain", n);
         let obst = generators::random_obst(n - 1, 30, seed);
-        check(&obst, &mut rows, "optimal-bst", n);
+        check(&obst, &mut records, "optimal-bst", n);
         let poly = generators::random_polygon(n + 1, 25, seed);
-        check(&poly, &mut rows, "triangulation", n);
+        check(&poly, &mut records, "triangulation", n);
     }
-    for n in [16usize, 36] {
-        check(&generators::zigzag_instance(n), &mut rows, "zigzag-forced", n);
-        check(&generators::skewed_instance(n), &mut rows, "skewed-forced", n);
-        check(&generators::balanced_instance(n), &mut rows, "balanced-forced", n);
+    let forced: &[usize] = if quick { &[9] } else { &[16, 36] };
+    for &n in forced {
+        check(
+            &generators::zigzag_instance(n),
+            &mut records,
+            "zigzag-forced",
+            n,
+        );
+        check(
+            &generators::skewed_instance(n),
+            &mut records,
+            "skewed-forced",
+            n,
+        );
+        check(
+            &generators::balanced_instance(n),
+            &mut records,
+            "balanced-forced",
+            n,
+        );
     }
+
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            let ok = |b: bool| cell(if b { "ok" } else { "FAIL" });
+            vec![
+                cell(&r.family),
+                cell(r.n),
+                cell(r.value),
+                ok(r.sublinear_ok),
+                ok(r.reduced_ok),
+                ok(r.rytter_ok),
+                ok(r.wavefront_ok),
+                cell(format!("{}/{}", r.iterations, r.schedule_bound)),
+                r.coupled.clone(),
+            ]
+        })
+        .collect();
     print_table(
-        &["family", "n", "c(0,n)", "sublinear", "reduced", "rytter", "wavefront", "iters", "coupled §4"],
+        &[
+            "family",
+            "n",
+            "c(0,n)",
+            "sublinear",
+            "reduced",
+            "rytter",
+            "wavefront",
+            "iters",
+            "coupled §4",
+        ],
         &rows,
     );
+    let all_ok = records.iter().all(|r| {
+        r.sublinear_ok
+            && r.reduced_ok
+            && r.rytter_ok
+            && r.wavefront_ok
+            && !r.coupled.starts_with("FAIL")
+    });
     println!("\nAll solvers agree with the sequential oracle on every instance.");
+
+    if let Some(path) = json_path {
+        let report = Report {
+            experiment: "E4-correctness".to_string(),
+            quick,
+            records,
+            all_ok,
+        };
+        let json = serde_json::to_string_pretty(&report).expect("serialize report");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("JSON report written to {path}");
+    }
+    assert!(all_ok);
 }

@@ -17,7 +17,13 @@ fn main() {
     let mut rows = Vec::new();
     let mut mean_points = Vec::new();
     for &n in &sizes {
-        let uni = empirical_moves(n, trials, RandomModel::UniformSplit, SquareRule::Modified, 42);
+        let uni = empirical_moves(
+            n,
+            trials,
+            RandomModel::UniformSplit,
+            SquareRule::Modified,
+            42,
+        );
         let cat = empirical_moves(n, trials, RandomModel::Catalan, SquareRule::Modified, 43);
         mean_points.push((n as f64, uni.mean));
         rows.push(vec![

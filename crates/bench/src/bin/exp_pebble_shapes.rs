@@ -20,7 +20,10 @@ use rand::SeedableRng;
 
 fn main() {
     let render = std::env::args().any(|a| a == "--render");
-    banner("E2/F2", "moves by tree shape (Fig. 2): complete/skewed/zigzag/random");
+    banner(
+        "E2/F2",
+        "moves by tree shape (Fig. 2): complete/skewed/zigzag/random",
+    );
     let mut rng = SmallRng::seed_from_u64(2020);
     let sizes = [8usize, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
     let mut rows = Vec::new();

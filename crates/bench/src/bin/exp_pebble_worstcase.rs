@@ -34,13 +34,26 @@ fn main() {
         ]);
     }
     print_table(
-        &["n", "moves(modified)", "2*ceil(sqrt n)", "moves/sqrt(n)", "moves(jump)", "bound"],
+        &[
+            "n",
+            "moves(modified)",
+            "2*ceil(sqrt n)",
+            "moves/sqrt(n)",
+            "moves(jump)",
+            "bound",
+        ],
         &rows,
     );
     let (a, b) = fit_power_law(&points);
-    println!("\nfit: moves ~ {:.3} * n^{:.3}  (paper: Theta(n^0.5))", a, b);
+    println!(
+        "\nfit: moves ~ {:.3} * n^{:.3}  (paper: Theta(n^0.5))",
+        a, b
+    );
 
-    banner("F1", "heavy-chain decomposition: chain length k <= 2i + 1 (Fig. 1)");
+    banner(
+        "F1",
+        "heavy-chain decomposition: chain length k <= 2i + 1 (Fig. 1)",
+    );
     let mut rows = Vec::new();
     for &n in &[64usize, 256, 1024, 4096] {
         let shapes = [
@@ -69,9 +82,24 @@ fn main() {
                 assert!(chain.len() as u64 <= 2 * i as u64 + 1);
                 checked += 1;
             }
-            rows.push(vec![cell(n), cell(name), cell(checked), cell(max_k), cell(max_bound)]);
+            rows.push(vec![
+                cell(n),
+                cell(name),
+                cell(checked),
+                cell(max_k),
+                cell(max_bound),
+            ]);
         }
     }
-    print_table(&["n", "shape", "nodes checked", "max chain k", "bound 2i+1 (at max)"], &rows);
+    print_table(
+        &[
+            "n",
+            "shape",
+            "nodes checked",
+            "max chain k",
+            "bound 2i+1 (at max)",
+        ],
+        &rows,
+    );
     println!("\nAll chains within the Lemma 3.3 bound.");
 }

@@ -45,7 +45,11 @@ fn main() {
             (cell("-"), cell("-"), cell("-"))
         };
 
-        let rcfg = ReducedConfig { exec: ExecMode::Parallel, record_trace: true, ..Default::default() };
+        let rcfg = ReducedConfig {
+            exec: ExecMode::Parallel,
+            record_trace: true,
+            ..Default::default()
+        };
         let red = solve_reduced(&p, &rcfg);
         assert!(red.w.table_eq(&oracle));
         let (_, rsq, rpb) = red.trace.work_by_op();
@@ -54,7 +58,11 @@ fn main() {
 
         let nowin = solve_reduced(
             &p,
-            &ReducedConfig { windowed_pebble: false, record_trace: true, ..rcfg },
+            &ReducedConfig {
+                windowed_pebble: false,
+                record_trace: true,
+                ..rcfg
+            },
         );
         assert!(nowin.w.table_eq(&oracle));
         let (_, _, npb) = nowin.trace.work_by_op();

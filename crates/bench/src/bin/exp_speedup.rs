@@ -12,8 +12,13 @@ use pardp_bench::{banner, cell, fmt_f, print_table, time_best};
 use pardp_core::prelude::*;
 
 fn main() {
-    banner("E7", "wall-clock on real cores: sequential vs wavefront(rayon) vs sublinear(rayon)");
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    banner(
+        "E7",
+        "wall-clock on real cores: sequential vs wavefront(rayon) vs sublinear(rayon)",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     println!("host cores: {cores}\n");
 
     let mut rows = Vec::new();
@@ -57,7 +62,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["n", "sequential s", "wavefront s", "wavefront speedup", "sublinear s", "reduced s"],
+        &[
+            "n",
+            "sequential s",
+            "wavefront s",
+            "wavefront speedup",
+            "sublinear s",
+            "reduced s",
+        ],
         &rows,
     );
     println!(
@@ -66,20 +78,28 @@ fn main() {
          that only a PRAM-scale machine could exploit — as the paper's processor counts imply."
     );
 
-    banner("E7b", "wavefront thread scaling (rayon pool size sweep)");
+    banner(
+        "E7b",
+        "wavefront thread scaling (ExecBackend::Threads sweep)",
+    );
     let n = 1024usize;
     let p = generators::random_chain(n, 100, 4321);
-    let (_, t1) = {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        let p_ref = &p;
-        time_best(3, || pool.install(|| solve_wavefront_default(p_ref).root()))
+    let solve_on = |threads: usize| {
+        let cfg = WavefrontConfig {
+            exec: if threads == 1 {
+                ExecBackend::Sequential
+            } else {
+                ExecBackend::Threads(threads)
+            },
+            ..Default::default()
+        };
+        solve_wavefront(&p, &cfg).root()
     };
+    let (_, t1) = time_best(3, || solve_on(1));
     let mut rows = Vec::new();
     let mut threads = 1usize;
     while threads <= cores {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
-        let p_ref = &p;
-        let (_, t) = time_best(3, || pool.install(|| solve_wavefront_default(p_ref).root()));
+        let (_, t) = time_best(3, || solve_on(threads));
         rows.push(vec![
             cell(threads),
             fmt_f(t),

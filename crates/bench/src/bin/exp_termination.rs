@@ -13,7 +13,11 @@ use pardp_bench::{banner, cell, fmt_f, print_table};
 use pardp_core::prelude::*;
 
 fn iters<PB: DpProblem<u64> + ?Sized>(p: &PB, term: Termination) -> (u64, u64, bool) {
-    let cfg = SolverConfig { exec: ExecMode::Parallel, termination: term, record_trace: false };
+    let cfg = SolverConfig {
+        exec: ExecMode::Parallel,
+        termination: term,
+        record_trace: false,
+    };
     let sol = solve_sublinear(p, &cfg);
     let exact = sol.w.table_eq(&solve_sequential(p));
     (sol.trace.iterations, sol.trace.schedule_bound, exact)
@@ -71,12 +75,23 @@ fn main() {
         }
     }
     print_table(
-        &["family", "n", "fixpoint iters", "w-stable-2 iters", "2*ceil(sqrt n)", "log2 n"],
+        &[
+            "family",
+            "n",
+            "fixpoint iters",
+            "w-stable-2 iters",
+            "2*ceil(sqrt n)",
+            "log2 n",
+        ],
         &rows,
     );
     println!(
         "\nall runs exact: {}",
-        if all_exact { "yes" } else { "NO — HEURISTIC FAILED" }
+        if all_exact {
+            "yes"
+        } else {
+            "NO — HEURISTIC FAILED"
+        }
     );
     println!(
         "Random and skewed/balanced instances stop in O(log n) iterations, far below the \

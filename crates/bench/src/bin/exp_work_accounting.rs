@@ -25,7 +25,10 @@ use pardp_core::rytter::rytter_schedule;
 use pardp_pebble::analysis::fit_power_law;
 
 fn main() {
-    banner("E5", "PRAM work / depth / processors / PT product per algorithm");
+    banner(
+        "E5",
+        "PRAM work / depth / processors / PT product per algorithm",
+    );
     let sizes = [8usize, 12, 16, 24, 32, 48, 64];
     // Per algorithm: (name, work points, PT-product points).
     type AlgoSeries = (&'static str, Vec<(f64, f64)>, Vec<(f64, f64)>);
@@ -62,7 +65,17 @@ fn main() {
             ]);
         }
     }
-    print_table(&["n", "algorithm", "work", "depth(time)", "processors", "PT product"], &rows);
+    print_table(
+        &[
+            "n",
+            "algorithm",
+            "work",
+            "depth(time)",
+            "processors",
+            "PT product",
+        ],
+        &rows,
+    );
 
     println!("\nFitted growth exponents (y ~ a * n^b):");
     let mut rows = Vec::new();
@@ -79,7 +92,15 @@ fn main() {
         };
         rows.push(vec![cell(*name), fmt_f(bw), fmt_f(bpt), cell(expect)]);
     }
-    print_table(&["algorithm", "work exponent", "PT exponent", "paper (per-run)"], &rows);
+    print_table(
+        &[
+            "algorithm",
+            "work exponent",
+            "PT exponent",
+            "paper (per-run)",
+        ],
+        &rows,
+    );
 
     println!("\nPT-product improvement of §5 reduced over Rytter (paper: Theta(n^2 log n)):");
     let mut rows = Vec::new();
@@ -93,5 +114,8 @@ fn main() {
             fmt_f(ratio / ((n * n) as f64 * (n as f64).log2())),
         ]);
     }
-    print_table(&["n", "PT(rytter)/PT(reduced)", "ratio / (n^2 log2 n)"], &rows);
+    print_table(
+        &["n", "PT(rytter)/PT(reduced)", "ratio / (n^2 log2 n)"],
+        &rows,
+    );
 }

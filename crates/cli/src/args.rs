@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use pardp_core::prelude::ExecBackend;
+
 /// A parsing or execution error with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliError(pub String);
@@ -97,6 +99,8 @@ pub enum Parsed {
         problem: Problem,
         /// Solver selection.
         algo: Algo,
+        /// Execution backend for the parallel solvers.
+        backend: ExecBackend,
         /// Print the witness structure.
         witness: bool,
         /// Print the per-iteration trace (paper algorithms only).
@@ -134,16 +138,20 @@ pub const USAGE: &str = "\
 pardp — sublinear parallel dynamic programming (Huang–Liu–Viswanathan 1990/1992)
 
 USAGE:
-  pardp solve chain <d0,d1,...>        [--algo A] [--witness] [--trace]
-  pardp solve obst --p <p1,..> --q <q0,..> [--algo A] [--witness]
-  pardp solve polygon <w0,w1,...>      [--algo A] [--witness]
-  pardp solve merge <l0,l1,...>        [--algo A] [--witness]
+  pardp solve chain <d0,d1,...>        [--algo A] [--backend B] [--witness] [--trace]
+  pardp solve obst --p <p1,..> --q <q0,..> [--algo A] [--backend B] [--witness]
+  pardp solve polygon <w0,w1,...>      [--algo A] [--backend B] [--witness]
+  pardp solve merge <l0,l1,...>        [--algo A] [--backend B] [--witness]
   pardp game <zigzag|complete|skewed|random> <n> [--rule jump] [--seed S]
   pardp model <n> [--processors P]
   pardp bound <n>
   pardp help
 
 ALGORITHMS (--algo): seq | knuth | wavefront | sublinear (default) | reduced | rytter
+BACKENDS (--backend): seq | parallel (default) | threads:<k>
+  Selects the execution backend of the parallel solvers (wavefront,
+  sublinear, reduced, rytter): single-threaded reference, the
+  work-stealing pool at host size, or the pool capped at k workers.
 ";
 
 fn parse_list(s: &str) -> Result<Vec<u64>, CliError> {
@@ -192,6 +200,10 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 Some(s) => Algo::parse(&s)?,
                 None => Algo::Sublinear,
             };
+            let backend = match take_value(&mut rest, "--backend")? {
+                Some(s) => s.parse::<ExecBackend>().map_err(CliError)?,
+                None => ExecBackend::Parallel,
+            };
             let witness = take_flag(&mut rest, "--witness");
             let trace = take_flag(&mut rest, "--trace");
             if rest.is_empty() {
@@ -201,7 +213,8 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
             let problem = match family.as_str() {
                 "chain" => {
                     let dims = parse_list(
-                        rest.first().ok_or_else(|| CliError("chain needs dimensions".into()))?,
+                        rest.first()
+                            .ok_or_else(|| CliError("chain needs dimensions".into()))?,
                     )?;
                     if dims.len() < 2 {
                         return Err(CliError("chain needs at least two dimensions".into()));
@@ -227,7 +240,8 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 }
                 "polygon" => {
                     let w = parse_list(
-                        rest.first().ok_or_else(|| CliError("polygon needs weights".into()))?,
+                        rest.first()
+                            .ok_or_else(|| CliError("polygon needs weights".into()))?,
                     )?;
                     if w.len() < 3 {
                         return Err(CliError("polygon needs at least three vertices".into()));
@@ -236,13 +250,20 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 }
                 "merge" => {
                     let l = parse_list(
-                        rest.first().ok_or_else(|| CliError("merge needs run lengths".into()))?,
+                        rest.first()
+                            .ok_or_else(|| CliError("merge needs run lengths".into()))?,
                     )?;
                     Problem::Merge(l)
                 }
                 other => return Err(CliError(format!("unknown problem family '{other}'"))),
             };
-            Ok(Parsed::Solve { problem, algo, witness, trace })
+            Ok(Parsed::Solve {
+                problem,
+                algo,
+                backend,
+                witness,
+                trace,
+            })
         }
         "game" => {
             // --rule jump | modified
@@ -266,12 +287,18 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 "random" => Shape::Random,
                 other => return Err(CliError(format!("unknown shape '{other}'"))),
             };
-            let n: usize =
-                rest[1].parse().map_err(|_| CliError(format!("bad n '{}'", rest[1])))?;
+            let n: usize = rest[1]
+                .parse()
+                .map_err(|_| CliError(format!("bad n '{}'", rest[1])))?;
             if n == 0 {
                 return Err(CliError("n must be positive".into()));
             }
-            Ok(Parsed::Game { shape, n, jump, seed })
+            Ok(Parsed::Game {
+                shape,
+                n,
+                jump,
+                seed,
+            })
         }
         "model" => {
             let processors = match take_value(&mut rest, "--processors")? {
@@ -296,7 +323,9 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 .map_err(|_| CliError("bad n".into()))?;
             Ok(Parsed::Bound { n })
         }
-        other => Err(CliError(format!("unknown command '{other}'; try 'pardp help'"))),
+        other => Err(CliError(format!(
+            "unknown command '{other}'; try 'pardp help'"
+        ))),
     }
 }
 
@@ -316,6 +345,7 @@ mod tests {
             Parsed::Solve {
                 problem: Problem::Chain(vec![30, 35, 15]),
                 algo: Algo::Sublinear,
+                backend: ExecBackend::Parallel,
                 witness: false,
                 trace: false,
             }
@@ -326,13 +356,39 @@ mod tests {
     fn parse_solve_with_flags() {
         let p = parse(&argv("solve --algo reduced --witness chain 2,3,4")).unwrap();
         match p {
-            Parsed::Solve { algo, witness, trace, .. } => {
+            Parsed::Solve {
+                algo,
+                witness,
+                trace,
+                backend,
+                ..
+            } => {
                 assert_eq!(algo, Algo::Reduced);
+                assert_eq!(backend, ExecBackend::Parallel);
                 assert!(witness);
                 assert!(!trace);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_backend_selection() {
+        for (spec, expect) in [
+            ("seq", ExecBackend::Sequential),
+            ("sequential", ExecBackend::Sequential),
+            ("parallel", ExecBackend::Parallel),
+            ("threads:4", ExecBackend::Threads(4)),
+            ("2", ExecBackend::Threads(2)),
+        ] {
+            let p = parse(&argv(&format!("solve --backend {spec} chain 2,3,4"))).unwrap();
+            match p {
+                Parsed::Solve { backend, .. } => assert_eq!(backend, expect, "{spec}"),
+                other => panic!("{other:?}"),
+            }
+        }
+        let err = parse(&argv("solve --backend bogus chain 2,3,4")).unwrap_err();
+        assert!(err.0.contains("unknown backend"), "{err}");
     }
 
     #[test]
@@ -345,27 +401,62 @@ mod tests {
     #[test]
     fn parse_game() {
         let p = parse(&argv("game zigzag 128 --rule jump --seed 9")).unwrap();
-        assert_eq!(p, Parsed::Game { shape: Shape::Zigzag, n: 128, jump: true, seed: 9 });
+        assert_eq!(
+            p,
+            Parsed::Game {
+                shape: Shape::Zigzag,
+                n: 128,
+                jump: true,
+                seed: 9
+            }
+        );
     }
 
     #[test]
     fn parse_model_and_bound() {
-        assert_eq!(parse(&argv("model 32")).unwrap(), Parsed::Model { n: 32, processors: 0 });
+        assert_eq!(
+            parse(&argv("model 32")).unwrap(),
+            Parsed::Model {
+                n: 32,
+                processors: 0
+            }
+        );
         assert_eq!(
             parse(&argv("model 32 --processors 500")).unwrap(),
-            Parsed::Model { n: 32, processors: 500 }
+            Parsed::Model {
+                n: 32,
+                processors: 500
+            }
         );
         assert_eq!(parse(&argv("bound 100")).unwrap(), Parsed::Bound { n: 100 });
     }
 
     #[test]
     fn errors_are_informative() {
-        assert!(parse(&argv("solve")).unwrap_err().0.contains("problem family"));
-        assert!(parse(&argv("solve chain")).unwrap_err().0.contains("dimensions"));
-        assert!(parse(&argv("solve chain x,y")).unwrap_err().0.contains("not a non-negative"));
-        assert!(parse(&argv("frobnicate")).unwrap_err().0.contains("unknown command"));
-        assert!(parse(&argv("game zigzag 0")).unwrap_err().0.contains("positive"));
-        assert!(parse(&argv("model 5000")).unwrap_err().0.contains("n <= 128"));
+        assert!(parse(&argv("solve"))
+            .unwrap_err()
+            .0
+            .contains("problem family"));
+        assert!(parse(&argv("solve chain"))
+            .unwrap_err()
+            .0
+            .contains("dimensions"));
+        assert!(parse(&argv("solve chain x,y"))
+            .unwrap_err()
+            .0
+            .contains("not a non-negative"));
+        assert!(parse(&argv("frobnicate"))
+            .unwrap_err()
+            .0
+            .contains("unknown command"));
+        assert!(parse(&argv("game zigzag 0"))
+            .unwrap_err()
+            .0
+            .contains("positive"));
+        assert!(parse(&argv("model 5000"))
+            .unwrap_err()
+            .0
+            .contains("n <= 128"));
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! the results.
 
 use pardp_apps::{MatrixChain, MergeOrder, OptimalBst, WeightedPolygon};
-use pardp_core::prelude::*;
 use pardp_core::pram_exec::{model_reduced, model_rytter, model_sublinear};
+use pardp_core::prelude::*;
 use pardp_core::reconstruct::reconstruct_root;
 use pardp_core::rytter::rytter_schedule;
 use pardp_pebble::game::{moves_to_pebble, SquareRule};
@@ -26,11 +26,20 @@ pub fn execute(parsed: &Parsed) -> Result<String, CliError> {
                 lemma_move_bound(*n)
             ))
         }
-        Parsed::Game { shape, n, jump, seed } => run_game(*shape, *n, *jump, *seed),
+        Parsed::Game {
+            shape,
+            n,
+            jump,
+            seed,
+        } => run_game(*shape, *n, *jump, *seed),
         Parsed::Model { n, processors } => run_model(*n, *processors),
-        Parsed::Solve { problem, algo, witness, trace } => {
-            run_solve(problem, *algo, *witness, *trace)
-        }
+        Parsed::Solve {
+            problem,
+            algo,
+            backend,
+            witness,
+            trace,
+        } => run_solve(problem, *algo, *backend, *witness, *trace),
     }
 }
 
@@ -41,7 +50,11 @@ fn run_game(shape: Shape, n: usize, jump: bool, seed: u64) -> Result<String, Cli
         Shape::Skewed => gen::skewed(n, gen::Side::Left),
         Shape::Random => gen::random_split(n, &mut SmallRng::seed_from_u64(seed)),
     };
-    let rule = if jump { SquareRule::PointerJump } else { SquareRule::Modified };
+    let rule = if jump {
+        SquareRule::PointerJump
+    } else {
+        SquareRule::Modified
+    };
     let moves = moves_to_pebble(&tree, rule);
     Ok(format!(
         "shape = {shape:?}, n = {n}, rule = {rule:?}\n\
@@ -52,14 +65,20 @@ fn run_game(shape: Shape, n: usize, jump: bool, seed: u64) -> Result<String, Cli
 
 fn run_model(n: usize, processors: u64) -> Result<String, CliError> {
     let mut out = String::new();
-    out.push_str(&format!("PRAM cost models at n = {n} (full worst-case schedules)\n\n"));
+    out.push_str(&format!(
+        "PRAM cost models at n = {n} (full worst-case schedules)\n\n"
+    ));
     for (name, pram) in [
         ("sublinear (§2)", model_sublinear(n)),
         ("reduced   (§5)", model_reduced(n)),
         ("rytter    [8]", model_rytter(n, rytter_schedule(n))),
     ] {
         let m = pram.metrics().clone();
-        let p = if processors == 0 { pram.processors_for_depth(1.0) } else { processors };
+        let p = if processors == 0 {
+            pram.processors_for_depth(1.0)
+        } else {
+            processors
+        };
         let t = pram.brent_time(p);
         out.push_str(&format!(
             "{name}: work {:>14}  depth {:>8}  time on p={p}: {t}  PT = {}\n",
@@ -76,11 +95,17 @@ fn run_model(n: usize, processors: u64) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn run_solve(problem: &Problem, algo: Algo, witness: bool, trace: bool) -> Result<String, CliError> {
+fn run_solve(
+    problem: &Problem,
+    algo: Algo,
+    backend: ExecBackend,
+    witness: bool,
+    trace: bool,
+) -> Result<String, CliError> {
     match problem {
         Problem::Chain(dims) => {
             let mc = MatrixChain::new(dims.clone());
-            let (out, w) = solve_with(&mc, algo, trace)?;
+            let (out, w) = solve_with(&mc, algo, backend, trace)?;
             let mut s = format!("matrix chain, n = {}\n{out}", mc.n_matrices());
             if witness {
                 let tree = reconstruct_root(&mc, &w)
@@ -91,13 +116,16 @@ fn run_solve(problem: &Problem, algo: Algo, witness: bool, trace: bool) -> Resul
         }
         Problem::Obst { p, q } => {
             let bst = OptimalBst::new(p.clone(), q.clone());
-            let (out, w) = solve_with(&bst, algo, trace)?;
+            let (out, w) = solve_with(&bst, algo, backend, trace)?;
             let mut s = format!("optimal BST, {} keys\n{out}", bst.n_keys());
             if witness {
                 let tree = reconstruct_root(&bst, &w)
                     .map_err(|e| CliError(format!("reconstruction failed: {e}")))?;
                 let b = OptimalBst::to_bst(&tree);
-                s.push_str(&format!("in-order keys: {:?}\n", OptimalBst::inorder_keys(&b)));
+                s.push_str(&format!(
+                    "in-order keys: {:?}\n",
+                    OptimalBst::inorder_keys(&b)
+                ));
                 if let pardp_apps::obst::BstNode::Key { key, .. } = b {
                     s.push_str(&format!("root key: k{key}\n"));
                 }
@@ -106,20 +134,22 @@ fn run_solve(problem: &Problem, algo: Algo, witness: bool, trace: bool) -> Resul
         }
         Problem::Polygon(weights) => {
             let poly = WeightedPolygon::new(weights.clone());
-            let (out, w) = solve_with(&poly, algo, trace)?;
-            let mut s = format!("polygon triangulation, {} vertices\n{out}", poly.n_vertices());
+            let (out, w) = solve_with(&poly, algo, backend, trace)?;
+            let mut s = format!(
+                "polygon triangulation, {} vertices\n{out}",
+                poly.n_vertices()
+            );
             if witness {
                 let tree = reconstruct_root(&poly, &w)
                     .map_err(|e| CliError(format!("reconstruction failed: {e}")))?;
-                let diags =
-                    pardp_apps::triangulation::diagonals_of(&tree, poly.n_vertices() - 1);
+                let diags = pardp_apps::triangulation::diagonals_of(&tree, poly.n_vertices() - 1);
                 s.push_str(&format!("diagonals: {diags:?}\n"));
             }
             Ok(s)
         }
         Problem::Merge(lengths) => {
             let m = MergeOrder::new(lengths.clone());
-            let (out, w) = solve_with(&m, algo, trace)?;
+            let (out, w) = solve_with(&m, algo, backend, trace)?;
             let mut s = format!("merge order, {} runs\n{out}", m.lengths().len());
             if witness {
                 let tree = reconstruct_root(&m, &w)
@@ -136,13 +166,17 @@ fn run_solve(problem: &Problem, algo: Algo, witness: bool, trace: bool) -> Resul
 fn solve_with<P: DpProblem<u64> + Sync + ?Sized>(
     p: &P,
     algo: Algo,
+    backend: ExecBackend,
     trace: bool,
 ) -> Result<(String, WTable<u64>), CliError> {
     let n = p.n();
     match algo {
         Algo::Sequential => {
             let w = solve_sequential(p);
-            Ok((format!("algorithm: sequential O(n^3)\nc(0,{n}) = {}\n", w.root()), w))
+            Ok((
+                format!("algorithm: sequential O(n^3)\nc(0,{n}) = {}\n", w.root()),
+                w,
+            ))
         }
         Algo::Knuth => {
             let w = solve_knuth(p);
@@ -154,15 +188,28 @@ fn solve_with<P: DpProblem<u64> + Sync + ?Sized>(
                         .into(),
                 ));
             }
-            Ok((format!("algorithm: knuth O(n^2)\nc(0,{n}) = {}\n", w.root()), w))
+            Ok((
+                format!("algorithm: knuth O(n^2)\nc(0,{n}) = {}\n", w.root()),
+                w,
+            ))
         }
         Algo::Wavefront => {
-            let w = solve_wavefront_default(p);
-            Ok((format!("algorithm: wavefront (rayon)\nc(0,{n}) = {}\n", w.root()), w))
+            let cfg = WavefrontConfig {
+                exec: backend,
+                ..Default::default()
+            };
+            let w = solve_wavefront(p, &cfg);
+            Ok((
+                format!(
+                    "algorithm: wavefront [{backend}]\nc(0,{n}) = {}\n",
+                    w.root()
+                ),
+                w,
+            ))
         }
         Algo::Sublinear => {
             let cfg = SolverConfig {
-                exec: ExecMode::Parallel,
+                exec: backend,
                 termination: Termination::Fixpoint,
                 record_trace: trace,
             };
@@ -189,7 +236,13 @@ fn solve_with<P: DpProblem<u64> + Sync + ?Sized>(
             Ok((s, sol.w))
         }
         Algo::Reduced => {
-            let sol = solve_reduced(p, &ReducedConfig::default());
+            let sol = solve_reduced(
+                p,
+                &ReducedConfig {
+                    exec: backend,
+                    ..Default::default()
+                },
+            );
             Ok((
                 format!(
                     "algorithm: reduced (paper §5)\nc(0,{n}) = {}\niterations: {}\n",
@@ -200,7 +253,13 @@ fn solve_with<P: DpProblem<u64> + Sync + ?Sized>(
             ))
         }
         Algo::Rytter => {
-            let sol = solve_rytter(p, &RytterConfig::default());
+            let sol = solve_rytter(
+                p,
+                &RytterConfig {
+                    exec: backend,
+                    ..Default::default()
+                },
+            );
             Ok((
                 format!(
                     "algorithm: rytter [8]\nc(0,{n}) = {}\niterations: {}\n",
@@ -229,6 +288,19 @@ mod tests {
             let out = run_line(&format!("solve --algo {algo} chain 30,35,15,5,10,20,25"))
                 .unwrap_or_else(|e| panic!("{algo}: {e}"));
             assert!(out.contains("= 15125"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn backend_selection_yields_identical_values() {
+        for algo in ["wavefront", "sublinear", "reduced", "rytter"] {
+            for backend in ["seq", "parallel", "threads:4"] {
+                let out = run_line(&format!(
+                    "solve --algo {algo} --backend {backend} chain 30,35,15,5,10,20,25"
+                ))
+                .unwrap_or_else(|e| panic!("{algo}/{backend}: {e}"));
+                assert!(out.contains("= 15125"), "{algo}/{backend}: {out}");
+            }
         }
     }
 

@@ -1,0 +1,683 @@
+//! Pluggable parallel execution backends.
+//!
+//! Every data-parallel pass in this crate (the `a-activate` / `a-square` /
+//! `a-pebble` operations of [`crate::ops`] and the anti-diagonal sweeps of
+//! [`crate::wavefront`]) runs through an [`ExecBackend`]:
+//!
+//! * [`ExecBackend::Sequential`] — the single-threaded reference
+//!   execution, bit-identical to the textbook loops;
+//! * [`ExecBackend::Parallel`] — a shared work-stealing thread pool sized
+//!   to the host (`std::thread::available_parallelism`);
+//! * [`ExecBackend::Threads`]`(k)` — the same pool, capped at `k`
+//!   participating workers (`0` means "host size"), for scaling studies.
+//!
+//! The pool follows the self-scheduling ("bag of tasks") discipline used
+//! by work-stealing runtimes: a parallel region is split into blocks of
+//! rows, workers repeatedly claim the next unclaimed block via an atomic
+//! counter, and the submitting thread participates until the region
+//! drains. This keeps load balanced when per-row work is skewed (banded
+//! rows shrink with eccentricity; anti-diagonal cells shrink with the
+//! diagonal) without any per-task allocation.
+//!
+//! All parallel writes are partitioned by construction — each row /
+//! output cell is claimed by exactly one block — mirroring the CREW
+//! exclusive-write discipline the paper's operations are designed around,
+//! so results are deterministic and identical across backends (integer
+//! weights exactly; floats too, because each cell's reduction order is
+//! fixed regardless of which worker runs it).
+//!
+//! The `parallel` cargo feature gates the pool. Without it, every backend
+//! degrades to sequential execution with the same results.
+
+use std::fmt;
+
+/// Which execution backend a solver uses for its data-parallel passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// Single-threaded reference execution.
+    Sequential,
+    /// The shared work-stealing thread pool, sized to the host.
+    #[default]
+    Parallel,
+    /// The shared pool capped at this many workers (`0` = host size).
+    Threads(usize),
+}
+
+impl fmt::Display for ExecBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecBackend::Sequential => write!(f, "sequential"),
+            // `Threads(0)` means host size, so always show the resolved count.
+            ExecBackend::Parallel | ExecBackend::Threads(_) => {
+                write!(f, "threads({})", self.effective_threads())
+            }
+        }
+    }
+}
+
+/// Parse a backend name: `seq`/`sequential`, `parallel`/`auto`/`threads`,
+/// or `threads:<k>` / a bare thread count.
+impl std::str::FromStr for ExecBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "seq" | "sequential" => Ok(ExecBackend::Sequential),
+            "parallel" | "auto" | "threads" | "rayon" => Ok(ExecBackend::Parallel),
+            other => {
+                let spec = other.strip_prefix("threads:").unwrap_or(other);
+                spec.parse::<usize>()
+                    .map(ExecBackend::Threads)
+                    .map_err(|_| {
+                        format!(
+                            "unknown backend '{other}' \
+                         (expected seq | parallel | threads:<k> | <k>)"
+                        )
+                    })
+            }
+        }
+    }
+}
+
+impl ExecBackend {
+    /// How many workers this backend will actually use on this host.
+    pub fn effective_threads(&self) -> usize {
+        match self {
+            ExecBackend::Sequential => 1,
+            #[cfg(feature = "parallel")]
+            ExecBackend::Parallel => host_threads(),
+            #[cfg(feature = "parallel")]
+            ExecBackend::Threads(0) => host_threads(),
+            #[cfg(feature = "parallel")]
+            ExecBackend::Threads(k) => *k,
+            #[cfg(not(feature = "parallel"))]
+            _ => 1,
+        }
+    }
+
+    /// Whether this backend executes with more than one worker.
+    pub fn is_parallel(&self) -> bool {
+        self.effective_threads() > 1
+    }
+
+    /// Map-reduce over disjoint rows of a mutable buffer.
+    ///
+    /// `spans` lists each row's `(start, end)` range in `data`; spans must
+    /// be **ascending, non-overlapping and within bounds** (they usually
+    /// partition the buffer) — validated up front, since the parallel path
+    /// hands each row to a worker as an exclusive `&mut [T]`.
+    /// `process(row_index, row_slice)` runs exactly once per row; partial
+    /// results are combined with `merge` starting from `identity`.
+    ///
+    /// # Panics
+    /// If the spans are out of order, overlapping, or out of bounds.
+    pub fn map_reduce_rows_mut<T, R>(
+        &self,
+        data: &mut [T],
+        spans: &[(usize, usize)],
+        process: impl Fn(usize, &mut [T]) -> R + Sync,
+        identity: impl Fn() -> R + Sync,
+        merge: impl Fn(R, R) -> R + Sync,
+    ) -> R
+    where
+        T: Send,
+        R: Send,
+    {
+        // Cheap O(rows) validation; the soundness of the parallel path's
+        // aliasing argument rests on it, so it is not a debug_assert.
+        let mut cursor = 0usize;
+        for &(s, e) in spans {
+            assert!(
+                cursor <= s && s <= e && e <= data.len(),
+                "spans must be ascending, disjoint and within bounds \
+                 (violated at ({s},{e}), previous end {cursor}, len {})",
+                data.len()
+            );
+            cursor = e;
+        }
+        let workers = self.effective_threads();
+        if workers <= 1 || spans.len() <= 1 {
+            let mut total = identity();
+            for (row, &(s, e)) in spans.iter().enumerate() {
+                total = merge(total, process(row, &mut data[s..e]));
+            }
+            return total;
+        }
+        #[cfg(feature = "parallel")]
+        {
+            let base = SendPtr(data.as_mut_ptr());
+            let (process, identity, merge) = (&process, &identity, &merge);
+            pool::run_blocks(workers, spans.len(), &move |range, acc: &mut Option<R>| {
+                let mut local = acc.take().unwrap_or_else(&identity);
+                for row in range {
+                    let (s, e) = spans[row];
+                    // SAFETY: spans were validated disjoint and in-bounds
+                    // above, and each row index is claimed by exactly one
+                    // block, so this is the only live reference to
+                    // data[s..e].
+                    let slice = unsafe { std::slice::from_raw_parts_mut(base.get().add(s), e - s) };
+                    local = merge(local, process(row, slice));
+                }
+                *acc = Some(local);
+            })
+            .into_iter()
+            .flatten()
+            .fold(identity(), merge)
+        }
+        #[cfg(not(feature = "parallel"))]
+        unreachable!("workers > 1 requires the `parallel` feature")
+    }
+
+    /// Map-reduce over the uniform-width rows of a mutable buffer: row `r`
+    /// is `data[r * row_len .. (r + 1) * row_len]`. Semantically identical
+    /// to [`Self::map_reduce_rows_mut`] with evenly spaced spans, but
+    /// without materialising a span table — the hot dense-table ops call
+    /// this once per iteration with `O(n^2)` rows.
+    ///
+    /// # Panics
+    /// If `data.len()` is not a multiple of `row_len` (for non-empty data).
+    pub fn map_reduce_chunks_mut<T, R>(
+        &self,
+        data: &mut [T],
+        row_len: usize,
+        process: impl Fn(usize, &mut [T]) -> R + Sync,
+        identity: impl Fn() -> R + Sync,
+        merge: impl Fn(R, R) -> R + Sync,
+    ) -> R
+    where
+        T: Send,
+        R: Send,
+    {
+        if data.is_empty() {
+            return identity();
+        }
+        assert!(
+            row_len > 0 && data.len().is_multiple_of(row_len),
+            "buffer length {} is not a multiple of row length {row_len}",
+            data.len()
+        );
+        let rows = data.len() / row_len;
+        let workers = self.effective_threads();
+        if workers <= 1 || rows <= 1 {
+            let mut total = identity();
+            for (row, slice) in data.chunks_mut(row_len).enumerate() {
+                total = merge(total, process(row, slice));
+            }
+            return total;
+        }
+        #[cfg(feature = "parallel")]
+        {
+            let base = SendPtr(data.as_mut_ptr());
+            let (process, identity, merge) = (&process, &identity, &merge);
+            pool::run_blocks(workers, rows, &move |range, acc: &mut Option<R>| {
+                let mut local = acc.take().unwrap_or_else(&identity);
+                for row in range {
+                    // SAFETY: rows are disjoint by construction (uniform
+                    // non-overlapping chunks, validated to divide the
+                    // buffer) and each row index is claimed by exactly one
+                    // block.
+                    let slice = unsafe {
+                        std::slice::from_raw_parts_mut(base.get().add(row * row_len), row_len)
+                    };
+                    local = merge(local, process(row, slice));
+                }
+                *acc = Some(local);
+            })
+            .into_iter()
+            .flatten()
+            .fold(identity(), merge)
+        }
+        #[cfg(not(feature = "parallel"))]
+        unreachable!("workers > 1 requires the `parallel` feature")
+    }
+
+    /// Produce `len` values by evaluating `f(i)` for every index, in
+    /// parallel, preserving index order in the output.
+    pub fn map_collect<T, F>(&self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out = Vec::new();
+        self.map_collect_into(&mut out, len, f);
+        out
+    }
+
+    /// Like [`Self::map_collect`], but reuses `out`'s allocation: the
+    /// vector is cleared and refilled with `f(0), …, f(len - 1)`. Hot
+    /// loops that collect once per iteration (e.g. wavefront diagonals)
+    /// avoid a fresh allocation per call.
+    pub fn map_collect_into<T, F>(&self, out: &mut Vec<T>, len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        out.clear();
+        let workers = self.effective_threads();
+        if workers <= 1 || len <= 1 {
+            out.extend((0..len).map(f));
+            return;
+        }
+        #[cfg(feature = "parallel")]
+        {
+            out.reserve(len);
+            let base = SendPtr(out.as_mut_ptr());
+            pool::run_blocks(workers, len, &|range, _acc: &mut Option<()>| {
+                for i in range {
+                    // SAFETY: each index is claimed by exactly one block,
+                    // and `reserve` guarantees capacity for 0..len. The
+                    // vector's length is still 0, so these slots are spare
+                    // capacity no one else reads.
+                    unsafe {
+                        base.get().add(i).write(f(i));
+                    }
+                }
+            });
+            // SAFETY: run_blocks returns only after every index in 0..len
+            // was processed, so the first `len` slots are initialised. (On
+            // a worker panic run_blocks re-raises before this point and
+            // the written elements leak, which is safe.)
+            unsafe {
+                out.set_len(len);
+            }
+        }
+        #[cfg(not(feature = "parallel"))]
+        unreachable!("workers > 1 requires the `parallel` feature")
+    }
+}
+
+/// Raw-pointer wrapper that may cross thread boundaries; soundness is the
+/// caller's obligation (disjoint index claims).
+#[cfg(feature = "parallel")]
+struct SendPtr<T>(*mut T);
+
+#[cfg(feature = "parallel")]
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+#[cfg(feature = "parallel")]
+impl<T> Copy for SendPtr<T> {}
+
+#[cfg(feature = "parallel")]
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. Going through a method (rather than field
+    /// access) makes closures capture the whole `Sync` wrapper instead of
+    /// disjointly capturing the raw pointer field.
+    #[inline]
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: access discipline (one claimant per index) is enforced by the
+// block scheduler; the wrapper itself only moves the address.
+#[cfg(feature = "parallel")]
+unsafe impl<T: Send> Send for SendPtr<T> {}
+#[cfg(feature = "parallel")]
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(feature = "parallel")]
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1)
+}
+
+#[cfg(feature = "parallel")]
+mod pool {
+    //! The shared work-stealing pool.
+    //!
+    //! One process-wide set of workers is spawned lazily and reused by
+    //! every parallel region (jobs from concurrent tests interleave
+    //! safely: each job has its own claim counters). A region is `tasks`
+    //! consecutive blocks; workers and the submitting thread repeatedly
+    //! claim the next block index and run the region body on it.
+
+    use std::ops::Range;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+    /// A closure invoked as `body(block_range, &mut accumulator)`.
+    type RegionBody = *const (dyn Fn(Range<usize>, &mut Option<()>) + Sync);
+
+    struct Job {
+        /// Type-erased region body. A raw pointer (not a laundered
+        /// reference) so that a drained `Job` lingering in the queue or in
+        /// a worker's hand after the submitter returns holds no dangling
+        /// reference — the pointer is only dereferenced after a successful
+        /// block claim, which the submitter's completion wait covers.
+        body: RegionBody,
+        /// Next unclaimed block.
+        next: AtomicUsize,
+        /// Total blocks.
+        blocks: usize,
+        /// Block size (all but the last block have exactly this many items).
+        block_len: usize,
+        /// Total items.
+        items: usize,
+        /// Finished blocks.
+        finished: AtomicUsize,
+        /// Whether any block body panicked.
+        poisoned: AtomicBool,
+        /// Completion signal.
+        done: Mutex<bool>,
+        done_cv: Condvar,
+        /// Cap on simultaneous participants (including the submitter).
+        max_participants: usize,
+        /// Current participants; workers increment it under the queue lock
+        /// (see [`worker_loop`]) so the cap cannot be overshot.
+        participants: AtomicUsize,
+    }
+
+    // SAFETY: `body` points at a `Sync` closure; every other field is
+    // already thread-safe. The pointer's validity discipline is documented
+    // on the field.
+    unsafe impl Send for Job {}
+    unsafe impl Sync for Job {}
+
+    impl Job {
+        /// Claim and run blocks until none remain. Returns whether this
+        /// participant ran at least one block.
+        fn help(&self) {
+            loop {
+                let b = self.next.fetch_add(1, Ordering::Relaxed);
+                if b >= self.blocks {
+                    return;
+                }
+                let start = b * self.block_len;
+                let end = (start + self.block_len).min(self.items);
+                let mut acc = None;
+                // SAFETY: a block was successfully claimed, so the
+                // submitter is still inside `run_blocks` (it waits for
+                // `finished == blocks`), keeping the pointee alive.
+                let body = unsafe { &*self.body };
+                if catch_unwind(AssertUnwindSafe(|| body(start..end, &mut acc))).is_err() {
+                    self.poisoned.store(true, Ordering::Release);
+                }
+                let done = self.finished.fetch_add(1, Ordering::AcqRel) + 1;
+                if done == self.blocks {
+                    *self.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+                    self.done_cv.notify_all();
+                }
+            }
+        }
+
+        fn wait(&self) {
+            let mut guard = self.done.lock().unwrap_or_else(|e| e.into_inner());
+            while !*guard {
+                guard = self.done_cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    struct PoolShared {
+        queue: Mutex<Vec<Arc<Job>>>,
+        available: Condvar,
+    }
+
+    fn shared() -> &'static PoolShared {
+        static POOL: OnceLock<&'static PoolShared> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let shared: &'static PoolShared = Box::leak(Box::new(PoolShared {
+                queue: Mutex::new(Vec::new()),
+                available: Condvar::new(),
+            }));
+            let workers = super::host_threads().saturating_sub(1).max(1);
+            for w in 0..workers {
+                std::thread::Builder::new()
+                    .name(format!("pardp-worker-{w}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("failed to spawn pool worker");
+            }
+            shared
+        })
+    }
+
+    fn worker_loop(shared: &'static PoolShared) {
+        loop {
+            let job = {
+                let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    // Drop jobs that are fully claimed; join one that isn't.
+                    if let Some(pos) = queue.iter().position(|j| {
+                        j.next.load(Ordering::Relaxed) < j.blocks
+                            && j.participants.load(Ordering::Relaxed) < j.max_participants
+                    }) {
+                        let job = Arc::clone(&queue[pos]);
+                        // Join under the lock: concurrent workers see the
+                        // raised count, so `max_participants` holds.
+                        job.participants.fetch_add(1, Ordering::Relaxed);
+                        queue.retain(|j| j.next.load(Ordering::Relaxed) < j.blocks);
+                        break job;
+                    }
+                    queue.retain(|j| j.next.load(Ordering::Relaxed) < j.blocks);
+                    queue = shared
+                        .available
+                        .wait(queue)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            job.help();
+            job.participants.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Run `items` units split into blocks across up to `workers`
+    /// participants. `body(range, acc)` is called once per claimed block
+    /// with a per-call accumulator slot; per-block results are returned to
+    /// the caller for merging. Blocks are sized so there are roughly four
+    /// per worker, which balances skewed per-item work against scheduling
+    /// overhead.
+    ///
+    /// # Panics
+    /// Re-raises (as a panic) any panic that occurred inside `body`.
+    pub(super) fn run_blocks<R: Send>(
+        workers: usize,
+        items: usize,
+        body: &(dyn Fn(Range<usize>, &mut Option<R>) + Sync),
+    ) -> Vec<Option<R>> {
+        if items == 0 {
+            return Vec::new();
+        }
+        let blocks = (workers * 4).min(items).max(1);
+        let block_len = items.div_ceil(blocks);
+        let blocks = items.div_ceil(block_len);
+
+        // Collect per-block accumulators: the erased body writes into a
+        // slot vector indexed by block.
+        let slots: Vec<Mutex<Option<R>>> = (0..blocks).map(|_| Mutex::new(None)).collect();
+        let slots_ref = &slots;
+        let wrapped = move |range: Range<usize>, _unused: &mut Option<()>| {
+            let block = range.start / block_len;
+            let mut acc = None;
+            body(range, &mut acc);
+            *slots_ref[block].lock().unwrap_or_else(|e| e.into_inner()) = acc;
+        };
+
+        let job = Arc::new(Job {
+            // The pointee lives until this function returns; `help` only
+            // dereferences it after claiming a block, which the completion
+            // wait below covers. The transmute erases the (non-'static)
+            // capture lifetime from the pointer's type — legitimate for a
+            // raw pointer, whose validity is asserted only at the deref.
+            body: {
+                let short: *const (dyn Fn(Range<usize>, &mut Option<()>) + Sync + '_) = &wrapped;
+                #[allow(clippy::missing_transmute_annotations)]
+                unsafe {
+                    std::mem::transmute::<
+                        *const (dyn Fn(Range<usize>, &mut Option<()>) + Sync + '_),
+                        RegionBody,
+                    >(short)
+                }
+            },
+            next: AtomicUsize::new(0),
+            blocks,
+            block_len,
+            items,
+            finished: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            max_participants: workers,
+            participants: AtomicUsize::new(1),
+        });
+
+        let enqueued = blocks > 1;
+        if enqueued {
+            let shared = shared();
+            {
+                let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                queue.push(Arc::clone(&job));
+            }
+            shared.available.notify_all();
+        }
+        job.help();
+        job.wait();
+        if enqueued {
+            // Purge the drained job so the queue does not retain it (and
+            // its stale body pointer) until the next worker scan.
+            let mut queue = shared().queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.retain(|j| !Arc::ptr_eq(j, &job));
+        }
+        if job.poisoned.load(Ordering::Acquire) {
+            panic!("a parallel region panicked in a pool worker");
+        }
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_parsing() {
+        assert_eq!(
+            "seq".parse::<ExecBackend>().unwrap(),
+            ExecBackend::Sequential
+        );
+        assert_eq!(
+            "sequential".parse::<ExecBackend>().unwrap(),
+            ExecBackend::Sequential
+        );
+        assert_eq!(
+            "parallel".parse::<ExecBackend>().unwrap(),
+            ExecBackend::Parallel
+        );
+        assert_eq!(
+            "threads:3".parse::<ExecBackend>().unwrap(),
+            ExecBackend::Threads(3)
+        );
+        assert_eq!("8".parse::<ExecBackend>().unwrap(), ExecBackend::Threads(8));
+        assert!("bogus".parse::<ExecBackend>().is_err());
+    }
+
+    #[test]
+    fn sequential_is_single_threaded() {
+        assert_eq!(ExecBackend::Sequential.effective_threads(), 1);
+        assert!(!ExecBackend::Sequential.is_parallel());
+        assert!(ExecBackend::Parallel.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn map_collect_preserves_order_on_all_backends() {
+        for backend in [
+            ExecBackend::Sequential,
+            ExecBackend::Parallel,
+            ExecBackend::Threads(3),
+            ExecBackend::Threads(0),
+        ] {
+            for len in [0usize, 1, 2, 7, 100, 1000] {
+                let out = backend.map_collect(len, |i| i * i);
+                assert_eq!(
+                    out,
+                    (0..len).map(|i| i * i).collect::<Vec<_>>(),
+                    "{backend} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn map_reduce_rows_touches_every_row_exactly_once() {
+        for backend in [ExecBackend::Sequential, ExecBackend::Threads(4)] {
+            let rows = 53usize;
+            let width = 17usize;
+            let mut data = vec![0u64; rows * width];
+            let spans: Vec<(usize, usize)> =
+                (0..rows).map(|r| (r * width, (r + 1) * width)).collect();
+            let total = backend.map_reduce_rows_mut(
+                &mut data,
+                &spans,
+                |row, slice| {
+                    for (c, cell) in slice.iter_mut().enumerate() {
+                        *cell = (row * width + c) as u64 + 1;
+                    }
+                    slice.len() as u64
+                },
+                || 0u64,
+                |a, b| a + b,
+            );
+            assert_eq!(total, (rows * width) as u64, "{backend}");
+            assert!(
+                data.iter().enumerate().all(|(i, &v)| v == i as u64 + 1),
+                "{backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn ragged_spans_work() {
+        // Banded tables have rows of varying width.
+        let spans = [(0usize, 3usize), (3, 4), (4, 10), (10, 10), (10, 17)];
+        let mut data = vec![1u64; 17];
+        for backend in [ExecBackend::Sequential, ExecBackend::Threads(4)] {
+            let sum = backend.map_reduce_rows_mut(
+                &mut data,
+                &spans,
+                |_row, slice| slice.iter().sum::<u64>(),
+                || 0u64,
+                |a, b| a + b,
+            );
+            assert_eq!(sum, 17, "{backend}");
+        }
+    }
+
+    #[test]
+    fn concurrent_jobs_from_many_threads_complete() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let backend = ExecBackend::Threads(3);
+                    let out = backend.map_collect(500, |i| i as u64 + t);
+                    out.iter().sum::<u64>()
+                })
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            let expect: u64 = (0..500u64).map(|i| i + t as u64).sum();
+            assert_eq!(h.join().unwrap(), expect);
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn pool_propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            ExecBackend::Threads(2).map_collect(100, |i| {
+                if i == 63 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -62,6 +62,7 @@
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod ops;
 pub mod pram_exec;
 pub mod problem;
@@ -78,6 +79,7 @@ pub mod weight;
 
 /// One-stop imports for typical use.
 pub mod prelude {
+    pub use crate::exec::ExecBackend;
     pub use crate::problem::{DpProblem, FnProblem, TabulatedProblem};
     pub use crate::reconstruct::{reconstruct_root, tree_cost, ParenTree};
     pub use crate::reduced::{solve_reduced, ReducedConfig};

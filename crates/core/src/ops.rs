@@ -15,11 +15,12 @@
 //! Each function returns [`OpStats`]: the number of composition candidates
 //! examined (the unit-work measure used by the E5/E8 accounting) and
 //! whether any table cell strictly improved (the §7 convergence signal).
-//! All functions take a `parallel` flag; the rayon path partitions work by
-//! table row, which keeps writes disjoint without locks.
+//! All functions take an [`ExecBackend`]; the parallel backends partition
+//! work by table row, which keeps writes disjoint without locks (the CREW
+//! exclusive-write discipline), so every backend computes identical
+//! tables.
 
-use rayon::prelude::*;
-
+use crate::exec::ExecBackend;
 use crate::problem::DpProblem;
 use crate::tables::{BandedPw, DensePw, WTable};
 use crate::weight::Weight;
@@ -65,7 +66,7 @@ pub fn a_activate_dense<W: Weight, P: DpProblem<W> + ?Sized>(
     problem: &P,
     w: &WTable<W>,
     pw: &mut DensePw<W>,
-    parallel: bool,
+    exec: &ExecBackend,
 ) -> OpStats {
     let dim = pw.dim();
     let idx = pw.indexer().clone();
@@ -96,21 +97,13 @@ pub fn a_activate_dense<W: Weight, P: DpProblem<W> + ?Sized>(
         }
         stats
     };
-    if parallel {
-        pw.as_mut_slice()
-            .par_chunks_mut(dim)
-            .enumerate()
-            .map(|(a, row)| process_row(a, row))
-            .reduce(OpStats::default, OpStats::merge)
-    } else {
-        let mut total = OpStats::default();
-        for a in 0..dim {
-            let row_range = a * dim..(a + 1) * dim;
-            let row = &mut pw.as_mut_slice()[row_range];
-            total = total.merge(process_row(a, row));
-        }
-        total
-    }
+    exec.map_reduce_chunks_mut(
+        pw.as_mut_slice(),
+        dim,
+        process_row,
+        OpStats::default,
+        OpStats::merge,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -132,7 +125,7 @@ pub fn a_activate_dense<W: Weight, P: DpProblem<W> + ?Sized>(
 pub fn a_square_dense<W: Weight>(
     prev: &DensePw<W>,
     next: &mut DensePw<W>,
-    parallel: bool,
+    exec: &ExecBackend,
 ) -> OpStats {
     let dim = prev.dim();
     let idx = prev.indexer().clone();
@@ -168,7 +161,13 @@ pub fn a_square_dense<W: Weight>(
         }
         stats
     };
-    run_rows_dense(next, dim, parallel, process_row)
+    exec.map_reduce_chunks_mut(
+        next.as_mut_slice(),
+        dim,
+        process_row,
+        OpStats::default,
+        OpStats::merge,
+    )
 }
 
 /// Rytter's square [8] over the same dense storage: composition through
@@ -185,7 +184,7 @@ pub fn a_square_dense<W: Weight>(
 pub fn a_square_rytter<W: Weight>(
     prev: &DensePw<W>,
     next: &mut DensePw<W>,
-    parallel: bool,
+    exec: &ExecBackend,
 ) -> OpStats {
     let dim = prev.dim();
     let idx = prev.indexer().clone();
@@ -216,31 +215,13 @@ pub fn a_square_rytter<W: Weight>(
         }
         stats
     };
-    run_rows_dense(next, dim, parallel, process_row)
-}
-
-/// Shared row-parallel driver for dense squares.
-fn run_rows_dense<W: Weight>(
-    next: &mut DensePw<W>,
-    dim: usize,
-    parallel: bool,
-    process_row: impl Fn(usize, &mut [W]) -> OpStats + Sync,
-) -> OpStats {
-    if parallel {
-        next.as_mut_slice()
-            .par_chunks_mut(dim)
-            .enumerate()
-            .map(|(a, row)| process_row(a, row))
-            .reduce(OpStats::default, OpStats::merge)
-    } else {
-        let mut total = OpStats::default();
-        let data = next.as_mut_slice();
-        for a in 0..dim {
-            let row = &mut data[a * dim..(a + 1) * dim];
-            total = total.merge(process_row(a, row));
-        }
-        total
-    }
+    exec.map_reduce_chunks_mut(
+        next.as_mut_slice(),
+        dim,
+        process_row,
+        OpStats::default,
+        OpStats::merge,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -255,65 +236,51 @@ fn run_rows_dense<W: Weight>(
 /// ```
 ///
 /// The `(p,q) = (i,j)` candidate contributes `0 + w'(i,j)`, so the update
-/// is monotone non-increasing. Reads `w_prev`, writes `w_next`.
+/// is monotone non-increasing. Reads `w_prev`, writes `w_next`
+/// (partitioned by `w_next` row, one parallel task per left endpoint `i`).
 pub fn a_pebble_dense<W: Weight>(
     pw: &DensePw<W>,
     w_prev: &WTable<W>,
     w_next: &mut WTable<W>,
-    parallel: bool,
+    exec: &ExecBackend,
 ) -> OpStats {
     let n = w_prev.n();
     let idx = pw.indexer().clone();
     let dim = pw.dim();
     let pw_data = pw.as_slice();
-    let process_pair = |i: usize, j: usize| -> (W, OpStats) {
-        let a = idx.index(i, j);
-        let row = &pw_data[a * dim..(a + 1) * dim];
-        let old = w_prev.get(i, j);
-        let mut best = old; // the (p,q) = (i,j) candidate: pw = 0
-        let mut stats = OpStats { candidates: 0, writes: 1, changed: false };
-        for p in i..j {
-            for q in p + 1..=j {
-                if p == i && q == j {
-                    continue;
+    let process_w_row = |i: usize, out_row: &mut [W]| -> OpStats {
+        let mut stats = OpStats::default();
+        for (j, out_cell) in out_row.iter_mut().enumerate().skip(i + 1) {
+            let a = idx.index(i, j);
+            let row = &pw_data[a * dim..(a + 1) * dim];
+            let old = w_prev.get(i, j);
+            let mut best = old; // the (p,q) = (i,j) candidate: pw = 0
+            stats.writes += 1;
+            for p in i..j {
+                for q in p + 1..=j {
+                    if p == i && q == j {
+                        continue;
+                    }
+                    let b = idx.index(p, q);
+                    let cand = row[b].add(w_prev.get(p, q));
+                    best = best.min2(cand);
+                    stats.candidates += 1;
                 }
-                let b = idx.index(p, q);
-                let cand = row[b].add(w_prev.get(p, q));
-                best = best.min2(cand);
-                stats.candidates += 1;
             }
+            if best < old {
+                stats.changed = true;
+            }
+            *out_cell = best;
         }
-        if best < old {
-            stats.changed = true;
-        }
-        (best, stats)
+        stats
     };
-    if parallel {
-        let results: Vec<(usize, usize, W, OpStats)> = (0..n)
-            .into_par_iter()
-            .flat_map_iter(|i| (i + 1..=n).map(move |j| (i, j)))
-            .map(|(i, j)| {
-                let (v, s) = process_pair(i, j);
-                (i, j, v, s)
-            })
-            .collect();
-        let mut total = OpStats::default();
-        for (i, j, v, s) in results {
-            w_next.set(i, j, v);
-            total = total.merge(s);
-        }
-        total
-    } else {
-        let mut total = OpStats::default();
-        for i in 0..n {
-            for j in i + 1..=n {
-                let (v, s) = process_pair(i, j);
-                w_next.set(i, j, v);
-                total = total.merge(s);
-            }
-        }
-        total
-    }
+    exec.map_reduce_chunks_mut(
+        w_next.as_mut_slice(),
+        n + 1,
+        process_w_row,
+        OpStats::default,
+        OpStats::merge,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -327,7 +294,7 @@ pub fn a_activate_banded<W: Weight, P: DpProblem<W> + ?Sized>(
     problem: &P,
     w: &WTable<W>,
     pw: &mut BandedPw<W>,
-    parallel: bool,
+    exec: &ExecBackend,
 ) -> OpStats {
     let band = pw.band();
     let idx = pw.indexer().clone();
@@ -341,7 +308,11 @@ pub fn a_activate_banded<W: Weight, P: DpProblem<W> + ?Sized>(
         }
         // Gap (i,k): eccentricity e = j - k <= band  =>  k >= j - band.
         let k_lo_1 = i + 1;
-        let k_lo = if j > band { k_lo_1.max(j - band) } else { k_lo_1 };
+        let k_lo = if j > band {
+            k_lo_1.max(j - band)
+        } else {
+            k_lo_1
+        };
         for k in k_lo..j {
             let e = j - k;
             let pos = e * (e + 1) / 2; // p - i = 0
@@ -368,7 +339,13 @@ pub fn a_activate_banded<W: Weight, P: DpProblem<W> + ?Sized>(
         }
         stats
     };
-    run_rows_banded(pw, &spans, parallel, process_row)
+    exec.map_reduce_rows_mut(
+        pw.as_mut_slice(),
+        &spans,
+        process_row,
+        OpStats::default,
+        OpStats::merge,
+    )
 }
 
 /// `a-square` over banded storage with the §5 `O(sqrt n)` composition
@@ -378,7 +355,7 @@ pub fn a_activate_banded<W: Weight, P: DpProblem<W> + ?Sized>(
 pub fn a_square_banded<W: Weight>(
     prev: &BandedPw<W>,
     next: &mut BandedPw<W>,
-    parallel: bool,
+    exec: &ExecBackend,
 ) -> OpStats {
     let band = prev.band();
     let idx = prev.indexer().clone();
@@ -425,39 +402,13 @@ pub fn a_square_banded<W: Weight>(
         }
         stats
     };
-    run_rows_banded(next, &spans, parallel, process_row)
-}
-
-/// Shared row-parallel driver for banded tables (rows have varying
-/// length, so the buffer is split at the row offsets).
-fn run_rows_banded<W: Weight>(
-    table: &mut BandedPw<W>,
-    spans: &[(usize, usize)],
-    parallel: bool,
-    process_row: impl Fn(usize, &mut [W]) -> OpStats + Sync,
-) -> OpStats {
-    if parallel {
-        let mut rows: Vec<(usize, &mut [W])> = Vec::with_capacity(spans.len());
-        let mut rest = table.as_mut_slice();
-        let mut consumed = 0usize;
-        for (a, &(s, e)) in spans.iter().enumerate() {
-            debug_assert_eq!(s, consumed);
-            let (head, tail) = rest.split_at_mut(e - s);
-            rows.push((a, head));
-            rest = tail;
-            consumed = e;
-        }
-        rows.into_par_iter()
-            .map(|(a, row)| process_row(a, row))
-            .reduce(OpStats::default, OpStats::merge)
-    } else {
-        let mut total = OpStats::default();
-        let data = table.as_mut_slice();
-        for (a, &(s, e)) in spans.iter().enumerate() {
-            total = total.merge(process_row(a, &mut data[s..e]));
-        }
-        total
-    }
+    exec.map_reduce_rows_mut(
+        next.as_mut_slice(),
+        &spans,
+        process_row,
+        OpStats::default,
+        OpStats::merge,
+    )
 }
 
 /// `a-pebble` over banded storage, optionally restricted to the §5 size
@@ -482,63 +433,52 @@ pub fn a_pebble_banded<W: Weight, P: DpProblem<W> + ?Sized>(
     w_prev: &WTable<W>,
     w_next: &mut WTable<W>,
     window: Option<(usize, usize)>,
-    parallel: bool,
+    exec: &ExecBackend,
 ) -> OpStats {
     let n = w_prev.n();
-    let process_pair = |i: usize, j: usize| -> (W, OpStats) {
-        let d = j - i;
-        let old = w_prev.get(i, j);
-        if let Some((lo, hi)) = window {
-            if d <= lo || d > hi {
-                return (old, OpStats { candidates: 0, writes: 0, changed: false });
+    let process_w_row = |i: usize, out_row: &mut [W]| -> OpStats {
+        let mut stats = OpStats::default();
+        for (j, out_cell) in out_row.iter_mut().enumerate().skip(i + 1) {
+            let d = j - i;
+            let old = w_prev.get(i, j);
+            if let Some((lo, hi)) = window {
+                if d <= lo || d > hi {
+                    *out_cell = old;
+                    continue;
+                }
             }
-        }
-        let mut best = old;
-        let mut stats = OpStats { candidates: 0, writes: 1, changed: false };
-        for (p, q) in pw.gaps_of(i, j) {
-            if p == i && q == j {
-                continue;
+            let mut best = old;
+            stats.writes += 1;
+            for (p, q) in pw.gaps_of(i, j) {
+                if p == i && q == j {
+                    continue;
+                }
+                let cand = pw.get(i, j, p, q).add(w_prev.get(p, q));
+                best = best.min2(cand);
+                stats.candidates += 1;
             }
-            let cand = pw.get(i, j, p, q).add(w_prev.get(p, q));
-            best = best.min2(cand);
-            stats.candidates += 1;
+            for k in i + 1..j {
+                let cand = problem
+                    .f(i, k, j)
+                    .add(w_prev.get(i, k))
+                    .add(w_prev.get(k, j));
+                best = best.min2(cand);
+                stats.candidates += 1;
+            }
+            if best < old {
+                stats.changed = true;
+            }
+            *out_cell = best;
         }
-        for k in i + 1..j {
-            let cand = problem.f(i, k, j).add(w_prev.get(i, k)).add(w_prev.get(k, j));
-            best = best.min2(cand);
-            stats.candidates += 1;
-        }
-        if best < old {
-            stats.changed = true;
-        }
-        (best, stats)
+        stats
     };
-    if parallel {
-        let results: Vec<(usize, usize, W, OpStats)> = (0..n)
-            .into_par_iter()
-            .flat_map_iter(|i| (i + 1..=n).map(move |j| (i, j)))
-            .map(|(i, j)| {
-                let (v, s) = process_pair(i, j);
-                (i, j, v, s)
-            })
-            .collect();
-        let mut total = OpStats::default();
-        for (i, j, v, s) in results {
-            w_next.set(i, j, v);
-            total = total.merge(s);
-        }
-        total
-    } else {
-        let mut total = OpStats::default();
-        for i in 0..n {
-            for j in i + 1..=n {
-                let (v, s) = process_pair(i, j);
-                w_next.set(i, j, v);
-                total = total.merge(s);
-            }
-        }
-        total
-    }
+    exec.map_reduce_chunks_mut(
+        w_next.as_mut_slice(),
+        n + 1,
+        process_w_row,
+        OpStats::default,
+        OpStats::merge,
+    )
 }
 
 #[cfg(test)]
@@ -546,6 +486,8 @@ mod tests {
     use super::*;
     use crate::problem::FnProblem;
     use crate::seq::solve_sequential;
+
+    const SEQ: ExecBackend = ExecBackend::Sequential;
 
     fn chain(dims: Vec<u64>) -> impl DpProblem<u64> {
         let n = dims.len() - 1;
@@ -555,7 +497,7 @@ mod tests {
     /// Drive (activate, square, pebble) for 2*ceil(sqrt(n)) iterations and
     /// return the w table — a miniature of the full solver, used to test
     /// the ops in isolation.
-    fn run_dense(p: &impl DpProblem<u64>, parallel: bool) -> WTable<u64> {
+    fn run_dense(p: &impl DpProblem<u64>, exec: &ExecBackend) -> WTable<u64> {
         let n = p.n();
         let mut w = WTable::new(n);
         for i in 0..n {
@@ -566,10 +508,10 @@ mod tests {
         let mut w_next = w.clone();
         let iters = 2 * pardp_pebble::ceil_sqrt(n as u64);
         for _ in 0..iters {
-            a_activate_dense(p, &w, &mut pw, parallel);
-            a_square_dense(&pw, &mut pw_next, parallel);
+            a_activate_dense(p, &w, &mut pw, exec);
+            a_square_dense(&pw, &mut pw_next, exec);
             std::mem::swap(&mut pw, &mut pw_next);
-            a_pebble_dense(&pw, &w, &mut w_next, parallel);
+            a_pebble_dense(&pw, &w, &mut w_next, exec);
             std::mem::swap(&mut w, &mut w_next);
         }
         w
@@ -578,7 +520,7 @@ mod tests {
     #[test]
     fn dense_ops_compute_clrs_chain() {
         let p = chain(vec![30, 35, 15, 5, 10, 20, 25]);
-        let w = run_dense(&p, false);
+        let w = run_dense(&p, &SEQ);
         assert_eq!(w.root(), 15125);
         assert!(w.table_eq(&solve_sequential(&p)));
     }
@@ -586,9 +528,11 @@ mod tests {
     #[test]
     fn parallel_and_sequential_ops_agree() {
         let p = chain(vec![7, 3, 9, 4, 12, 5, 8, 6, 10, 2, 11]);
-        let seq = run_dense(&p, false);
-        let par = run_dense(&p, true);
-        assert!(seq.table_eq(&par));
+        let seq = run_dense(&p, &SEQ);
+        for backend in [ExecBackend::Parallel, ExecBackend::Threads(4)] {
+            let par = run_dense(&p, &backend);
+            assert!(seq.table_eq(&par), "{backend}");
+        }
         assert!(seq.table_eq(&solve_sequential(&p)));
     }
 
@@ -603,14 +547,14 @@ mod tests {
             w.set(i, i + 1, p.init(i));
         }
         let mut pw = DensePw::new(n);
-        let stats = a_activate_dense(&p, &w, &mut pw, false);
+        let stats = a_activate_dense(&p, &w, &mut pw, &SEQ);
         assert!(stats.changed);
         // (0,3) with k=1: gap (0,1) gets f(0,1,3) + w(1,3) = inf (w(1,3) unknown).
         assert!(!pw.get(0, 3, 0, 1).is_finite_cost());
         // (0,2) with k=1: gap (0,1) gets f(0,1,2) + w(1,2) = 2*3*4 + 0.
         assert_eq!(pw.get(0, 2, 0, 1), 24);
         assert_eq!(pw.get(0, 2, 1, 2), 24); // symmetric gap
-        // Diagonal untouched.
+                                            // Diagonal untouched.
         assert_eq!(pw.get(0, 3, 0, 3), 0);
     }
 
@@ -624,20 +568,20 @@ mod tests {
         let mut w_next = w.clone();
         // Iterate to fixpoint.
         for _ in 0..20 {
-            a_activate_dense(&p, &w, &mut pw, false);
-            let s = a_square_dense(&pw, &mut pw_next, false);
+            a_activate_dense(&p, &w, &mut pw, &SEQ);
+            let s = a_square_dense(&pw, &mut pw_next, &SEQ);
             std::mem::swap(&mut pw, &mut pw_next);
-            a_pebble_dense(&pw, &w, &mut w_next, false);
+            a_pebble_dense(&pw, &w, &mut w_next, &SEQ);
             std::mem::swap(&mut w, &mut w_next);
             if !s.changed {
                 break;
             }
         }
         // One more round must change nothing.
-        let a = a_activate_dense(&p, &w, &mut pw, false);
-        let s = a_square_dense(&pw, &mut pw_next, false);
+        let a = a_activate_dense(&p, &w, &mut pw, &SEQ);
+        let s = a_square_dense(&pw, &mut pw_next, &SEQ);
         std::mem::swap(&mut pw, &mut pw_next);
-        let pb = a_pebble_dense(&pw, &w, &mut w_next, false);
+        let pb = a_pebble_dense(&pw, &w, &mut w_next, &SEQ);
         assert!(!a.changed && !s.changed && !pb.changed);
     }
 
@@ -653,10 +597,10 @@ mod tests {
         let mut pw_next = DensePw::new(n);
         let mut w_next = w.clone();
         for _ in 0..(2 * (n as f64).log2().ceil() as usize + 4) {
-            a_activate_dense(&p, &w, &mut pw, false);
-            a_square_rytter(&pw, &mut pw_next, false);
+            a_activate_dense(&p, &w, &mut pw, &SEQ);
+            a_square_rytter(&pw, &mut pw_next, &SEQ);
             std::mem::swap(&mut pw, &mut pw_next);
-            a_pebble_dense(&pw, &w, &mut w_next, false);
+            a_pebble_dense(&pw, &w, &mut w_next, &SEQ);
             std::mem::swap(&mut w, &mut w_next);
         }
         assert!(w.table_eq(&solve_sequential(&p)));
@@ -670,8 +614,8 @@ mod tests {
             let pw = DensePw::<u64>::new(n);
             let mut next1 = DensePw::new(n);
             let mut next2 = DensePw::new(n);
-            let restricted = a_square_dense(&pw, &mut next1, false);
-            let full = a_square_rytter(&pw, &mut next2, false);
+            let restricted = a_square_dense(&pw, &mut next1, &SEQ);
+            let full = a_square_rytter(&pw, &mut next2, &SEQ);
             assert!(full.candidates > restricted.candidates, "n={n}");
             full.candidates as f64 / restricted.candidates as f64
         };
@@ -700,14 +644,14 @@ mod tests {
         let mut wd_next = w_d.clone();
         let mut wb_next = w_b.clone();
         for _ in 0..6 {
-            a_activate_dense(&p, &w_d, &mut pwd, false);
-            a_activate_banded(&p, &w_b, &mut pwb, false);
-            a_square_dense(&pwd, &mut pwd_next, false);
-            a_square_banded(&pwb, &mut pwb_next, false);
+            a_activate_dense(&p, &w_d, &mut pwd, &SEQ);
+            a_activate_banded(&p, &w_b, &mut pwb, &SEQ);
+            a_square_dense(&pwd, &mut pwd_next, &SEQ);
+            a_square_banded(&pwb, &mut pwb_next, &SEQ);
             std::mem::swap(&mut pwd, &mut pwd_next);
             std::mem::swap(&mut pwb, &mut pwb_next);
-            a_pebble_dense(&pwd, &w_d, &mut wd_next, false);
-            a_pebble_banded(&p, &pwb, &w_b, &mut wb_next, None, false);
+            a_pebble_dense(&pwd, &w_d, &mut wd_next, &SEQ);
+            a_pebble_banded(&p, &pwb, &w_b, &mut wb_next, None, &SEQ);
             std::mem::swap(&mut w_d, &mut wd_next);
             std::mem::swap(&mut w_b, &mut wb_next);
             // Tables agree cell-for-cell at every step.
@@ -737,8 +681,8 @@ mod tests {
         let mut dense_next = DensePw::new(n);
         let banded = BandedPw::<u64>::new(n, band);
         let mut banded_next = BandedPw::new(n, band);
-        let sd = a_square_dense(&dense, &mut dense_next, false);
-        let sb = a_square_banded(&banded, &mut banded_next, false);
+        let sd = a_square_dense(&dense, &mut dense_next, &SEQ);
+        let sb = a_square_banded(&banded, &mut banded_next, &SEQ);
         assert!(
             sb.candidates * 2 < sd.candidates,
             "banded {} vs dense {}",
@@ -759,8 +703,36 @@ mod tests {
         let mut w_next = w.clone();
         // Window (0,1]: only leaf-sized pairs — nothing to improve, and
         // longer pairs must not be touched (they stay infinity).
-        let stats = a_pebble_banded(&p, &pw, &w, &mut w_next, Some((0, 1)), false);
+        let stats = a_pebble_banded(&p, &pw, &w, &mut w_next, Some((0, 1)), &SEQ);
         assert!(!stats.changed);
         assert!(!w_next.get(0, n).is_finite_cost());
+    }
+
+    #[test]
+    fn banded_ops_agree_across_backends() {
+        let p = chain(vec![9, 4, 7, 2, 8, 3, 6, 5, 10, 1, 12, 11]);
+        let n = p.n();
+        let band = 2 * pardp_pebble::ceil_sqrt(n as u64) as usize;
+        let run = |exec: &ExecBackend| {
+            let mut w = WTable::new(n);
+            for i in 0..n {
+                w.set(i, i + 1, p.init(i));
+            }
+            let mut pw = BandedPw::new(n, band);
+            let mut pw_next = BandedPw::new(n, band);
+            let mut w_next = w.clone();
+            for _ in 0..2 * pardp_pebble::ceil_sqrt(n as u64) {
+                a_activate_banded(&p, &w, &mut pw, exec);
+                a_square_banded(&pw, &mut pw_next, exec);
+                std::mem::swap(&mut pw, &mut pw_next);
+                a_pebble_banded(&p, &pw, &w, &mut w_next, None, exec);
+                std::mem::swap(&mut w, &mut w_next);
+            }
+            w
+        };
+        let seq = run(&SEQ);
+        let par = run(&ExecBackend::Threads(4));
+        assert!(seq.table_eq(&par));
+        assert!(seq.table_eq(&solve_sequential(&p)));
     }
 }

@@ -17,6 +17,7 @@
 
 use pardp_pram::{AuditMode, PhaseRecord, Pram, PramError, SharedArray};
 
+use crate::exec::ExecBackend;
 use crate::ops::{
     a_activate_banded, a_activate_dense, a_pebble_banded, a_pebble_dense, a_square_banded,
     a_square_dense, a_square_rytter,
@@ -26,6 +27,10 @@ use crate::reduced::default_band;
 use crate::seq::sequential_work;
 use crate::tables::{BandedPw, DensePw, PairIndexer, WTable};
 use crate::weight::Weight;
+
+/// The accounting runs execute sequentially: phase costs are derived from
+/// exact candidate counts, which must not depend on worker scheduling.
+const SEQ: ExecBackend = ExecBackend::Sequential;
 
 // ---------------------------------------------------------------------------
 // Fan-in histograms (iteration-independent, computed once per run)
@@ -163,16 +168,26 @@ pub fn account_sublinear<W: Weight, P: DpProblem<W> + ?Sized>(problem: &P) -> Ac
     let mut w_next = w.clone();
     let schedule = 2 * pardp_pebble::ceil_sqrt(n as u64);
     for _ in 0..schedule {
-        let act = a_activate_dense(problem, &w, &mut pw, false);
+        let act = a_activate_dense(problem, &w, &mut pw, &SEQ);
         pram.map_phase("a-activate/update", act.candidates);
-        a_square_dense(&pw, &mut pw_next, false);
-        pram.push(PhaseRecord::reduce_from_histogram("a-square/min", sq_hist.iter().copied()));
+        a_square_dense(&pw, &mut pw_next, &SEQ);
+        pram.push(PhaseRecord::reduce_from_histogram(
+            "a-square/min",
+            sq_hist.iter().copied(),
+        ));
         std::mem::swap(&mut pw, &mut pw_next);
-        a_pebble_dense(&pw, &w, &mut w_next, false);
-        pram.push(PhaseRecord::reduce_from_histogram("a-pebble/min", pb_hist.iter().copied()));
+        a_pebble_dense(&pw, &w, &mut w_next, &SEQ);
+        pram.push(PhaseRecord::reduce_from_histogram(
+            "a-pebble/min",
+            pb_hist.iter().copied(),
+        ));
         std::mem::swap(&mut w, &mut w_next);
     }
-    AccountedRun { value: w.root(), pram, iterations: schedule }
+    AccountedRun {
+        value: w.root(),
+        pram,
+        iterations: schedule,
+    }
 }
 
 /// Run the §5 reduced algorithm with exact PRAM phase accounting.
@@ -193,21 +208,28 @@ pub fn account_reduced<W: Weight, P: DpProblem<W> + ?Sized>(problem: &P) -> Acco
     let mut w_next = w.clone();
     let schedule = 2 * pardp_pebble::ceil_sqrt(n as u64);
     for iter in 1..=schedule {
-        let act = a_activate_banded(problem, &w, &mut pw, false);
+        let act = a_activate_banded(problem, &w, &mut pw, &SEQ);
         pram.map_phase("a-activate/update", act.candidates);
-        a_square_banded(&pw, &mut pw_next, false);
-        pram.push(PhaseRecord::reduce_from_histogram("a-square/min", sq_hist.iter().copied()));
+        a_square_banded(&pw, &mut pw_next, &SEQ);
+        pram.push(PhaseRecord::reduce_from_histogram(
+            "a-square/min",
+            sq_hist.iter().copied(),
+        ));
         std::mem::swap(&mut pw, &mut pw_next);
         let l = iter.div_ceil(2) as usize;
         let window = Some(((l - 1) * (l - 1), l * l));
-        a_pebble_banded(problem, &pw, &w, &mut w_next, window, false);
+        a_pebble_banded(problem, &pw, &w, &mut w_next, window, &SEQ);
         pram.push(PhaseRecord::reduce_from_histogram(
             "a-pebble/min",
             banded_pebble_hist(n, band, window),
         ));
         std::mem::swap(&mut w, &mut w_next);
     }
-    AccountedRun { value: w.root(), pram, iterations: schedule }
+    AccountedRun {
+        value: w.root(),
+        pram,
+        iterations: schedule,
+    }
 }
 
 /// Run Rytter's algorithm [8] with exact PRAM phase accounting.
@@ -230,19 +252,29 @@ pub fn account_rytter<W: Weight, P: DpProblem<W> + ?Sized>(problem: &P) -> Accou
     let mut iterations = 0;
     for _ in 0..schedule {
         iterations += 1;
-        let act = a_activate_dense(problem, &w, &mut pw, false);
+        let act = a_activate_dense(problem, &w, &mut pw, &SEQ);
         pram.map_phase("a-activate/update", act.candidates);
-        let sq = a_square_rytter(&pw, &mut pw_next, false);
-        pram.push(PhaseRecord::reduce_from_histogram("a-square/min", sq_hist.iter().copied()));
+        let sq = a_square_rytter(&pw, &mut pw_next, &SEQ);
+        pram.push(PhaseRecord::reduce_from_histogram(
+            "a-square/min",
+            sq_hist.iter().copied(),
+        ));
         std::mem::swap(&mut pw, &mut pw_next);
-        let pb = a_pebble_dense(&pw, &w, &mut w_next, false);
-        pram.push(PhaseRecord::reduce_from_histogram("a-pebble/min", pb_hist.iter().copied()));
+        let pb = a_pebble_dense(&pw, &w, &mut w_next, &SEQ);
+        pram.push(PhaseRecord::reduce_from_histogram(
+            "a-pebble/min",
+            pb_hist.iter().copied(),
+        ));
         std::mem::swap(&mut w, &mut w_next);
         if !act.changed && !sq.changed && !pb.changed {
             break;
         }
     }
-    AccountedRun { value: w.root(), pram, iterations }
+    AccountedRun {
+        value: w.root(),
+        pram,
+        iterations,
+    }
 }
 
 /// Account the wavefront algorithm [10]: one reduce phase per
@@ -294,8 +326,14 @@ pub fn model_sublinear(n: usize) -> Pram {
     pram.map_phase("init/pw", PairIndexer::new(n).len() as u64);
     for _ in 0..2 * pardp_pebble::ceil_sqrt(n as u64) {
         pram.map_phase("a-activate/update", dense_activate_tasks(n));
-        pram.push(PhaseRecord::reduce_from_histogram("a-square/min", sq_hist.iter().copied()));
-        pram.push(PhaseRecord::reduce_from_histogram("a-pebble/min", pb_hist.iter().copied()));
+        pram.push(PhaseRecord::reduce_from_histogram(
+            "a-square/min",
+            sq_hist.iter().copied(),
+        ));
+        pram.push(PhaseRecord::reduce_from_histogram(
+            "a-pebble/min",
+            pb_hist.iter().copied(),
+        ));
     }
     pram
 }
@@ -310,7 +348,10 @@ pub fn model_reduced(n: usize) -> Pram {
     let schedule = 2 * pardp_pebble::ceil_sqrt(n as u64);
     for iter in 1..=schedule {
         pram.map_phase("a-activate/update", banded_activate_tasks(n, band));
-        pram.push(PhaseRecord::reduce_from_histogram("a-square/min", sq_hist.iter().copied()));
+        pram.push(PhaseRecord::reduce_from_histogram(
+            "a-square/min",
+            sq_hist.iter().copied(),
+        ));
         let l = iter.div_ceil(2) as usize;
         let window = Some(((l - 1) * (l - 1), l * l));
         pram.push(PhaseRecord::reduce_from_histogram(
@@ -332,8 +373,14 @@ pub fn model_rytter(n: usize, iterations: u64) -> Pram {
     pram.map_phase("init/pw", PairIndexer::new(n).len() as u64);
     for _ in 0..iterations {
         pram.map_phase("a-activate/update", dense_activate_tasks(n));
-        pram.push(PhaseRecord::reduce_from_histogram("a-square/min", sq_hist.iter().copied()));
-        pram.push(PhaseRecord::reduce_from_histogram("a-pebble/min", pb_hist.iter().copied()));
+        pram.push(PhaseRecord::reduce_from_histogram(
+            "a-square/min",
+            sq_hist.iter().copied(),
+        ));
+        pram.push(PhaseRecord::reduce_from_histogram(
+            "a-pebble/min",
+            pb_hist.iter().copied(),
+        ));
     }
     pram
 }
@@ -426,14 +473,12 @@ pub fn audited_sublinear_value<W: Weight, P: DpProblem<W> + ?Sized>(
                     let mut best = pw_cur.read(a * pairs + b)?;
                     for r in i..p {
                         let c = idx.index(r, q);
-                        let cand =
-                            pw_cur.read(a * pairs + c)?.add(pw_cur.read(c * pairs + b)?);
+                        let cand = pw_cur.read(a * pairs + c)?.add(pw_cur.read(c * pairs + b)?);
                         best = best.min2(cand);
                     }
                     for s in q + 1..=j {
                         let c = idx.index(p, s);
-                        let cand =
-                            pw_cur.read(a * pairs + c)?.add(pw_cur.read(c * pairs + b)?);
+                        let cand = pw_cur.read(a * pairs + c)?.add(pw_cur.read(c * pairs + b)?);
                         best = best.min2(cand);
                     }
                     pw_nxt.write(a * pairs + b, best)?;
@@ -454,8 +499,7 @@ pub fn audited_sublinear_value<W: Weight, P: DpProblem<W> + ?Sized>(
                         continue;
                     }
                     let b = idx.index(p, q);
-                    let cand =
-                        pw_cur.read(a * pairs + b)?.add(w.read(p * (n + 1) + q)?);
+                    let cand = pw_cur.read(a * pairs + b)?.add(w.read(p * (n + 1) + q)?);
                     best = best.min2(cand);
                 }
             }
@@ -496,7 +540,9 @@ mod tests {
         let wave_w = account_wavefront(n).metrics().work;
         let red_w = model_reduced(n).metrics().work;
         let sub_w = model_sublinear(n).metrics().work;
-        let ryt_w = model_rytter(n, crate::rytter::rytter_schedule(n)).metrics().work;
+        let ryt_w = model_rytter(n, crate::rytter::rytter_schedule(n))
+            .metrics()
+            .work;
         // Wavefront = sequential candidates + the n init writes.
         assert_eq!(seq_w + n as u64, wave_w, "wavefront is work-optimal");
         assert!(wave_w < red_w, "{wave_w} < {red_w}");
@@ -590,9 +636,13 @@ mod tests {
         let n = 9usize;
         let pw = DensePw::<u64>::new(n);
         let mut next = DensePw::new(n);
-        let OpStats { candidates, writes, .. } = a_square_dense(&pw, &mut next, false);
-        let hist_total: u64 =
-            dense_square_hist(n).iter().map(|&(fan, count)| (fan - 1) * count).sum();
+        let OpStats {
+            candidates, writes, ..
+        } = a_square_dense(&pw, &mut next, &SEQ);
+        let hist_total: u64 = dense_square_hist(n)
+            .iter()
+            .map(|&(fan, count)| (fan - 1) * count)
+            .sum();
         // hist counts fan-1 compositions per cell beyond the old value;
         // cells with fan = 1 (no compositions) don't appear in ops' sums.
         assert_eq!(hist_total, candidates, "square candidates");

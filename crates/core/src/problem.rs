@@ -108,7 +108,12 @@ where
     /// Create a closure-backed problem over `n` objects.
     pub fn new(n: usize, init_fn: FI, f_fn: FF) -> Self {
         assert!(n >= 1, "need at least one object");
-        FnProblem { n, init_fn, f_fn, name: "fn-problem".to_string() }
+        FnProblem {
+            n,
+            init_fn,
+            f_fn,
+            name: "fn-problem".to_string(),
+        }
     }
 
     /// Set the display name.
@@ -170,7 +175,12 @@ impl<W: Weight> TabulatedProblem<W> {
                 }
             }
         }
-        TabulatedProblem { n, init, f, name: "tabulated".to_string() }
+        TabulatedProblem {
+            n,
+            init,
+            f,
+            name: "tabulated".to_string(),
+        }
     }
 
     /// Set the display name.

@@ -96,10 +96,18 @@ pub fn reconstruct<W: Weight, P: DpProblem<W> + ?Sized>(
         if via.cost_eq(&target) {
             let left = reconstruct(problem, w, lo, k)?;
             let right = reconstruct(problem, w, k, hi)?;
-            return Ok(ParenTree::Node { i: lo, j: hi, k, left: Box::new(left), right: Box::new(right) });
+            return Ok(ParenTree::Node {
+                i: lo,
+                j: hi,
+                k,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
         }
     }
-    Err(format!("no split of ({lo},{hi}) achieves w = {target:?} — inconsistent table"))
+    Err(format!(
+        "no split of ({lo},{hi}) achieves w = {target:?} — inconsistent table"
+    ))
 }
 
 /// Reconstruct the root tree `(0, n)`.
@@ -115,7 +123,13 @@ pub fn reconstruct_root<W: Weight, P: DpProblem<W> + ?Sized>(
 pub fn tree_cost<W: Weight, P: DpProblem<W> + ?Sized>(problem: &P, tree: &ParenTree) -> W {
     match tree {
         ParenTree::Leaf { i } => problem.init(*i),
-        ParenTree::Node { i, j, k, left, right } => problem
+        ParenTree::Node {
+            i,
+            j,
+            k,
+            left,
+            right,
+        } => problem
             .f(*i, *k, *j)
             .add(tree_cost(problem, left))
             .add(tree_cost(problem, right)),
@@ -197,8 +211,7 @@ mod tests {
         let mut intervals = Vec::new();
         collect(&t, &mut intervals);
         intervals.sort_unstable();
-        let mut pebble_intervals: Vec<(usize, usize)> =
-            pt.node_ids().map(|x| labels[x]).collect();
+        let mut pebble_intervals: Vec<(usize, usize)> = pt.node_ids().map(|x| labels[x]).collect();
         pebble_intervals.sort_unstable();
         assert_eq!(intervals, pebble_intervals);
     }

@@ -18,9 +18,10 @@
 //! schedule, this solver does not support convergence-based early
 //! termination (change flags under a window are not a fixpoint signal).
 
+use crate::exec::ExecBackend;
 use crate::ops::{a_activate_banded, a_pebble_banded, a_square_banded};
 use crate::problem::DpProblem;
-use crate::sublinear::{ExecMode, Solution};
+use crate::sublinear::Solution;
 use crate::tables::{BandedPw, WTable};
 use crate::trace::{IterationRecord, SolveTrace, StopReason};
 use crate::weight::Weight;
@@ -28,8 +29,8 @@ use crate::weight::Weight;
 /// Configuration of [`solve_reduced`].
 #[derive(Debug, Clone, Copy)]
 pub struct ReducedConfig {
-    /// Sequential or rayon execution.
-    pub exec: ExecMode,
+    /// Execution backend for the data-parallel passes.
+    pub exec: ExecBackend,
     /// Keep per-iteration records.
     pub record_trace: bool,
     /// Apply the §5 size window to the pebble step. Disabling it keeps the
@@ -43,7 +44,7 @@ pub struct ReducedConfig {
 impl Default for ReducedConfig {
     fn default() -> Self {
         ReducedConfig {
-            exec: ExecMode::Parallel,
+            exec: ExecBackend::Parallel,
             record_trace: false,
             windowed_pebble: true,
             band: None,
@@ -62,7 +63,7 @@ pub fn solve_reduced<W: Weight, P: DpProblem<W> + ?Sized>(
     config: &ReducedConfig,
 ) -> Solution<W> {
     let n = problem.n();
-    let parallel = config.exec == ExecMode::Parallel;
+    let exec = &config.exec;
     let band = config.band.unwrap_or_else(|| default_band(n));
     let schedule = 2 * pardp_pebble::ceil_sqrt(n as u64);
 
@@ -84,8 +85,8 @@ pub fn solve_reduced<W: Weight, P: DpProblem<W> + ?Sized>(
     };
 
     for iter in 1..=schedule {
-        let act = a_activate_banded(problem, &w, &mut pw, parallel);
-        let sq = a_square_banded(&pw, &mut pw_next, parallel);
+        let act = a_activate_banded(problem, &w, &mut pw, exec);
+        let sq = a_square_banded(&pw, &mut pw_next, exec);
         std::mem::swap(&mut pw, &mut pw_next);
         // Size window for iterations 2l-1 and 2l: (l-1)^2 < j-i <= l^2.
         let window = if config.windowed_pebble {
@@ -94,7 +95,7 @@ pub fn solve_reduced<W: Weight, P: DpProblem<W> + ?Sized>(
         } else {
             None
         };
-        let pb = a_pebble_banded(problem, &pw, &w, &mut w_next, window, parallel);
+        let pb = a_pebble_banded(problem, &pw, &w, &mut w_next, window, exec);
         std::mem::swap(&mut w, &mut w_next);
 
         trace.iterations = iter;
@@ -130,7 +131,7 @@ mod tests {
 
     fn cfg() -> ReducedConfig {
         ReducedConfig {
-            exec: ExecMode::Sequential,
+            exec: ExecBackend::Sequential,
             record_trace: true,
             windowed_pebble: true,
             band: None,
@@ -181,7 +182,10 @@ mod tests {
         let windowed = solve_reduced(&p, &cfg());
         let unwindowed = solve_reduced(
             &p,
-            &ReducedConfig { windowed_pebble: false, ..cfg() },
+            &ReducedConfig {
+                windowed_pebble: false,
+                ..cfg()
+            },
         );
         assert!(windowed.w.table_eq(&unwindowed.w));
         // The window strictly reduces pebble work.
@@ -198,7 +202,7 @@ mod tests {
         let dense = solve_sublinear(
             &p,
             &SolverConfig {
-                exec: ExecMode::Sequential,
+                exec: ExecBackend::Sequential,
                 termination: Termination::FixedSqrtN,
                 record_trace: true,
             },
@@ -219,7 +223,13 @@ mod tests {
         let dims: Vec<u64> = (0..=20).map(|_| rng.gen_range(1..30)).collect();
         let p = chain(dims);
         let seq = solve_reduced(&p, &cfg());
-        let par = solve_reduced(&p, &ReducedConfig { exec: ExecMode::Parallel, ..cfg() });
+        let par = solve_reduced(
+            &p,
+            &ReducedConfig {
+                exec: ExecBackend::Parallel,
+                ..cfg()
+            },
+        );
         assert!(seq.w.table_eq(&par.w));
     }
 
@@ -227,7 +237,13 @@ mod tests {
     fn band_wider_than_needed_is_harmless() {
         let p = chain(vec![3, 7, 2, 9, 4, 8, 5]);
         let default = solve_reduced(&p, &cfg());
-        let wide = solve_reduced(&p, &ReducedConfig { band: Some(100), ..cfg() });
+        let wide = solve_reduced(
+            &p,
+            &ReducedConfig {
+                band: Some(100),
+                ..cfg()
+            },
+        );
         assert!(default.w.table_eq(&wide.w));
     }
 }

@@ -10,9 +10,10 @@
 //! gap the paper's restricted square closes to `O(n^5)` (§2) and §5
 //! further to `O(n^3.5)`.
 
+use crate::exec::ExecBackend;
 use crate::ops::{a_activate_dense, a_pebble_dense, a_square_rytter};
 use crate::problem::DpProblem;
-use crate::sublinear::{ExecMode, Solution};
+use crate::sublinear::Solution;
 use crate::tables::{DensePw, WTable};
 use crate::trace::{IterationRecord, SolveTrace, StopReason};
 use crate::weight::Weight;
@@ -20,8 +21,8 @@ use crate::weight::Weight;
 /// Configuration of [`solve_rytter`].
 #[derive(Debug, Clone, Copy)]
 pub struct RytterConfig {
-    /// Sequential or rayon execution.
-    pub exec: ExecMode,
+    /// Execution backend for the data-parallel passes.
+    pub exec: ExecBackend,
     /// Keep per-iteration records.
     pub record_trace: bool,
     /// Stop early at a fixpoint (on by default; the schedule cap is the
@@ -31,7 +32,11 @@ pub struct RytterConfig {
 
 impl Default for RytterConfig {
     fn default() -> Self {
-        RytterConfig { exec: ExecMode::Parallel, record_trace: false, fixpoint_stop: true }
+        RytterConfig {
+            exec: ExecBackend::Parallel,
+            record_trace: false,
+            fixpoint_stop: true,
+        }
     }
 }
 
@@ -49,7 +54,7 @@ pub fn solve_rytter<W: Weight, P: DpProblem<W> + ?Sized>(
     config: &RytterConfig,
 ) -> Solution<W> {
     let n = problem.n();
-    let parallel = config.exec == ExecMode::Parallel;
+    let exec = &config.exec;
     let schedule = rytter_schedule(n);
 
     let mut w = WTable::new(n);
@@ -70,10 +75,10 @@ pub fn solve_rytter<W: Weight, P: DpProblem<W> + ?Sized>(
     };
 
     for iter in 1..=schedule {
-        let act = a_activate_dense(problem, &w, &mut pw, parallel);
-        let sq = a_square_rytter(&pw, &mut pw_next, parallel);
+        let act = a_activate_dense(problem, &w, &mut pw, exec);
+        let sq = a_square_rytter(&pw, &mut pw_next, exec);
         std::mem::swap(&mut pw, &mut pw_next);
-        let pb = a_pebble_dense(&pw, &w, &mut w_next, parallel);
+        let pb = a_pebble_dense(&pw, &w, &mut w_next, exec);
         std::mem::swap(&mut w, &mut w_next);
 
         trace.iterations = iter;
@@ -110,7 +115,11 @@ mod tests {
     }
 
     fn cfg() -> RytterConfig {
-        RytterConfig { exec: ExecMode::Sequential, record_trace: true, fixpoint_stop: true }
+        RytterConfig {
+            exec: ExecBackend::Sequential,
+            record_trace: true,
+            fixpoint_stop: true,
+        }
     }
 
     #[test]
@@ -150,7 +159,7 @@ mod tests {
         let sub = solve_sublinear(
             &p,
             &SolverConfig {
-                exec: ExecMode::Sequential,
+                exec: ExecBackend::Sequential,
                 termination: Termination::FixedSqrtN,
                 record_trace: true,
             },
@@ -172,7 +181,13 @@ mod tests {
         let dims: Vec<u64> = (0..=14).map(|_| rng.gen_range(1..30)).collect();
         let p = chain(dims);
         let seq = solve_rytter(&p, &cfg());
-        let par = solve_rytter(&p, &RytterConfig { exec: ExecMode::Parallel, ..cfg() });
+        let par = solve_rytter(
+            &p,
+            &RytterConfig {
+                exec: ExecBackend::Parallel,
+                ..cfg()
+            },
+        );
         assert!(seq.w.table_eq(&par.w));
     }
 }

@@ -86,8 +86,16 @@ pub fn solve_knuth<W: Weight, P: DpProblem<W> + ?Sized>(problem: &P) -> WTable<W
     for d in 2..=n {
         for i in 0..=n - d {
             let j = i + d;
-            let lo = if d == 2 { i + 1 } else { roots[i * m + (j - 1)].max(i + 1) };
-            let hi = if d == 2 { i + 1 } else { roots[(i + 1) * m + j].min(j - 1) };
+            let lo = if d == 2 {
+                i + 1
+            } else {
+                roots[i * m + (j - 1)].max(i + 1)
+            };
+            let hi = if d == 2 {
+                i + 1
+            } else {
+                roots[(i + 1) * m + j].min(j - 1)
+            };
             let mut best = W::INFINITY;
             let mut best_k = lo;
             for k in lo..=hi {
@@ -229,11 +237,7 @@ mod tests {
                 let w = solve_sequential(&p);
                 for i in 0..n {
                     for j in i + 1..=n {
-                        assert_eq!(
-                            w.get(i, j),
-                            brute_force_value(&p, i, j),
-                            "n={n} ({i},{j})"
-                        );
+                        assert_eq!(w.get(i, j), brute_force_value(&p, i, j), "n={n} ({i},{j})");
                     }
                 }
             }

@@ -11,8 +11,9 @@
 //!
 //! On a CREW PRAM this runs in `O(sqrt(n) log n)` time with
 //! `O(n^5 / log n)` processors (§4). Here each operation is executed as a
-//! data-parallel pass (rayon) or sequentially; the PRAM costs are recorded
-//! separately by [`crate::pram_exec`].
+//! data-parallel pass on the configured [`ExecBackend`] (sequential
+//! reference or the work-stealing thread pool); the PRAM costs are
+//! recorded separately by [`crate::pram_exec`].
 
 use crate::ops::{a_activate_dense, a_pebble_dense, a_square_dense};
 use crate::problem::DpProblem;
@@ -20,20 +21,18 @@ use crate::tables::{DensePw, WTable};
 use crate::trace::{IterationRecord, SolveTrace, StopReason, Termination};
 use crate::weight::Weight;
 
-/// Execution mode for the data-parallel passes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ExecMode {
-    /// Single-threaded reference execution.
-    Sequential,
-    /// Rayon data-parallel execution (row-partitioned, lock-free).
-    Parallel,
-}
+pub use crate::exec::ExecBackend;
+
+/// Execution mode for the data-parallel passes. Historical name for
+/// [`ExecBackend`]; `ExecMode::Sequential` and `ExecMode::Parallel`
+/// continue to work, and `ExecMode::Threads(k)` pins the worker count.
+pub type ExecMode = ExecBackend;
 
 /// Configuration of [`solve_sublinear`].
 #[derive(Debug, Clone, Copy)]
 pub struct SolverConfig {
-    /// Sequential or rayon execution.
-    pub exec: ExecMode,
+    /// Execution backend for the data-parallel passes.
+    pub exec: ExecBackend,
     /// Stopping rule (all rules are capped at `2 * ceil(sqrt(n))`, which
     /// Lemma 3.3 proves sufficient, so every configuration is exact).
     pub termination: Termination,
@@ -44,7 +43,7 @@ pub struct SolverConfig {
 impl Default for SolverConfig {
     fn default() -> Self {
         SolverConfig {
-            exec: ExecMode::Parallel,
+            exec: ExecBackend::Parallel,
             termination: Termination::FixedSqrtN,
             record_trace: false,
         }
@@ -74,7 +73,7 @@ pub fn solve_sublinear<W: Weight, P: DpProblem<W> + ?Sized>(
     config: &SolverConfig,
 ) -> Solution<W> {
     let n = problem.n();
-    let parallel = config.exec == ExecMode::Parallel;
+    let exec = &config.exec;
     let schedule = 2 * pardp_pebble::ceil_sqrt(n as u64);
 
     // Initialize w'(i, i+1) = init(i); everything else infinity.
@@ -98,10 +97,10 @@ pub fn solve_sublinear<W: Weight, P: DpProblem<W> + ?Sized>(
     let mut w_stable_streak = 0u32;
 
     for iter in 1..=schedule {
-        let act = a_activate_dense(problem, &w, &mut pw, parallel);
-        let sq = a_square_dense(&pw, &mut pw_next, parallel);
+        let act = a_activate_dense(problem, &w, &mut pw, exec);
+        let sq = a_square_dense(&pw, &mut pw_next, exec);
         std::mem::swap(&mut pw, &mut pw_next);
-        let pb = a_pebble_dense(&pw, &w, &mut w_next, parallel);
+        let pb = a_pebble_dense(&pw, &w, &mut w_next, exec);
         std::mem::swap(&mut w, &mut w_next);
 
         trace.iterations = iter;
@@ -155,7 +154,11 @@ mod tests {
     }
 
     fn cfg(term: Termination) -> SolverConfig {
-        SolverConfig { exec: ExecMode::Sequential, termination: term, record_trace: true }
+        SolverConfig {
+            exec: ExecMode::Sequential,
+            termination: term,
+            record_trace: true,
+        }
     }
 
     #[test]
@@ -175,9 +178,11 @@ mod tests {
                 let dims: Vec<u64> = (0..=n).map(|_| rng.gen_range(1..40)).collect();
                 let p = chain(dims);
                 let oracle = solve_sequential(&p);
-                for term in
-                    [Termination::FixedSqrtN, Termination::Fixpoint, Termination::WStableTwice]
-                {
+                for term in [
+                    Termination::FixedSqrtN,
+                    Termination::Fixpoint,
+                    Termination::WStableTwice,
+                ] {
                     let sol = solve_sublinear(&p, &cfg(term));
                     assert!(sol.w.table_eq(&oracle), "n={n} {term:?}");
                     assert!(sol.trace.iterations <= sol.trace.schedule_bound);

@@ -31,7 +31,10 @@ impl PairIndexer {
     /// Indexer for intervals over `0..=n`.
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "need at least one object");
-        assert!(n < u16::MAX as usize, "n too large for 32-bit pair indexing");
+        assert!(
+            n < u16::MAX as usize,
+            "n too large for 32-bit pair indexing"
+        );
         let mut offsets = Vec::with_capacity(n + 1);
         let mut acc = 0u32;
         for i in 0..=n {
@@ -62,7 +65,11 @@ impl PairIndexer {
     /// Dense index of pair `(i, j)`.
     #[inline]
     pub fn index(&self, i: usize, j: usize) -> usize {
-        debug_assert!(i < j && j <= self.n, "invalid pair ({i},{j}) for n={}", self.n);
+        debug_assert!(
+            i < j && j <= self.n,
+            "invalid pair ({i},{j}) for n={}",
+            self.n
+        );
         self.offsets[i] as usize + (j - i - 1)
     }
 
@@ -101,7 +108,10 @@ impl<W: Weight> WTable<W> {
     /// All-infinity table for intervals over `0..=n`.
     pub fn new(n: usize) -> Self {
         assert!(n >= 1);
-        WTable { n, data: vec![W::INFINITY; (n + 1) * (n + 1)] }
+        WTable {
+            n,
+            data: vec![W::INFINITY; (n + 1) * (n + 1)],
+        }
     }
 
     /// The `n` this table was sized for.
@@ -141,6 +151,19 @@ impl<W: Weight> WTable<W> {
             }
         }
         count
+    }
+
+    /// The flat backing slice (`(n+1)^2` cells, row-major: cell `(i, j)`
+    /// at `i * (n + 1) + j`). Used by the row-parallel execution backends.
+    #[inline]
+    pub fn as_slice(&self) -> &[W] {
+        &self.data
+    }
+
+    /// The flat backing slice, mutable (see [`Self::as_slice`]).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [W] {
+        &mut self.data
     }
 
     /// Whether two tables agree on every interval under [`Weight::cost_eq`].
@@ -211,7 +234,10 @@ impl<W: Weight> DensePw<W> {
     /// Read `pw'(i,j,p,q)` by interval endpoints.
     #[inline]
     pub fn get(&self, i: usize, j: usize, p: usize, q: usize) -> W {
-        debug_assert!(i <= p && p < q && q <= j, "gap ({p},{q}) not nested in ({i},{j})");
+        debug_assert!(
+            i <= p && p < q && q <= j,
+            "gap ({p},{q}) not nested in ({i},{j})"
+        );
         self.get_ab(self.idx.index(i, j), self.idx.index(p, q))
     }
 
@@ -287,7 +313,12 @@ impl<W: Weight> BandedPw<W> {
         for a in 0..p {
             data[row_offsets[a] as usize] = W::ZERO;
         }
-        BandedPw { idx, band, row_offsets, data }
+        BandedPw {
+            idx,
+            band,
+            row_offsets,
+            data,
+        }
     }
 
     /// The pair indexer.
@@ -347,7 +378,10 @@ impl<W: Weight> BandedPw<W> {
     /// row partitioning.
     #[inline]
     pub fn row_span(&self, a: usize) -> (usize, usize) {
-        (self.row_offsets[a] as usize, self.row_offsets[a + 1] as usize)
+        (
+            self.row_offsets[a] as usize,
+            self.row_offsets[a + 1] as usize,
+        )
     }
 
     /// The full backing slice.
@@ -497,8 +531,12 @@ mod tests {
         let b = 2 * ((n as f64).sqrt().ceil() as usize);
         let banded = BandedPw::<u64>::new(n, b);
         let dense_cells = PairIndexer::new(n).len().pow(2);
-        assert!(banded.stored_cells() * 4 < dense_cells,
-            "banded {} vs dense {}", banded.stored_cells(), dense_cells);
+        assert!(
+            banded.stored_cells() * 4 < dense_cells,
+            "banded {} vs dense {}",
+            banded.stored_cells(),
+            dense_cells
+        );
     }
 
     #[test]

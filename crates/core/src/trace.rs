@@ -52,7 +52,11 @@ pub struct OpRecord {
 
 impl From<OpStats> for OpRecord {
     fn from(s: OpStats) -> Self {
-        OpRecord { candidates: s.candidates, writes: s.writes, changed: s.changed }
+        OpRecord {
+            candidates: s.candidates,
+            writes: s.writes,
+            changed: s.changed,
+        }
     }
 }
 
@@ -108,7 +112,11 @@ mod tests {
 
     #[test]
     fn op_record_from_stats() {
-        let s = OpStats { candidates: 5, writes: 3, changed: true };
+        let s = OpStats {
+            candidates: 5,
+            writes: 3,
+            changed: true,
+        };
         let r = OpRecord::from(s);
         assert_eq!(r.candidates, 5);
         assert_eq!(r.writes, 3);
@@ -119,9 +127,21 @@ mod tests {
     fn work_by_op_sums() {
         let rec = |c| IterationRecord {
             iteration: 1,
-            activate: OpRecord { candidates: c, writes: 0, changed: false },
-            square: OpRecord { candidates: 2 * c, writes: 0, changed: false },
-            pebble: OpRecord { candidates: 3 * c, writes: 0, changed: false },
+            activate: OpRecord {
+                candidates: c,
+                writes: 0,
+                changed: false,
+            },
+            square: OpRecord {
+                candidates: 2 * c,
+                writes: 0,
+                changed: false,
+            },
+            pebble: OpRecord {
+                candidates: 3 * c,
+                writes: 0,
+                changed: false,
+            },
             root_finite: false,
         };
         let trace = SolveTrace {

@@ -30,12 +30,17 @@
 
 use pardp_pebble::{PebbleGame, SquareRule};
 
+use crate::exec::ExecBackend;
 use crate::ops::{a_activate_dense, a_pebble_dense, a_square_dense};
 use crate::problem::DpProblem;
 use crate::reconstruct::{reconstruct_root, to_pebble_tree};
 use crate::seq::solve_sequential;
 use crate::tables::{DensePw, WTable};
 use crate::weight::Weight;
+
+/// The coupled verification runs sequentially: it checks invariants after
+/// every sub-step, in lockstep with the game.
+const SEQ: ExecBackend = ExecBackend::Sequential;
 
 /// Outcome of a successful coupled run.
 #[derive(Debug, Clone)]
@@ -95,51 +100,48 @@ pub fn verify_coupled<W: Weight, P: DpProblem<W> + ?Sized>(
     };
 
     // cond-target invariant: pw'(x, cond(x)) <= realized partial weight.
-    let cond_invariant = |game: &PebbleGame<'_>,
-                          pw: &DensePw<W>,
-                          stage: &str,
-                          iter: u64|
-     -> Result<u64, String> {
-        let mut local = 0u64;
-        for x in ptree.node_ids() {
-            let y = game.cond(x);
-            if y == x {
-                continue;
-            }
-            let (i, j) = labels[x];
-            let (p, q) = labels[y];
-            let realized = {
-                // w(i,j) - w(p,q) without subtraction (Weight has no sub):
-                // check pw' + w(p,q) <= w(i,j) instead.
-                pw.get(i, j, p, q).add(w_star.get(p, q))
-            };
-            let bound = w_star.get(i, j);
-            if realized > bound && !realized.cost_eq(&bound) {
-                return Err(format!(
-                    "iteration {iter} {stage}: pw'({i},{j},{p},{q}) + w({p},{q}) = {realized} \
+    let cond_invariant =
+        |game: &PebbleGame<'_>, pw: &DensePw<W>, stage: &str, iter: u64| -> Result<u64, String> {
+            let mut local = 0u64;
+            for x in ptree.node_ids() {
+                let y = game.cond(x);
+                if y == x {
+                    continue;
+                }
+                let (i, j) = labels[x];
+                let (p, q) = labels[y];
+                let realized = {
+                    // w(i,j) - w(p,q) without subtraction (Weight has no sub):
+                    // check pw' + w(p,q) <= w(i,j) instead.
+                    pw.get(i, j, p, q).add(w_star.get(p, q))
+                };
+                let bound = w_star.get(i, j);
+                if realized > bound && !realized.cost_eq(&bound) {
+                    return Err(format!(
+                        "iteration {iter} {stage}: pw'({i},{j},{p},{q}) + w({p},{q}) = {realized} \
                      exceeds w({i},{j}) = {bound}"
-                ));
+                    ));
+                }
+                local += 1;
             }
-            local += 1;
-        }
-        Ok(local)
-    };
+            Ok(local)
+        };
 
     for iter in 1..=schedule {
         // activate; a-activate
         game.activate();
-        a_activate_dense(problem, &w, &mut pw, false);
+        a_activate_dense(problem, &w, &mut pw, &SEQ);
         checks += cond_invariant(&game, &pw, "activate", iter)?;
 
         // square; a-square
         game.square();
-        a_square_dense(&pw, &mut pw_next, false);
+        a_square_dense(&pw, &mut pw_next, &SEQ);
         std::mem::swap(&mut pw, &mut pw_next);
         checks += cond_invariant(&game, &pw, "square", iter)?;
 
         // pebble; a-pebble
         game.pebble();
-        a_pebble_dense(&pw, &w, &mut w_next, false);
+        a_pebble_dense(&pw, &w, &mut w_next, &SEQ);
         std::mem::swap(&mut w, &mut w_next);
         checks += soundness(&w, "pebble", iter)?;
 
@@ -163,7 +165,9 @@ pub fn verify_coupled<W: Weight, P: DpProblem<W> + ?Sized>(
     }
 
     if !game.root_pebbled() {
-        return Err(format!("game did not pebble the root within {schedule} moves"));
+        return Err(format!(
+            "game did not pebble the root within {schedule} moves"
+        ));
     }
     if !w.root().cost_eq(&w_star.root()) {
         return Err(format!(
@@ -176,7 +180,12 @@ pub fn verify_coupled<W: Weight, P: DpProblem<W> + ?Sized>(
         return Err("final w table differs from the sequential oracle".into());
     }
 
-    Ok(CoupledOutcome { n, root_pebbled_at, iterations: schedule, checks })
+    Ok(CoupledOutcome {
+        n,
+        root_pebbled_at,
+        iterations: schedule,
+        checks,
+    })
 }
 
 #[cfg(test)]

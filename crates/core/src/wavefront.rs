@@ -8,12 +8,11 @@
 //! E7): `O(n^3)` total work, `O(n)` span when each cell's min is also
 //! parallelised.
 //!
-//! The rayon implementation parallelises over the cells of a diagonal and
-//! falls back to sequential execution for small diagonals, where the
-//! fork-join overhead would dominate.
+//! The parallel implementation hands each diagonal's cells to the
+//! configured [`ExecBackend`] and falls back to sequential execution for
+//! small diagonals, where the fork-join overhead would dominate.
 
-use rayon::prelude::*;
-
+use crate::exec::ExecBackend;
 use crate::problem::DpProblem;
 use crate::tables::WTable;
 use crate::weight::Weight;
@@ -21,6 +20,8 @@ use crate::weight::Weight;
 /// Tuning for [`solve_wavefront`].
 #[derive(Debug, Clone, Copy)]
 pub struct WavefrontConfig {
+    /// Execution backend for the per-diagonal passes.
+    pub exec: ExecBackend,
     /// Diagonals with fewer candidate evaluations than this run
     /// sequentially (avoids fork-join overhead on tiny diagonals).
     pub parallel_threshold: usize,
@@ -28,7 +29,10 @@ pub struct WavefrontConfig {
 
 impl Default for WavefrontConfig {
     fn default() -> Self {
-        WavefrontConfig { parallel_threshold: 4096 }
+        WavefrontConfig {
+            exec: ExecBackend::Parallel,
+            parallel_threshold: 4096,
+        }
     }
 }
 
@@ -54,10 +58,12 @@ pub fn solve_wavefront<W: Weight, P: DpProblem<W> + Sync + ?Sized>(
             }
             best
         };
-        diag.clear();
-        if cells * (d - 1) >= config.parallel_threshold {
-            (0..cells).into_par_iter().map(|i| cell_value(i, &w)).collect_into_vec(&mut diag);
+        if config.exec.is_parallel() && cells * (d - 1) >= config.parallel_threshold {
+            config
+                .exec
+                .map_collect_into(&mut diag, cells, |i| cell_value(i, &w));
         } else {
+            diag.clear();
             diag.extend((0..cells).map(|i| cell_value(i, &w)));
         }
         for (i, &v) in diag.iter().enumerate() {
@@ -104,7 +110,13 @@ mod tests {
             let p = chain(dims);
             let seq = solve_sequential(&p);
             // Force the parallel path with a zero threshold.
-            let par = solve_wavefront(&p, &WavefrontConfig { parallel_threshold: 0 });
+            let par = solve_wavefront(
+                &p,
+                &WavefrontConfig {
+                    exec: ExecBackend::Threads(4),
+                    parallel_threshold: 0,
+                },
+            );
             assert!(seq.table_eq(&par), "n={n}");
         }
     }
@@ -112,8 +124,20 @@ mod tests {
     #[test]
     fn threshold_zero_and_huge_agree() {
         let p = chain(vec![7, 3, 9, 4, 12, 5, 8, 6, 10]);
-        let a = solve_wavefront(&p, &WavefrontConfig { parallel_threshold: 0 });
-        let b = solve_wavefront(&p, &WavefrontConfig { parallel_threshold: usize::MAX });
+        let a = solve_wavefront(
+            &p,
+            &WavefrontConfig {
+                parallel_threshold: 0,
+                ..Default::default()
+            },
+        );
+        let b = solve_wavefront(
+            &p,
+            &WavefrontConfig {
+                parallel_threshold: usize::MAX,
+                ..Default::default()
+            },
+        );
         assert!(a.table_eq(&b));
     }
 }

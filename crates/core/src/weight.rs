@@ -72,7 +72,10 @@ impl Weight for i64 {
 
     #[inline]
     fn add(self, rhs: i64) -> i64 {
-        debug_assert!(self >= 0 && rhs >= 0, "recurrence (*) requires non-negative costs");
+        debug_assert!(
+            self >= 0 && rhs >= 0,
+            "recurrence (*) requires non-negative costs"
+        );
         let s = self.saturating_add(rhs);
         if s >= Self::INFINITY {
             Self::INFINITY

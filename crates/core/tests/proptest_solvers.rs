@@ -17,9 +17,7 @@ fn instance_strategy(n: usize) -> impl Strategy<Value = TabulatedProblem<u64>> {
         proptest::collection::vec(0u64..100, n),
         proptest::collection::vec(0u64..100, m * m * m),
     )
-        .prop_map(move |(init, f)| {
-            TabulatedProblem::new(init, |i, k, j| f[(i * m + k) * m + j])
-        })
+        .prop_map(move |(init, f)| TabulatedProblem::new(init, |i, k, j| f[(i * m + k) * m + j]))
 }
 
 proptest! {
@@ -63,10 +61,10 @@ proptest! {
         let mut w_next = w.clone();
         for _ in 0..2 * pardp_pebble::ceil_sqrt(n as u64) {
             let before = w.clone();
-            a_activate_dense(&p, &w, &mut pw, false);
-            a_square_dense(&pw, &mut pw_next, false);
+            a_activate_dense(&p, &w, &mut pw, &ExecBackend::Sequential);
+            a_square_dense(&pw, &mut pw_next, &ExecBackend::Sequential);
             std::mem::swap(&mut pw, &mut pw_next);
-            a_pebble_dense(&pw, &w, &mut w_next, false);
+            a_pebble_dense(&pw, &w, &mut w_next, &ExecBackend::Sequential);
             std::mem::swap(&mut w, &mut w_next);
             for i in 0..n {
                 for j in i + 1..=n {

@@ -24,12 +24,7 @@ fn random_instance(n: usize, seed: u64) -> TabulatedProblem<u64> {
 }
 
 /// Assert `pw' >= pw` everywhere; count exact matches.
-fn check_soundness(
-    n: usize,
-    pw_algo: &DensePw<u64>,
-    pw_true: &DensePw<u64>,
-    stage: &str,
-) -> usize {
+fn check_soundness(n: usize, pw_algo: &DensePw<u64>, pw_true: &DensePw<u64>, stage: &str) -> usize {
     let mut exact = 0;
     for i in 0..n {
         for j in i + 1..=n {
@@ -116,18 +111,21 @@ fn algebraic_pw_is_sound_every_iteration_and_exact_at_fixpoint() {
         // net far above any possible convergence horizon).
         let mut iterations = 0;
         loop {
-            let a = a_activate_dense(&p, &w, &mut pw, false);
+            let a = a_activate_dense(&p, &w, &mut pw, &ExecBackend::Sequential);
             check_soundness(n, &pw, &pw_star, "after a-activate");
-            let s = a_square_dense(&pw, &mut pw_next, false);
+            let s = a_square_dense(&pw, &mut pw_next, &ExecBackend::Sequential);
             std::mem::swap(&mut pw, &mut pw_next);
             check_soundness(n, &pw, &pw_star, "after a-square");
-            let pb = a_pebble_dense(&pw, &w, &mut w_next, false);
+            let pb = a_pebble_dense(&pw, &w, &mut w_next, &ExecBackend::Sequential);
             std::mem::swap(&mut w, &mut w_next);
             iterations += 1;
             if !a.changed && !s.changed && !pb.changed {
                 break;
             }
-            assert!(iterations <= 4 * n, "no fixpoint after {iterations} iterations");
+            assert!(
+                iterations <= 4 * n,
+                "no fixpoint after {iterations} iterations"
+            );
         }
         // At the fixpoint: w' = w everywhere and pw' = pw everywhere.
         assert!(w.table_eq(&w_star), "seed={seed}");
@@ -138,7 +136,10 @@ fn algebraic_pw_is_sound_every_iteration_and_exact_at_fixpoint() {
                 total += (j - i) * (j - i + 1) / 2;
             }
         }
-        assert_eq!(exact, total, "seed={seed}: not all quadruples exact at fixpoint");
+        assert_eq!(
+            exact, total,
+            "seed={seed}: not all quadruples exact at fixpoint"
+        );
     }
 }
 
@@ -160,10 +161,10 @@ fn banded_pw_in_band_cells_are_sound() {
     let mut pw_next = BandedPw::new(n, band);
     let mut w_next = w.clone();
     for _ in 0..2 * pardp_pebble::ceil_sqrt(n as u64) {
-        a_activate_banded(&p, &w, &mut pw, false);
-        a_square_banded(&pw, &mut pw_next, false);
+        a_activate_banded(&p, &w, &mut pw, &ExecBackend::Sequential);
+        a_square_banded(&pw, &mut pw_next, &ExecBackend::Sequential);
         std::mem::swap(&mut pw, &mut pw_next);
-        pardp_core::ops::a_pebble_banded(&p, &pw, &w, &mut w_next, None, false);
+        pardp_core::ops::a_pebble_banded(&p, &pw, &w, &mut w_next, None, &ExecBackend::Sequential);
         std::mem::swap(&mut w, &mut w_next);
         for i in 0..n {
             for j in i + 1..=n {

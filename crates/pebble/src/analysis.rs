@@ -75,7 +75,11 @@ impl SampleStats {
         let n = values.len() as f64;
         let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n;
         let var = if values.len() > 1 {
-            values.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / (n - 1.0)
+            values
+                .iter()
+                .map(|&v| (v as f64 - mean).powi(2))
+                .sum::<f64>()
+                / (n - 1.0)
         } else {
             0.0
         };
@@ -149,7 +153,7 @@ mod tests {
         let t = recurrence_t(4);
         assert_eq!(t[1], 0.0);
         assert_eq!(t[2], 1.0); // only split is (1,1): max(0,0)+1
-        // T(3) = 1 + (max(T1,T2) + max(T2,T1)) / 2 = 1 + T2 = 2.
+                               // T(3) = 1 + (max(T1,T2) + max(T2,T1)) / 2 = 1 + T2 = 2.
         assert!((t[3] - 2.0).abs() < 1e-12);
         // T(4) = 1 + (T3 + T2 + T3)/3 = 1 + 5/3.
         assert!((t[4] - (1.0 + 5.0 / 3.0)).abs() < 1e-12);
@@ -194,8 +198,7 @@ mod tests {
     fn empirical_moves_are_logarithmic_on_average() {
         let t = recurrence_t(512);
         for n in [64usize, 256, 512] {
-            let stats =
-                empirical_moves(n, 60, RandomModel::UniformSplit, SquareRule::Modified, 42);
+            let stats = empirical_moves(n, 60, RandomModel::UniformSplit, SquareRule::Modified, 42);
             // The recurrence upper-bounds the mean (it ignores square
             // acceleration); allow a +1 cushion for sampling noise.
             assert!(
@@ -223,10 +226,12 @@ mod tests {
 
     #[test]
     fn power_law_fit_recovers_exponents() {
-        let pts: Vec<(f64, f64)> = (1..=20).map(|i| {
-            let x = (i * 10) as f64;
-            (x, 3.0 * x.powf(0.5))
-        }).collect();
+        let pts: Vec<(f64, f64)> = (1..=20)
+            .map(|i| {
+                let x = (i * 10) as f64;
+                (x, 3.0 * x.powf(0.5))
+            })
+            .collect();
         let (a, b) = fit_power_law(&pts);
         assert!((b - 0.5).abs() < 1e-9, "b={b}");
         assert!((a - 3.0).abs() < 1e-6, "a={a}");

@@ -82,7 +82,11 @@ pub fn heavy_chain(tree: &FullBinaryTree, x: NodeId, threshold: u32) -> Chain {
             break;
         }
     }
-    Chain { nodes, threshold, side_sizes }
+    Chain {
+        nodes,
+        threshold,
+        side_sizes,
+    }
 }
 
 /// The window parameter of a node: the unique `i >= 0` with
@@ -118,7 +122,10 @@ mod tests {
             gen::zigzag(90),
         ];
         for _ in 0..30 {
-            trees.push(gen::random_split(2 + rand::Rng::gen_range(&mut rng, 0..150usize), &mut rng));
+            trees.push(gen::random_split(
+                2 + rand::Rng::gen_range(&mut rng, 0..150usize),
+                &mut rng,
+            ));
         }
         for t in &trees {
             for x in t.node_ids() {
@@ -172,7 +179,11 @@ mod tests {
             }
             let chain = heavy_chain(&t, root, i);
             let total: u64 = chain.side_sizes.iter().map(|&s| s as u64).sum();
-            assert_eq!(total, t.size(root) as u64, "side sizes partition the leaves");
+            assert_eq!(
+                total,
+                t.size(root) as u64,
+                "side sizes partition the leaves"
+            );
             if chain.len() >= 2 {
                 let off_chain: u64 = chain.side_sizes[..chain.len() - 1]
                     .iter()

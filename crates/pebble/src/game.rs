@@ -184,7 +184,11 @@ impl<'t> PebbleGame<'t> {
         let squared = self.square();
         let pebbled = self.pebble();
         self.moves += 1;
-        MoveStats { activated, squared, pebbled }
+        MoveStats {
+            activated,
+            squared,
+            pebbled,
+        }
     }
 
     /// Play until the root is pebbled; returns full statistics.
@@ -198,10 +202,17 @@ impl<'t> PebbleGame<'t> {
         let cap = 4 * n as u64 + 8;
         let mut per_move = Vec::new();
         while !self.root_pebbled() {
-            assert!(self.moves < cap, "game failed to converge within {cap} moves (n={n})");
+            assert!(
+                self.moves < cap,
+                "game failed to converge within {cap} moves (n={n})"
+            );
             per_move.push(self.do_move());
         }
-        GameStats { moves: self.moves, per_move, n_leaves: n }
+        GameStats {
+            moves: self.moves,
+            per_move,
+            n_leaves: n,
+        }
     }
 
     /// Reset to the initial position.

@@ -140,16 +140,28 @@ pub fn random_remy<R: Rng>(n_leaves: usize, rng: &mut R) -> FullBinaryTree {
         right: Option<usize>,
         parent: Option<usize>,
     }
-    let mut slots: Vec<Slot> = vec![Slot { left: None, right: None, parent: None }];
+    let mut slots: Vec<Slot> = vec![Slot {
+        left: None,
+        right: None,
+        parent: None,
+    }];
     let mut root = 0usize;
     for t in 1..n_leaves {
         let v = rng.gen_range(0..2 * t - 1);
         let leaf_left = rng.gen_bool(0.5);
         let leaf = slots.len();
-        slots.push(Slot { left: None, right: None, parent: None });
+        slots.push(Slot {
+            left: None,
+            right: None,
+            parent: None,
+        });
         let internal = slots.len();
         let (l, r) = if leaf_left { (leaf, v) } else { (v, leaf) };
-        slots.push(Slot { left: Some(l), right: Some(r), parent: slots[v].parent });
+        slots.push(Slot {
+            left: Some(l),
+            right: Some(r),
+            parent: slots[v].parent,
+        });
         if let Some(p) = slots[v].parent {
             if slots[p].left == Some(v) {
                 slots[p].left = Some(internal);
@@ -238,7 +250,10 @@ mod tests {
         for n in 1..=32usize {
             let t = skewed(n, Side::Left);
             assert_eq!(t.n_leaves(), n);
-            assert_eq!(t.height() as usize, n.saturating_sub(1).max(usize::from(n > 1)));
+            assert_eq!(
+                t.height() as usize,
+                n.saturating_sub(1).max(usize::from(n > 1))
+            );
         }
         let l = skewed(8, Side::Left);
         let r = skewed(8, Side::Right);

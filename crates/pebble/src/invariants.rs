@@ -79,8 +79,7 @@ pub fn check_cond_invariant(game: &PebbleGame<'_>, moves: u64) -> Result<(), Inv
         // (see module docs).
         let son_pebbled = match (node.left, node.right) {
             (Some(l), Some(r)) => {
-                game.was_pebbled_before_last_pebble(l)
-                    || game.was_pebbled_before_last_pebble(r)
+                game.was_pebbled_before_last_pebble(l) || game.was_pebbled_before_last_pebble(r)
             }
             _ => false, // a leaf has no sons
         };
@@ -156,8 +155,7 @@ mod tests {
             let mut g = PebbleGame::new(&t, SquareRule::PointerJump);
             while !g.root_pebbled() {
                 g.do_move();
-                check_size_invariant(&g, g.moves())
-                    .unwrap_or_else(|v| panic!("n={n}: {v:?}"));
+                check_size_invariant(&g, g.moves()).unwrap_or_else(|v| panic!("n={n}: {v:?}"));
             }
         }
     }

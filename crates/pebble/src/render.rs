@@ -95,7 +95,10 @@ mod tests {
         assert_eq!(render_brackets(&gen::complete(1)), "·");
         assert_eq!(render_brackets(&gen::complete(2)), "(··)");
         assert_eq!(render_brackets(&gen::skewed(3, gen::Side::Left)), "((··)·)");
-        assert_eq!(render_brackets(&gen::skewed(3, gen::Side::Right)), "(·(··))");
+        assert_eq!(
+            render_brackets(&gen::skewed(3, gen::Side::Right)),
+            "(·(··))"
+        );
     }
 
     #[test]
@@ -118,7 +121,9 @@ mod tests {
     fn indented_contains_all_intervals() {
         let t = gen::complete(4);
         let s = render_indented(&t);
-        for needle in ["(0,4)", "(0,2)", "(2,4)", "(0,1)", "(1,2)", "(2,3)", "(3,4)"] {
+        for needle in [
+            "(0,4)", "(0,2)", "(2,4)", "(0,1)", "(1,2)", "(2,3)", "(3,4)",
+        ] {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }
     }

@@ -75,13 +75,21 @@ impl TreeBuilder {
     /// Builder with preallocated capacity for a tree with `n_leaves` leaves
     /// (which has exactly `2 * n_leaves - 1` nodes).
     pub fn with_leaf_capacity(n_leaves: usize) -> Self {
-        TreeBuilder { nodes: Vec::with_capacity(2 * n_leaves.max(1) - 1) }
+        TreeBuilder {
+            nodes: Vec::with_capacity(2 * n_leaves.max(1) - 1),
+        }
     }
 
     /// Add a leaf; returns its id.
     pub fn leaf(&mut self) -> NodeId {
         let id = self.nodes.len();
-        self.nodes.push(Node { left: None, right: None, parent: None, size: 1, depth: 0 });
+        self.nodes.push(Node {
+            left: None,
+            right: None,
+            parent: None,
+            size: 1,
+            depth: 0,
+        });
         id
     }
 
@@ -91,13 +99,28 @@ impl TreeBuilder {
     /// If either child does not exist or already has a parent (which would
     /// make the structure a DAG, not a tree).
     pub fn internal(&mut self, left: NodeId, right: NodeId) -> NodeId {
-        assert!(left < self.nodes.len() && right < self.nodes.len(), "child out of range");
+        assert!(
+            left < self.nodes.len() && right < self.nodes.len(),
+            "child out of range"
+        );
         assert_ne!(left, right, "children must be distinct");
-        assert!(self.nodes[left].parent.is_none(), "left child already has a parent");
-        assert!(self.nodes[right].parent.is_none(), "right child already has a parent");
+        assert!(
+            self.nodes[left].parent.is_none(),
+            "left child already has a parent"
+        );
+        assert!(
+            self.nodes[right].parent.is_none(),
+            "right child already has a parent"
+        );
         let id = self.nodes.len();
         let size = self.nodes[left].size + self.nodes[right].size;
-        self.nodes.push(Node { left: Some(left), right: Some(right), parent: None, size, depth: 0 });
+        self.nodes.push(Node {
+            left: Some(left),
+            right: Some(right),
+            parent: None,
+            size,
+            depth: 0,
+        });
         self.nodes[left].parent = Some(id);
         self.nodes[right].parent = Some(id);
         id
@@ -145,7 +168,13 @@ impl TreeBuilder {
             "all built nodes must be reachable from the root"
         );
         assert_eq!(nodes.len(), 2 * n_leaves - 1, "tree must be full binary");
-        FullBinaryTree { nodes, root, n_leaves, tin, tout }
+        FullBinaryTree {
+            nodes,
+            root,
+            n_leaves,
+            tin,
+            tout,
+        }
     }
 }
 
@@ -208,7 +237,10 @@ impl FullBinaryTree {
     /// If `z` is not a proper descendant of `y`.
     #[inline]
     pub fn child_towards(&self, y: NodeId, z: NodeId) -> NodeId {
-        debug_assert!(self.is_ancestor(y, z) && y != z, "z must be a proper descendant of y");
+        debug_assert!(
+            self.is_ancestor(y, z) && y != z,
+            "z must be a proper descendant of y"
+        );
         let l = self.nodes[y].left.expect("internal node");
         if self.is_ancestor(l, z) {
             l
@@ -272,7 +304,10 @@ impl FullBinaryTree {
     /// Structural equality check useful in tests (ignores arena numbering).
     pub fn same_shape(&self, other: &FullBinaryTree) -> bool {
         fn rec(a: &FullBinaryTree, x: NodeId, b: &FullBinaryTree, y: NodeId) -> bool {
-            match ((a.nodes[x].left, a.nodes[x].right), (b.nodes[y].left, b.nodes[y].right)) {
+            match (
+                (a.nodes[x].left, a.nodes[x].right),
+                (b.nodes[y].left, b.nodes[y].right),
+            ) {
                 ((None, None), (None, None)) => true,
                 ((Some(al), Some(ar)), (Some(bl), Some(br))) => {
                     rec(a, al, b, bl) && rec(a, ar, b, br)

@@ -12,8 +12,7 @@ use proptest::prelude::*;
 fn shape_strategy(max_leaves: usize) -> impl Strategy<Value = TreeShape> {
     let leaf = Just(TreeShape::Leaf).boxed();
     leaf.prop_recursive(12, max_leaves as u32, 2, |inner| {
-        (inner.clone(), inner)
-            .prop_map(|(l, r)| TreeShape::Node(Box::new(l), Box::new(r)))
+        (inner.clone(), inner).prop_map(|(l, r)| TreeShape::Node(Box::new(l), Box::new(r)))
     })
 }
 

@@ -90,7 +90,11 @@ impl<T: Clone> SharedArray<T> {
     /// Audited read.
     pub fn read(&self, index: usize) -> Result<T, PramError> {
         if index >= self.data.len() {
-            return Err(PramError::OutOfBounds { array: self.name, index, len: self.data.len() });
+            return Err(PramError::OutOfBounds {
+                array: self.name,
+                index,
+                len: self.data.len(),
+            });
         }
         if self.mode == AuditMode::Full && self.write_stamp[index] == self.step {
             return Err(PramError::ReadAfterWriteInStep {
@@ -105,7 +109,11 @@ impl<T: Clone> SharedArray<T> {
     /// Audited exclusive write.
     pub fn write(&mut self, index: usize, value: T) -> Result<(), PramError> {
         if index >= self.data.len() {
-            return Err(PramError::OutOfBounds { array: self.name, index, len: self.data.len() });
+            return Err(PramError::OutOfBounds {
+                array: self.name,
+                index,
+                len: self.data.len(),
+            });
         }
         if self.mode == AuditMode::Full {
             if self.write_stamp[index] == self.step {
@@ -174,7 +182,10 @@ mod tests {
         let mut a = SharedArray::new("t", 4, 0i64, AuditMode::Full);
         a.write(3, 7).unwrap();
         let err = a.read(3).unwrap_err();
-        assert!(matches!(err, PramError::ReadAfterWriteInStep { index: 3, .. }));
+        assert!(matches!(
+            err,
+            PramError::ReadAfterWriteInStep { index: 3, .. }
+        ));
     }
 
     #[test]

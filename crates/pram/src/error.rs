@@ -66,13 +66,25 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = PramError::WriteConflict { array: "pw", index: 7, step: 3 };
+        let e = PramError::WriteConflict {
+            array: "pw",
+            index: 7,
+            step: 3,
+        };
         let s = e.to_string();
         assert!(s.contains("pw[7]"));
         assert!(s.contains("step 3"));
-        let e = PramError::ReadAfterWriteInStep { array: "w", index: 1, step: 9 };
+        let e = PramError::ReadAfterWriteInStep {
+            array: "w",
+            index: 1,
+            step: 9,
+        };
         assert!(e.to_string().contains("synchrony"));
-        let e = PramError::OutOfBounds { array: "w", index: 10, len: 10 };
+        let e = PramError::OutOfBounds {
+            array: "w",
+            index: 10,
+            len: 10,
+        };
         assert!(e.to_string().contains("out-of-bounds"));
     }
 }

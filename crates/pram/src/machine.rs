@@ -22,7 +22,11 @@ pub struct Pram {
 impl Pram {
     /// Create an empty machine with a label used in reports.
     pub fn new(name: impl Into<String>) -> Self {
-        Pram { name: name.into(), phases: Vec::new(), metrics: Metrics::default() }
+        Pram {
+            name: name.into(),
+            phases: Vec::new(),
+            metrics: Metrics::default(),
+        }
     }
 
     /// The machine's label.
@@ -65,7 +69,10 @@ impl Pram {
     /// Exact execution time on `p` processors: each unit-depth layer of each
     /// phase runs in `ceil(layer_work / p)` steps (Brent scheduling).
     pub fn brent_time(&self, p: u64) -> u64 {
-        self.phases.iter().map(|ph| brent_time_of_layers(&ph.layers, p)).sum()
+        self.phases
+            .iter()
+            .map(|ph| brent_time_of_layers(&ph.layers, p))
+            .sum()
     }
 
     /// The smallest processor count for which the Brent time is within

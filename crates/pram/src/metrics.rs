@@ -256,7 +256,12 @@ mod tests {
 
     #[test]
     fn pt_product() {
-        let m = Metrics { work: 10, depth: 4, peak_processors: 8, phases: 2 };
+        let m = Metrics {
+            work: 10,
+            depth: 4,
+            peak_processors: 8,
+            phases: 2,
+        };
         assert_eq!(m.pt_product(), 32);
     }
 }

@@ -58,7 +58,12 @@ impl Timeline {
             });
             total_work += ph.work;
         }
-        Timeline { processors: p, phases, makespan: t, total_work }
+        Timeline {
+            processors: p,
+            phases,
+            makespan: t,
+            total_work,
+        }
     }
 
     /// Average processor utilisation over the makespan: `W / (p * T)`.
@@ -88,8 +93,10 @@ impl Timeline {
     pub fn render_gantt(&self, width: usize) -> String {
         let width = width.max(10);
         let groups = self.spans_by_operation();
-        let mut rows: Vec<(String, Vec<bool>)> =
-            groups.iter().map(|(k, _)| (k.clone(), vec![false; width])).collect();
+        let mut rows: Vec<(String, Vec<bool>)> = groups
+            .iter()
+            .map(|(k, _)| (k.clone(), vec![false; width]))
+            .collect();
         let scale = |step: u64| -> usize {
             if self.makespan == 0 {
                 0

@@ -10,22 +10,41 @@ use sublinear_dp::apps::generators;
 use sublinear_dp::prelude::*;
 
 fn iterations<P: DpProblem<u64> + ?Sized>(p: &P, term: Termination) -> (u64, u64) {
-    let cfg = SolverConfig { exec: ExecMode::Parallel, termination: term, record_trace: false };
+    let cfg = SolverConfig {
+        exec: ExecMode::Parallel,
+        termination: term,
+        record_trace: false,
+    };
     let sol = solve_sublinear(p, &cfg);
     (sol.trace.iterations, sol.trace.schedule_bound)
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
     println!("optimal-tree shape vs iterations to fixpoint, n = {n}");
-    println!("(schedule bound 2*ceil(sqrt(n)) = {}, log2(n) = {:.1})\n",
-        sublinear_dp::core::schedule_bound(n), (n as f64).log2());
+    println!(
+        "(schedule bound 2*ceil(sqrt(n)) = {}, log2(n) = {:.1})\n",
+        sublinear_dp::core::schedule_bound(n),
+        (n as f64).log2()
+    );
 
     let instances: Vec<(&str, sublinear_dp::core::problem::TabulatedProblem<u64>)> = vec![
-        ("zigzag-forced   (Fig. 2a, worst case)", generators::zigzag_instance(n)),
+        (
+            "zigzag-forced   (Fig. 2a, worst case)",
+            generators::zigzag_instance(n),
+        ),
         ("skewed-forced   (Fig. 2b)", generators::skewed_instance(n)),
-        ("balanced-forced (complete)", generators::balanced_instance(n)),
-        ("random-forced   (§6 model)", generators::random_shape_instance(n, 2024)),
+        (
+            "balanced-forced (complete)",
+            generators::balanced_instance(n),
+        ),
+        (
+            "random-forced   (§6 model)",
+            generators::random_shape_instance(n, 2024),
+        ),
     ];
     println!("{:<40} {:>9} {:>12}", "instance", "fixpoint", "w-stable-2");
     for (name, p) in &instances {
@@ -40,7 +59,10 @@ fn main() {
         let p = generators::random_chain(n, 100, seed);
         let (fx, _) = iterations(&p, Termination::Fixpoint);
         let (ws, _) = iterations(&p, Termination::WStableTwice);
-        println!("{:<40} {fx:>9} {ws:>12}", format!("random chain (seed {seed})"));
+        println!(
+            "{:<40} {fx:>9} {ws:>12}",
+            format!("random chain (seed {seed})")
+        );
     }
 
     println!(

@@ -9,7 +9,10 @@ use sublinear_dp::core::reconstruct::tree_cost;
 use sublinear_dp::prelude::*;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
     println!("matrix chain with n = {n} random matrices (seeded)\n");
     let chain = sublinear_dp::apps::generators::random_chain(n, 100, 2024);
 

@@ -26,7 +26,11 @@ fn main() {
     // p = [.15, .10, .05, .10, .20], q = [.05, .10, .05, .05, .05, .10].
     let bst = OptimalBst::new(vec![15, 10, 5, 10, 20], vec![5, 10, 5, 5, 5, 10]);
     let (cost, tree) = bst.optimal_tree();
-    println!("CLRS example: expected search cost = {}.{:02}", cost / 100, cost % 100);
+    println!(
+        "CLRS example: expected search cost = {}.{:02}",
+        cost / 100,
+        cost % 100
+    );
     assert_eq!(cost, 275);
     let mut s = String::new();
     render(&tree, 0, &mut s);
@@ -82,5 +86,8 @@ fn main() {
         }
         h(&opt_tree)
     };
-    println!("  optimal tree height:        {depth} (log2({m}) = {:.1})", (m as f64).log2());
+    println!(
+        "  optimal tree height:        {depth} (log2({m}) = {:.1})",
+        (m as f64).log2()
+    );
 }

@@ -13,7 +13,10 @@ use sublinear_dp::pebble::{gen, lemma_move_bound};
 fn run(name: &str, tree: &sublinear_dp::pebble::FullBinaryTree) {
     let n = tree.n_leaves();
     let mut game = PebbleGame::new(tree, SquareRule::Modified);
-    println!("--- {name} (n = {n}, bound {} moves) ---", lemma_move_bound(n));
+    println!(
+        "--- {name} (n = {n}, bound {} moves) ---",
+        lemma_move_bound(n)
+    );
     let total_nodes = tree.n_nodes();
     while !game.root_pebbled() {
         let stats = game.do_move();
@@ -37,7 +40,10 @@ fn run(name: &str, tree: &sublinear_dp::pebble::FullBinaryTree) {
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
 
     let zig = gen::zigzag(n);
     println!("zigzag spine: {}", spine_profile(&zig));
@@ -47,7 +53,10 @@ fn main() {
     run("skewed (Fig. 2b)", &gen::skewed(n, gen::Side::Left));
 
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(1);
-    run("random uniform-split (§6 model)", &gen::random_split(n, &mut rng));
+    run(
+        "random uniform-split (§6 model)",
+        &gen::random_split(n, &mut rng),
+    );
 
     println!("--- same zigzag under Rytter's pointer-jump square ---");
     let mut game = PebbleGame::new(&zig, SquareRule::PointerJump);

@@ -15,7 +15,10 @@ use sublinear_dp::core::prelude::*;
 use sublinear_dp::pram::Timeline;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
     let p = generators::random_chain(n, 60, 7);
     let oracle = solve_sequential(&p).root();
     println!("instance: random matrix chain, n = {n}, c(0,n) = {oracle}\n");
@@ -39,7 +42,11 @@ fn main() {
         );
         println!("  work by operation: {:?}", run.pram.work_by_operation());
         for p_count in [1u64, 64, 4096, procs] {
-            println!("  Brent time on p = {:>9}: {}", p_count, run.pram.brent_time(p_count));
+            println!(
+                "  Brent time on p = {:>9}: {}",
+                p_count,
+                run.pram.brent_time(p_count)
+            );
         }
         let tl = Timeline::schedule(&run.pram, procs.max(1) / 4 + 1);
         println!("  timeline at a quarter of the processors-for-depth:");

@@ -28,6 +28,9 @@ fn main() {
 
     // Cross-check against the sequential oracle and the §5 variant.
     assert_eq!(solve_sequential(&chain).root(), solution.value());
-    assert_eq!(solve_reduced(&chain, &ReducedConfig::default()).value(), solution.value());
+    assert_eq!(
+        solve_reduced(&chain, &ReducedConfig::default()).value(),
+        solution.value()
+    );
     println!("sequential / reduced cross-checks: ok");
 }

@@ -39,13 +39,19 @@ fn main() {
     // Compare with the fan triangulation from vertex 0.
     let fan_cost: f64 = {
         let d = |a: usize, b: usize| {
-            let pa = (2.0 * (2.0 * std::f64::consts::PI * a as f64 / m as f64).cos(),
-                      0.6 * (2.0 * std::f64::consts::PI * a as f64 / m as f64).sin());
-            let pb = (2.0 * (2.0 * std::f64::consts::PI * b as f64 / m as f64).cos(),
-                      0.6 * (2.0 * std::f64::consts::PI * b as f64 / m as f64).sin());
+            let pa = (
+                2.0 * (2.0 * std::f64::consts::PI * a as f64 / m as f64).cos(),
+                0.6 * (2.0 * std::f64::consts::PI * a as f64 / m as f64).sin(),
+            );
+            let pb = (
+                2.0 * (2.0 * std::f64::consts::PI * b as f64 / m as f64).cos(),
+                0.6 * (2.0 * std::f64::consts::PI * b as f64 / m as f64).sin(),
+            );
             ((pa.0 - pb.0).powi(2) + (pa.1 - pb.1).powi(2)).sqrt()
         };
-        (1..m - 1).map(|k| d(0, k) + d(k, k + 1) + d(0, k + 1)).sum()
+        (1..m - 1)
+            .map(|k| d(0, k) + d(k, k + 1) + d(0, k + 1))
+            .sum()
     };
     println!("  fan triangulation cost:        {fan_cost:.4}");
     println!(

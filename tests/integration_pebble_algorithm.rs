@@ -41,7 +41,10 @@ fn shape_convergence_matches_section_6() {
     let (bal, _) = fixpoint_iterations(&generators::balanced_instance(n));
     let (skew, _) = fixpoint_iterations(&generators::skewed_instance(n));
     let log = (n as f64).log2().ceil() as u64;
-    assert!(zig as f64 >= 0.5 * (n as f64).sqrt(), "zigzag too fast: {zig}");
+    assert!(
+        zig as f64 >= 0.5 * (n as f64).sqrt(),
+        "zigzag too fast: {zig}"
+    );
     assert!(zig <= bound);
     assert!(bal <= 2 * log + 2, "balanced too slow: {bal}");
     assert!(skew <= 2 * log + 2, "skewed too slow: {skew}");

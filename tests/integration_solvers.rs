@@ -85,9 +85,16 @@ fn termination_policies_never_return_wrong_values() {
     for seed in 0..5u64 {
         let p = generators::random_chain(30, 90, 100 + seed);
         let oracle = solve_sequential(&p).root();
-        for term in [Termination::FixedSqrtN, Termination::Fixpoint, Termination::WStableTwice] {
-            let cfg =
-                SolverConfig { exec: ExecMode::Parallel, termination: term, record_trace: false };
+        for term in [
+            Termination::FixedSqrtN,
+            Termination::Fixpoint,
+            Termination::WStableTwice,
+        ] {
+            let cfg = SolverConfig {
+                exec: ExecMode::Parallel,
+                termination: term,
+                record_trace: false,
+            };
             let sol = solve_sublinear(&p, &cfg);
             assert_eq!(sol.value(), oracle, "seed={seed} {term:?}");
             assert!(sol.trace.iterations <= sol.trace.schedule_bound);
