@@ -150,6 +150,7 @@ mod tests {
                 exec: ExecMode::Sequential,
                 termination: Termination::Fixpoint,
                 record_trace: false,
+                ..Default::default()
             };
             solve_sublinear(p, &cfg).trace.iterations
         };

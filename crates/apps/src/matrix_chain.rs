@@ -124,6 +124,7 @@ mod tests {
                 exec: ExecMode::Sequential,
                 termination: Termination::FixedSqrtN,
                 record_trace: false,
+                ..Default::default()
             };
             assert_eq!(solve_sublinear(&mc, &cfg).value(), seq, "n={n}");
             assert_eq!(

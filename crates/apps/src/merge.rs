@@ -169,6 +169,7 @@ mod tests {
             exec: ExecMode::Sequential,
             termination: Termination::FixedSqrtN,
             record_trace: false,
+            ..Default::default()
         };
         assert!(solve_sublinear(&m, &cfg).w.table_eq(&oracle));
         let rcfg = ReducedConfig {

@@ -267,6 +267,7 @@ mod tests {
                 exec: ExecMode::Sequential,
                 termination: Termination::FixedSqrtN,
                 record_trace: false,
+                ..Default::default()
             };
             assert_eq!(solve_sublinear(&bst, &cfg).value(), oracle, "m={m}");
             let rcfg = ReducedConfig {

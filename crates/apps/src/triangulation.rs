@@ -235,6 +235,7 @@ mod tests {
             exec: ExecMode::Sequential,
             termination: Termination::FixedSqrtN,
             record_trace: false,
+            ..Default::default()
         };
         let sub = solve_sublinear(&poly, &cfg).value();
         assert!(sub.cost_eq(&oracle), "{sub} vs {oracle}");

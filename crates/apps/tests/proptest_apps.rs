@@ -126,6 +126,7 @@ proptest! {
             exec: ExecMode::Sequential,
             termination: Termination::FixedSqrtN,
             record_trace: false,
+            ..Default::default()
         };
         prop_assert_eq!(solve_sublinear(&mc, &cfg).value(), solve_sequential(&mc).root());
     }

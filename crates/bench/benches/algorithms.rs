@@ -37,6 +37,7 @@ fn bench_paper_algorithms(c: &mut Criterion) {
             exec: ExecMode::Parallel,
             termination: Termination::FixedSqrtN,
             record_trace: false,
+            ..Default::default()
         };
         group.bench_with_input(BenchmarkId::new("sublinear_dense", n), &p, |b, p| {
             b.iter(|| black_box(solve_sublinear(p, &cfg).value()))
@@ -70,6 +71,7 @@ fn bench_termination_modes(c: &mut Criterion) {
             exec: ExecMode::Parallel,
             termination: term,
             record_trace: false,
+            ..Default::default()
         };
         group.bench_with_input(BenchmarkId::new(name, n), &p, |b, p| {
             b.iter(|| black_box(solve_sublinear(p, &cfg).value()))

@@ -51,6 +51,7 @@ fn check<PB: DpProblem<u64> + ?Sized>(
         exec: ExecMode::Parallel,
         termination: Termination::FixedSqrtN,
         record_trace: false,
+        ..Default::default()
     };
     let sub = solve_sublinear(p, &cfg);
     let red = solve_reduced(p, &ReducedConfig::default());

@@ -29,6 +29,11 @@ fn main() {
             exec: ExecMode::Parallel,
             termination: Termination::FixedSqrtN,
             record_trace: true,
+            // Full sweeps: this experiment measures the per-iteration
+            // Theta(n^5) square work, so dirty-row skipping must not
+            // deflate the post-convergence iterations.
+            skip_clean_rows: false,
+            ..Default::default()
         };
         let (sub_sq, sub_pb, dense_cells) = if n <= 72 {
             let sol = solve_sublinear(&p, &scfg);

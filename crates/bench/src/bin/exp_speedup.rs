@@ -33,6 +33,7 @@ fn main() {
                 exec: ExecMode::Parallel,
                 termination: Termination::FixedSqrtN,
                 record_trace: false,
+                ..Default::default()
             };
             let ((), t) = time_best(1, || {
                 let sol = solve_sublinear(&p, &cfg);

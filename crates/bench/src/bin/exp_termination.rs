@@ -17,6 +17,7 @@ fn iters<PB: DpProblem<u64> + ?Sized>(p: &PB, term: Termination) -> (u64, u64, b
         exec: ExecMode::Parallel,
         termination: term,
         record_trace: false,
+        ..Default::default()
     };
     let sol = solve_sublinear(p, &cfg);
     let exact = sol.w.table_eq(&solve_sequential(p));

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use pardp_core::prelude::ExecBackend;
+use pardp_core::prelude::{ExecBackend, SquareStrategy};
 
 /// A parsing or execution error with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,6 +101,8 @@ pub enum Parsed {
         algo: Algo,
         /// Execution backend for the parallel solvers.
         backend: ExecBackend,
+        /// `a-square` kernel for the dense solvers (sublinear, rytter).
+        tile: SquareStrategy,
         /// Print the witness structure.
         witness: bool,
         /// Print the per-iteration trace (paper algorithms only).
@@ -138,20 +140,25 @@ pub const USAGE: &str = "\
 pardp — sublinear parallel dynamic programming (Huang–Liu–Viswanathan 1990/1992)
 
 USAGE:
-  pardp solve chain <d0,d1,...>        [--algo A] [--backend B] [--witness] [--trace]
-  pardp solve obst --p <p1,..> --q <q0,..> [--algo A] [--backend B] [--witness]
-  pardp solve polygon <w0,w1,...>      [--algo A] [--backend B] [--witness]
-  pardp solve merge <l0,l1,...>        [--algo A] [--backend B] [--witness]
+  pardp solve chain <d0,d1,...>        [--algo A] [--backend B] [--tile T] [--witness] [--trace]
+  pardp solve obst --p <p1,..> --q <q0,..> [--algo A] [--backend B] [--tile T] [--witness]
+  pardp solve polygon <w0,w1,...>      [--algo A] [--backend B] [--tile T] [--witness]
+  pardp solve merge <l0,l1,...>        [--algo A] [--backend B] [--tile T] [--witness]
   pardp game <zigzag|complete|skewed|random> <n> [--rule jump] [--seed S]
   pardp model <n> [--processors P]
   pardp bound <n>
   pardp help
 
 ALGORITHMS (--algo): seq | knuth | wavefront | sublinear (default) | reduced | rytter
-BACKENDS (--backend): seq | parallel (default) | threads:<k>
+BACKENDS (--backend): seq | parallel (default) | threads:<k> | <k>
   Selects the execution backend of the parallel solvers (wavefront,
   sublinear, reduced, rytter): single-threaded reference, the
   work-stealing pool at host size, or the pool capped at k workers.
+  A bare number is shorthand for threads:<k> (0 = host size).
+TILING (--tile): auto (default) | naive | <t>
+  a-square kernel of the dense solvers (sublinear, rytter): cache-blocked
+  with an auto-picked or explicit tile edge, or the naive row-major
+  reference. All choices produce identical tables.
 ";
 
 fn parse_list(s: &str) -> Result<Vec<u64>, CliError> {
@@ -203,6 +210,10 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
             let backend = match take_value(&mut rest, "--backend")? {
                 Some(s) => s.parse::<ExecBackend>().map_err(CliError)?,
                 None => ExecBackend::Parallel,
+            };
+            let tile = match take_value(&mut rest, "--tile")? {
+                Some(s) => s.parse::<SquareStrategy>().map_err(CliError)?,
+                None => SquareStrategy::Auto,
             };
             let witness = take_flag(&mut rest, "--witness");
             let trace = take_flag(&mut rest, "--trace");
@@ -261,6 +272,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 problem,
                 algo,
                 backend,
+                tile,
                 witness,
                 trace,
             })
@@ -346,10 +358,37 @@ mod tests {
                 problem: Problem::Chain(vec![30, 35, 15]),
                 algo: Algo::Sublinear,
                 backend: ExecBackend::Parallel,
+                tile: SquareStrategy::Auto,
                 witness: false,
                 trace: false,
             }
         );
+    }
+
+    #[test]
+    fn parse_tile_selection() {
+        for (spec, expect) in [
+            ("auto", SquareStrategy::Auto),
+            ("0", SquareStrategy::Auto),
+            ("naive", SquareStrategy::Naive),
+            ("32", SquareStrategy::Tiled(32)),
+        ] {
+            let p = parse(&argv(&format!("solve --tile {spec} chain 2,3,4"))).unwrap();
+            match p {
+                Parsed::Solve { tile, .. } => assert_eq!(tile, expect, "{spec}"),
+                other => panic!("{other:?}"),
+            }
+        }
+        let err = parse(&argv("solve --tile blocky chain 2,3,4")).unwrap_err();
+        assert!(err.0.contains("unknown square strategy"), "{err}");
+    }
+
+    #[test]
+    fn parse_backend_error_messages() {
+        let err = parse(&argv("solve --backend threads: chain 2,3,4")).unwrap_err();
+        assert!(err.0.contains("missing a worker count"), "{err}");
+        let err = parse(&argv("solve --backend threads:lots chain 2,3,4")).unwrap_err();
+        assert!(err.0.contains("bad worker count 'lots'"), "{err}");
     }
 
     #[test]

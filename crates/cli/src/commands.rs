@@ -37,9 +37,10 @@ pub fn execute(parsed: &Parsed) -> Result<String, CliError> {
             problem,
             algo,
             backend,
+            tile,
             witness,
             trace,
-        } => run_solve(problem, *algo, *backend, *witness, *trace),
+        } => run_solve(problem, *algo, *backend, *tile, *witness, *trace),
     }
 }
 
@@ -99,13 +100,14 @@ fn run_solve(
     problem: &Problem,
     algo: Algo,
     backend: ExecBackend,
+    tile: SquareStrategy,
     witness: bool,
     trace: bool,
 ) -> Result<String, CliError> {
     match problem {
         Problem::Chain(dims) => {
             let mc = MatrixChain::new(dims.clone());
-            let (out, w) = solve_with(&mc, algo, backend, trace)?;
+            let (out, w) = solve_with(&mc, algo, backend, tile, trace)?;
             let mut s = format!("matrix chain, n = {}\n{out}", mc.n_matrices());
             if witness {
                 let tree = reconstruct_root(&mc, &w)
@@ -116,7 +118,7 @@ fn run_solve(
         }
         Problem::Obst { p, q } => {
             let bst = OptimalBst::new(p.clone(), q.clone());
-            let (out, w) = solve_with(&bst, algo, backend, trace)?;
+            let (out, w) = solve_with(&bst, algo, backend, tile, trace)?;
             let mut s = format!("optimal BST, {} keys\n{out}", bst.n_keys());
             if witness {
                 let tree = reconstruct_root(&bst, &w)
@@ -134,7 +136,7 @@ fn run_solve(
         }
         Problem::Polygon(weights) => {
             let poly = WeightedPolygon::new(weights.clone());
-            let (out, w) = solve_with(&poly, algo, backend, trace)?;
+            let (out, w) = solve_with(&poly, algo, backend, tile, trace)?;
             let mut s = format!(
                 "polygon triangulation, {} vertices\n{out}",
                 poly.n_vertices()
@@ -149,7 +151,7 @@ fn run_solve(
         }
         Problem::Merge(lengths) => {
             let m = MergeOrder::new(lengths.clone());
-            let (out, w) = solve_with(&m, algo, backend, trace)?;
+            let (out, w) = solve_with(&m, algo, backend, tile, trace)?;
             let mut s = format!("merge order, {} runs\n{out}", m.lengths().len());
             if witness {
                 let tree = reconstruct_root(&m, &w)
@@ -167,6 +169,7 @@ fn solve_with<P: DpProblem<u64> + Sync + ?Sized>(
     p: &P,
     algo: Algo,
     backend: ExecBackend,
+    tile: SquareStrategy,
     trace: bool,
 ) -> Result<(String, WTable<u64>), CliError> {
     let n = p.n();
@@ -212,6 +215,8 @@ fn solve_with<P: DpProblem<u64> + Sync + ?Sized>(
                 exec: backend,
                 termination: Termination::Fixpoint,
                 record_trace: trace,
+                square: tile,
+                skip_clean_rows: true,
             };
             let sol = solve_sublinear(p, &cfg);
             let mut s = format!(
@@ -257,6 +262,7 @@ fn solve_with<P: DpProblem<u64> + Sync + ?Sized>(
                 p,
                 &RytterConfig {
                     exec: backend,
+                    square: tile,
                     ..Default::default()
                 },
             );
@@ -300,6 +306,19 @@ mod tests {
                 ))
                 .unwrap_or_else(|e| panic!("{algo}/{backend}: {e}"));
                 assert!(out.contains("= 15125"), "{algo}/{backend}: {out}");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_selection_yields_identical_values() {
+        for algo in ["sublinear", "rytter"] {
+            for tile in ["naive", "auto", "4", "0"] {
+                let out = run_line(&format!(
+                    "solve --algo {algo} --tile {tile} chain 30,35,15,5,10,20,25"
+                ))
+                .unwrap_or_else(|e| panic!("{algo}/{tile}: {e}"));
+                assert!(out.contains("= 15125"), "{algo}/{tile}: {out}");
             }
         }
     }

@@ -56,7 +56,8 @@ impl fmt::Display for ExecBackend {
 }
 
 /// Parse a backend name: `seq`/`sequential`, `parallel`/`auto`/`threads`,
-/// or `threads:<k>` / a bare thread count.
+/// `threads:<k>`, or a bare thread count (`8` is shorthand for
+/// `threads:8`).
 impl std::str::FromStr for ExecBackend {
     type Err = String;
 
@@ -65,15 +66,32 @@ impl std::str::FromStr for ExecBackend {
             "seq" | "sequential" => Ok(ExecBackend::Sequential),
             "parallel" | "auto" | "threads" | "rayon" => Ok(ExecBackend::Parallel),
             other => {
-                let spec = other.strip_prefix("threads:").unwrap_or(other);
-                spec.parse::<usize>()
-                    .map(ExecBackend::Threads)
-                    .map_err(|_| {
-                        format!(
-                            "unknown backend '{other}' \
-                         (expected seq | parallel | threads:<k> | <k>)"
-                        )
-                    })
+                if let Some(spec) = other.strip_prefix("threads:") {
+                    if spec.is_empty() {
+                        return Err("backend 'threads:' is missing a worker count \
+                             (write threads:<k>, e.g. threads:4, or a bare \
+                             count like 4; 0 means host size)"
+                            .to_string());
+                    }
+                    spec.parse::<usize>()
+                        .map(ExecBackend::Threads)
+                        .map_err(|_| {
+                            format!(
+                                "bad worker count '{spec}' in backend '{other}' \
+                             (expected a non-negative integer, e.g. threads:4)"
+                            )
+                        })
+                } else {
+                    other
+                        .parse::<usize>()
+                        .map(ExecBackend::Threads)
+                        .map_err(|_| {
+                            format!(
+                                "unknown backend '{other}' \
+                             (expected seq | parallel | threads:<k> | <k>)"
+                            )
+                        })
+                }
             }
         }
     }
@@ -147,19 +165,25 @@ impl ExecBackend {
         {
             let base = SendPtr(data.as_mut_ptr());
             let (process, identity, merge) = (&process, &identity, &merge);
-            pool::run_blocks(workers, spans.len(), &move |range, acc: &mut Option<R>| {
-                let mut local = acc.take().unwrap_or_else(&identity);
-                for row in range {
-                    let (s, e) = spans[row];
-                    // SAFETY: spans were validated disjoint and in-bounds
-                    // above, and each row index is claimed by exactly one
-                    // block, so this is the only live reference to
-                    // data[s..e].
-                    let slice = unsafe { std::slice::from_raw_parts_mut(base.get().add(s), e - s) };
-                    local = merge(local, process(row, slice));
-                }
-                *acc = Some(local);
-            })
+            pool::run_blocks(
+                workers,
+                spans.len(),
+                1,
+                &move |range, acc: &mut Option<R>| {
+                    let mut local = acc.take().unwrap_or_else(&identity);
+                    for row in range {
+                        let (s, e) = spans[row];
+                        // SAFETY: spans were validated disjoint and in-bounds
+                        // above, and each row index is claimed by exactly one
+                        // block, so this is the only live reference to
+                        // data[s..e].
+                        let slice =
+                            unsafe { std::slice::from_raw_parts_mut(base.get().add(s), e - s) };
+                        local = merge(local, process(row, slice));
+                    }
+                    *acc = Some(local);
+                },
+            )
             .into_iter()
             .flatten()
             .fold(identity(), merge)
@@ -209,7 +233,7 @@ impl ExecBackend {
         {
             let base = SendPtr(data.as_mut_ptr());
             let (process, identity, merge) = (&process, &identity, &merge);
-            pool::run_blocks(workers, rows, &move |range, acc: &mut Option<R>| {
+            pool::run_blocks(workers, rows, 1, &move |range, acc: &mut Option<R>| {
                 let mut local = acc.take().unwrap_or_else(&identity);
                 for row in range {
                     // SAFETY: rows are disjoint by construction (uniform
@@ -226,6 +250,88 @@ impl ExecBackend {
             .into_iter()
             .flatten()
             .fold(identity(), merge)
+        }
+        #[cfg(not(feature = "parallel"))]
+        unreachable!("workers > 1 requires the `parallel` feature")
+    }
+
+    /// [`Self::map_reduce_chunks_mut`] with per-row flag plumbing and
+    /// scheduling-grain control, for convergence-aware row scheduling:
+    ///
+    /// * `process` additionally returns one `bool` per row (e.g. "did any
+    ///   cell of this row change?"); the flags come back as a `Vec<bool>`
+    ///   indexed by row, written race-free because each row is claimed by
+    ///   exactly one worker;
+    /// * `grain` is a floor on the number of rows per scheduling block
+    ///   (`1` = the default four-blocks-per-worker split). Passes whose
+    ///   rows are mostly trivial — e.g. a square sweep where the dirty-row
+    ///   scheduler turned most rows into copies — raise it to amortise
+    ///   block-claim overhead.
+    ///
+    /// # Panics
+    /// If `data.len()` is not a multiple of `row_len` (for non-empty data).
+    pub fn map_reduce_chunks_flagged_mut<T, R>(
+        &self,
+        data: &mut [T],
+        row_len: usize,
+        grain: usize,
+        process: impl Fn(usize, &mut [T]) -> (R, bool) + Sync,
+        identity: impl Fn() -> R + Sync,
+        merge: impl Fn(R, R) -> R + Sync,
+    ) -> (R, Vec<bool>)
+    where
+        T: Send,
+        R: Send,
+    {
+        if data.is_empty() {
+            return (identity(), Vec::new());
+        }
+        assert!(
+            row_len > 0 && data.len().is_multiple_of(row_len),
+            "buffer length {} is not a multiple of row length {row_len}",
+            data.len()
+        );
+        let rows = data.len() / row_len;
+        let mut flags = vec![false; rows];
+        let workers = self.effective_threads();
+        if workers <= 1 || rows <= 1 {
+            let mut total = identity();
+            for (row, slice) in data.chunks_mut(row_len).enumerate() {
+                let (partial, flag) = process(row, slice);
+                flags[row] = flag;
+                total = merge(total, partial);
+            }
+            return (total, flags);
+        }
+        #[cfg(feature = "parallel")]
+        {
+            let base = SendPtr(data.as_mut_ptr());
+            let flag_base = SendPtr(flags.as_mut_ptr());
+            let (process, identity, merge) = (&process, &identity, &merge);
+            let total =
+                pool::run_blocks(workers, rows, grain, &move |range, acc: &mut Option<R>| {
+                    let mut local = acc.take().unwrap_or_else(&identity);
+                    for row in range {
+                        // SAFETY: rows are disjoint by construction
+                        // (uniform non-overlapping chunks, validated to
+                        // divide the buffer) and each row index is claimed
+                        // by exactly one block; the same claim makes the
+                        // flag slot exclusive.
+                        let slice = unsafe {
+                            std::slice::from_raw_parts_mut(base.get().add(row * row_len), row_len)
+                        };
+                        let (partial, flag) = process(row, slice);
+                        unsafe {
+                            flag_base.get().add(row).write(flag);
+                        }
+                        local = merge(local, partial);
+                    }
+                    *acc = Some(local);
+                })
+                .into_iter()
+                .flatten()
+                .fold(identity(), merge);
+            (total, flags)
         }
         #[cfg(not(feature = "parallel"))]
         unreachable!("workers > 1 requires the `parallel` feature")
@@ -262,7 +368,7 @@ impl ExecBackend {
         {
             out.reserve(len);
             let base = SendPtr(out.as_mut_ptr());
-            pool::run_blocks(workers, len, &|range, _acc: &mut Option<()>| {
+            pool::run_blocks(workers, len, 1, &|range, _acc: &mut Option<()>| {
                 for i in range {
                     // SAFETY: each index is claimed by exactly one block,
                     // and `reserve` guarantees capacity for 0..len. The
@@ -471,20 +577,22 @@ mod pool {
     /// with a per-call accumulator slot; per-block results are returned to
     /// the caller for merging. Blocks are sized so there are roughly four
     /// per worker, which balances skewed per-item work against scheduling
-    /// overhead.
+    /// overhead; `min_block` raises the floor on items per block for
+    /// callers whose items are individually too cheap to schedule.
     ///
     /// # Panics
     /// Re-raises (as a panic) any panic that occurred inside `body`.
     pub(super) fn run_blocks<R: Send>(
         workers: usize,
         items: usize,
+        min_block: usize,
         body: &(dyn Fn(Range<usize>, &mut Option<R>) + Sync),
     ) -> Vec<Option<R>> {
         if items == 0 {
             return Vec::new();
         }
         let blocks = (workers * 4).min(items).max(1);
-        let block_len = items.div_ceil(blocks);
+        let block_len = items.div_ceil(blocks).max(min_block.max(1));
         let blocks = items.div_ceil(block_len);
 
         // Collect per-block accumulators: the erased body writes into a
@@ -577,6 +685,54 @@ mod tests {
         );
         assert_eq!("8".parse::<ExecBackend>().unwrap(), ExecBackend::Threads(8));
         assert!("bogus".parse::<ExecBackend>().is_err());
+    }
+
+    #[test]
+    fn backend_parse_errors_are_specific() {
+        let missing = "threads:".parse::<ExecBackend>().unwrap_err();
+        assert!(missing.contains("missing a worker count"), "{missing}");
+        assert!(missing.contains("threads:4"), "{missing}");
+        let bad = "threads:four".parse::<ExecBackend>().unwrap_err();
+        assert!(bad.contains("bad worker count 'four'"), "{bad}");
+        let unknown = "bogus".parse::<ExecBackend>().unwrap_err();
+        assert!(unknown.contains("unknown backend"), "{unknown}");
+        // A bare count is valid shorthand, including 0 (= host size).
+        assert_eq!("0".parse::<ExecBackend>().unwrap(), ExecBackend::Threads(0));
+    }
+
+    #[test]
+    fn flagged_chunks_return_per_row_flags_on_all_backends() {
+        for backend in [
+            ExecBackend::Sequential,
+            ExecBackend::Parallel,
+            ExecBackend::Threads(3),
+        ] {
+            for grain in [1usize, 4, 1000] {
+                let rows = 37usize;
+                let width = 5usize;
+                let mut data = vec![0u32; rows * width];
+                let (total, flags) = backend.map_reduce_chunks_flagged_mut(
+                    &mut data,
+                    width,
+                    grain,
+                    |row, slice| {
+                        slice.fill(row as u32);
+                        (1u64, row % 3 == 0)
+                    },
+                    || 0u64,
+                    |a, b| a + b,
+                );
+                assert_eq!(total, rows as u64, "{backend} grain={grain}");
+                assert_eq!(flags.len(), rows);
+                for (row, &flag) in flags.iter().enumerate() {
+                    assert_eq!(flag, row % 3 == 0, "{backend} grain={grain} row={row}");
+                }
+                assert!(data
+                    .chunks(width)
+                    .enumerate()
+                    .all(|(r, chunk)| chunk.iter().all(|&v| v == r as u32)));
+            }
+        }
     }
 
     #[test]

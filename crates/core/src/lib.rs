@@ -80,6 +80,7 @@ pub mod weight;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::exec::ExecBackend;
+    pub use crate::ops::{OpStats, SquareStrategy};
     pub use crate::problem::{DpProblem, FnProblem, TabulatedProblem};
     pub use crate::reconstruct::{reconstruct_root, tree_cost, ParenTree};
     pub use crate::reduced::{solve_reduced, ReducedConfig};

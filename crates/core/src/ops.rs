@@ -19,10 +19,23 @@
 //! work by table row, which keeps writes disjoint without locks (the CREW
 //! exclusive-write discipline), so every backend computes identical
 //! tables.
+//!
+//! The dense squares ([`a_square_dense`], [`a_square_rytter`]) come in two
+//! interchangeable kernels selected by [`SquareStrategy`]: the naive
+//! row-major reference and a cache-blocked kernel that walks cells and
+//! intermediate ranges in tiles over the flattened `pw` matrix. Both
+//! enumerate exactly the same candidate set, so tables and [`OpStats`] are
+//! identical; only the memory access order differs. [`a_square_dense_scheduled`]
+//! additionally supports convergence-aware row scheduling: rows whose
+//! inputs did not change since the previous pass are copied forward
+//! instead of recomputed.
+
+use std::fmt;
+use std::str::FromStr;
 
 use crate::exec::ExecBackend;
 use crate::problem::DpProblem;
-use crate::tables::{BandedPw, DensePw, WTable};
+use crate::tables::{BandedPw, DensePw, PairIndexer, WTable};
 use crate::weight::Weight;
 
 /// Work and change accounting for one operation application.
@@ -31,7 +44,12 @@ pub struct OpStats {
     /// Composition candidates examined (pairs combined with `+` and fed to
     /// `min`). This is the unit-work measure of the paper's analysis.
     pub candidates: u64,
-    /// Table cells written.
+    /// Table cells whose stored value strictly improved — the cells that
+    /// received an *actual* new value. Values merely carried forward (the
+    /// copy into the `next` buffer of a double-buffered pass, the
+    /// untouched cell of an in-place pass, or the copied-out pair of a
+    /// windowed pebble) are not writes, so the figure is comparable
+    /// across all operations, and `changed == (writes > 0)` always holds.
     pub writes: u64,
     /// Whether any cell strictly improved.
     pub changed: bool,
@@ -44,6 +62,79 @@ impl OpStats {
             candidates: self.candidates + other.candidates,
             writes: self.writes + other.writes,
             changed: self.changed || other.changed,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Square kernel selection
+// ---------------------------------------------------------------------------
+
+/// How the dense square kernels enumerate their composition candidates.
+///
+/// Every strategy examines exactly the same candidate set and produces
+/// bit-identical tables and identical [`OpStats`]; they differ only in
+/// memory access order, and therefore speed. The naive order gathers one
+/// cell's intermediates from `O(n)` different rows of the `P x P` matrix,
+/// so nearly every read misses cache once the matrix outgrows it; the
+/// blocked kernels keep a tile of intermediate rows hot and stream the
+/// contiguous cell segments that share a left endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SquareStrategy {
+    /// The reference row-major triple loop over `(p, q)` cells.
+    Naive,
+    /// Cache-blocked kernel with an explicit tile edge, in pairs.
+    /// `Tiled(0)` behaves like [`SquareStrategy::Auto`].
+    Tiled(usize),
+    /// Cache-blocked kernel with the tile edge picked from the row
+    /// length (the default).
+    #[default]
+    Auto,
+}
+
+impl SquareStrategy {
+    /// The auto-picked tile edge: 64 pairs keeps a 64x64 `u64` tile of
+    /// intermediate rows (32 KiB) inside a typical L1 data cache.
+    pub const AUTO_TILE: usize = 64;
+
+    /// The tile edge to use for rows of `dim` pairs, or `None` for the
+    /// naive kernel.
+    pub fn tile_for(self, dim: usize) -> Option<usize> {
+        match self {
+            SquareStrategy::Naive => None,
+            SquareStrategy::Auto | SquareStrategy::Tiled(0) => {
+                Some(Self::AUTO_TILE.min(dim.max(1)))
+            }
+            SquareStrategy::Tiled(t) => Some(t.min(dim.max(1))),
+        }
+    }
+}
+
+impl fmt::Display for SquareStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SquareStrategy::Naive => write!(f, "naive"),
+            SquareStrategy::Auto | SquareStrategy::Tiled(0) => write!(f, "auto"),
+            SquareStrategy::Tiled(t) => write!(f, "tiled:{t}"),
+        }
+    }
+}
+
+/// Parse `naive`, `auto`, or a tile edge (`0` means auto).
+impl FromStr for SquareStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "naive" => Ok(SquareStrategy::Naive),
+            "auto" => Ok(SquareStrategy::Auto),
+            other => match other.parse::<usize>() {
+                Ok(0) => Ok(SquareStrategy::Auto),
+                Ok(t) => Ok(SquareStrategy::Tiled(t)),
+                Err(_) => Err(format!(
+                    "unknown square strategy '{other}' (expected naive | auto | <tile>)"
+                )),
+            },
         }
     }
 }
@@ -68,13 +159,25 @@ pub fn a_activate_dense<W: Weight, P: DpProblem<W> + ?Sized>(
     pw: &mut DensePw<W>,
     exec: &ExecBackend,
 ) -> OpStats {
+    a_activate_dense_tracked(problem, w, pw, exec).0
+}
+
+/// [`a_activate_dense`], additionally returning the per-row changed bits
+/// (indexed by the pair index of the row) that feed the dirty-row
+/// scheduler of [`a_square_dense_scheduled`].
+pub fn a_activate_dense_tracked<W: Weight, P: DpProblem<W> + ?Sized>(
+    problem: &P,
+    w: &WTable<W>,
+    pw: &mut DensePw<W>,
+    exec: &ExecBackend,
+) -> (OpStats, Vec<bool>) {
     let dim = pw.dim();
     let idx = pw.indexer().clone();
-    let process_row = |a: usize, row: &mut [W]| -> OpStats {
+    let process_row = |a: usize, row: &mut [W]| -> (OpStats, bool) {
         let (i, j) = idx.pair(a);
         let mut stats = OpStats::default();
         if j - i < 2 {
-            return stats;
+            return (stats, false);
         }
         for k in i + 1..j {
             let fikj = problem.f(i, k, j);
@@ -83,23 +186,24 @@ pub fn a_activate_dense<W: Weight, P: DpProblem<W> + ?Sized>(
             let cand1 = fikj.add(w.get(k, j));
             if cand1 < row[b1] {
                 row[b1] = cand1;
-                stats.changed = true;
+                stats.writes += 1;
             }
             // Gap (k,j): remaining subtree is (i,k).
             let b2 = idx.index(k, j);
             let cand2 = fikj.add(w.get(i, k));
             if cand2 < row[b2] {
                 row[b2] = cand2;
-                stats.changed = true;
+                stats.writes += 1;
             }
             stats.candidates += 2;
-            stats.writes += 2;
         }
-        stats
+        stats.changed = stats.writes > 0;
+        (stats, stats.changed)
     };
-    exec.map_reduce_chunks_mut(
+    exec.map_reduce_chunks_flagged_mut(
         pw.as_mut_slice(),
         dim,
+        1,
         process_row,
         OpStats::default,
         OpStats::merge,
@@ -122,52 +226,246 @@ pub fn a_activate_dense<W: Weight, P: DpProblem<W> + ?Sized>(
 /// The composition is *restricted* to intermediate gaps sharing an
 /// endpoint with `(p,q)` — the source of the `O(n^5)` (vs Rytter's
 /// `O(n^6)`) work bound. Reads come from `prev`; writes go to `next`.
+///
+/// Uses the default [`SquareStrategy`] (auto-tiled); see
+/// [`a_square_dense_scheduled`] for strategy selection and row skipping.
 pub fn a_square_dense<W: Weight>(
     prev: &DensePw<W>,
     next: &mut DensePw<W>,
     exec: &ExecBackend,
 ) -> OpStats {
+    a_square_dense_scheduled(prev, next, SquareStrategy::default(), None, exec).0
+}
+
+/// Dense `a-square` with full scheduling control.
+///
+/// * `strategy` selects the candidate enumeration order — all strategies
+///   produce bit-identical tables and identical [`OpStats`].
+/// * `skip`, if given, marks rows whose **inputs** did not change since
+///   the previous square (row `(i,j)` reads only rows nested in `(i,j)`,
+///   all of which the caller observed unchanged). Such rows are copied
+///   from `prev` instead of recomputed — sound because the square is a
+///   deterministic function of its input rows, so recomputing would
+///   reproduce the previous output — and report zero candidates and no
+///   change.
+/// * The returned `Vec<bool>` holds the per-row changed bits for the
+///   caller's next scheduling decision.
+pub fn a_square_dense_scheduled<W: Weight>(
+    prev: &DensePw<W>,
+    next: &mut DensePw<W>,
+    strategy: SquareStrategy,
+    skip: Option<&[bool]>,
+    exec: &ExecBackend,
+) -> (OpStats, Vec<bool>) {
     let dim = prev.dim();
-    let idx = prev.indexer().clone();
-    let prev_data = prev.as_slice();
-    let process_row = |a: usize, next_row: &mut [W]| -> OpStats {
-        let (i, j) = idx.pair(a);
-        let prev_row = &prev_data[a * dim..(a + 1) * dim];
-        let mut stats = OpStats::default();
-        for p in i..j {
-            for q in p + 1..=j {
-                let b = idx.index(p, q);
-                let old = prev_row[b];
-                let mut best = old;
-                // Intermediate gaps (r, q), i <= r < p.
-                for r in i..p {
-                    let c = idx.index(r, q);
-                    let cand = prev_row[c].add(prev_data[c * dim + b]);
-                    best = best.min2(cand);
-                }
-                // Intermediate gaps (p, s), q < s <= j.
-                for s in q + 1..=j {
-                    let c = idx.index(p, s);
-                    let cand = prev_row[c].add(prev_data[c * dim + b]);
-                    best = best.min2(cand);
-                }
-                stats.candidates += (p - i) as u64 + (j - q) as u64;
-                stats.writes += 1;
-                if best < old {
-                    stats.changed = true;
-                }
-                next_row[b] = best;
-            }
-        }
-        stats
+    let ctx = SquareCtx {
+        idx: prev.indexer().clone(),
+        prev: prev.as_slice(),
+        dim,
     };
-    exec.map_reduce_chunks_mut(
+    let tile = strategy.tile_for(dim);
+    let process_row = |a: usize, next_row: &mut [W]| -> (OpStats, bool) {
+        if skip.is_some_and(|mask| mask[a]) {
+            next_row.copy_from_slice(ctx.prev_row(a));
+            return (OpStats::default(), false);
+        }
+        let stats = match tile {
+            None => square_row_naive(&ctx, a, next_row),
+            Some(t) => square_row_tiled(&ctx, a, next_row, t),
+        };
+        (stats, stats.changed)
+    };
+    // With a skip mask many rows degrade to memcpys, individually too
+    // cheap to schedule — coarsen the block floor so claim overhead is
+    // amortised across several rows.
+    let grain = if skip.is_some() { 8 } else { 1 };
+    exec.map_reduce_chunks_flagged_mut(
         next.as_mut_slice(),
         dim,
+        grain,
         process_row,
         OpStats::default,
         OpStats::merge,
     )
+}
+
+/// Shared read-side context of one dense-square row computation.
+struct SquareCtx<'a, W> {
+    idx: PairIndexer,
+    /// The flattened previous `P x P` matrix.
+    prev: &'a [W],
+    /// Row length `P`.
+    dim: usize,
+}
+
+impl<W: Weight> SquareCtx<'_, W> {
+    #[inline]
+    fn prev_row(&self, a: usize) -> &[W] {
+        &self.prev[a * self.dim..(a + 1) * self.dim]
+    }
+}
+
+/// Reference kernel: for every cell, gather every intermediate.
+fn square_row_naive<W: Weight>(ctx: &SquareCtx<'_, W>, a: usize, next_row: &mut [W]) -> OpStats {
+    let (i, j) = ctx.idx.pair(a);
+    let prev_row = ctx.prev_row(a);
+    next_row.copy_from_slice(prev_row);
+    let mut stats = OpStats::default();
+    for p in i..j {
+        for q in p + 1..=j {
+            let b = ctx.idx.index(p, q);
+            let old = prev_row[b];
+            let mut best = old;
+            // Intermediate gaps (r, q), i <= r < p.
+            for r in i..p {
+                let c = ctx.idx.index(r, q);
+                let cand = prev_row[c].add(ctx.prev[c * ctx.dim + b]);
+                best = best.min2(cand);
+            }
+            // Intermediate gaps (p, s), q < s <= j.
+            for s in q + 1..=j {
+                let c = ctx.idx.index(p, s);
+                let cand = prev_row[c].add(ctx.prev[c * ctx.dim + b]);
+                best = best.min2(cand);
+            }
+            stats.candidates += (p - i) as u64 + (j - q) as u64;
+            if best < old {
+                next_row[b] = best;
+                stats.writes += 1;
+            }
+        }
+    }
+    stats.changed = stats.writes > 0;
+    stats
+}
+
+/// Cache-blocked kernel: identical candidate set, tile-ordered.
+///
+/// The two candidate families are walked separately, each blocked into
+/// `tile`-sized index ranges:
+///
+/// * **`s`-family** (intermediates `(p, s)` sharing the cell's left
+///   endpoint): for a fixed `p`, both the cells `(p, q)` and the
+///   intermediates `(p, s)` live in one contiguous segment of pair space,
+///   so for each intermediate the updated cells form a contiguous slice —
+///   one streaming pass per `(s, q)` block instead of per-cell gathers.
+/// * **`r`-family** (intermediates `(r, q)` sharing the cell's right
+///   endpoint): blocked over `(p, r)` so that the `tile` intermediate
+///   rows claimed by an `r`-block stay cache-hot while the `p`-block
+///   sweeps them, accumulating each cell in a register.
+///
+/// Rows whose stored partial weight is still infinite contribute no
+/// finite candidate, so their compositions are counted in bulk and the
+/// matrix reads skipped — a large win in the early iterations when most
+/// of `pw` is unreached.
+fn square_row_tiled<W: Weight>(
+    ctx: &SquareCtx<'_, W>,
+    a: usize,
+    next_row: &mut [W],
+    tile: usize,
+) -> OpStats {
+    let (i, j) = ctx.idx.pair(a);
+    let n = ctx.idx.n();
+    let prev_row = ctx.prev_row(a);
+    next_row.copy_from_slice(prev_row);
+    let mut stats = OpStats::default();
+    let t = tile.max(1);
+
+    // s-family: cells (p, q) gather intermediates (p, s), q < s <= j.
+    for p in i..j {
+        let base = ctx.idx.index(p, p + 1);
+        let q_lo = p + 1;
+        let mut s0 = q_lo + 1;
+        while s0 <= j {
+            let s1 = (s0 + t - 1).min(j);
+            let mut q0 = q_lo;
+            while q0 < s1 {
+                let q1 = (q0 + t - 1).min(s1 - 1);
+                for s in s0..=s1 {
+                    let q_hi = q1.min(s - 1);
+                    if q0 > q_hi {
+                        continue;
+                    }
+                    stats.candidates += (q_hi - q0 + 1) as u64;
+                    let c = base + (s - p - 1);
+                    let vs = prev_row[c];
+                    if !vs.is_finite_cost() {
+                        continue;
+                    }
+                    let b0 = base + (q0 - p - 1);
+                    let b1 = base + (q_hi - p - 1);
+                    let crow = &ctx.prev[c * ctx.dim..];
+                    for (cell, &step) in next_row[b0..=b1].iter_mut().zip(&crow[b0..=b1]) {
+                        let cand = vs.add(step);
+                        if cand < *cell {
+                            *cell = cand;
+                        }
+                    }
+                }
+                q0 = q1 + 1;
+            }
+            s0 = s1 + 1;
+        }
+    }
+
+    // r-family: cells (p, q) gather intermediates (r, q), i <= r < p.
+    for q in i + 2..=j {
+        let mut r0 = i;
+        while r0 + 1 < q {
+            let r1 = (r0 + t - 1).min(q - 2);
+            let c_base = ctx.idx.index(r0, q);
+            let mut p0 = r0 + 1;
+            while p0 < q {
+                let p1 = (p0 + t - 1).min(q - 1);
+                let mut b = ctx.idx.index(p0, q);
+                for p in p0..=p1 {
+                    let r_hi = r1.min(p - 1);
+                    stats.candidates += (r_hi - r0 + 1) as u64;
+                    let mut acc = next_row[b];
+                    let mut c = c_base;
+                    for r in r0..=r_hi {
+                        let vr = prev_row[c];
+                        if vr.is_finite_cost() {
+                            acc = acc.min2(vr.add(ctx.prev[c * ctx.dim + b]));
+                        }
+                        // Pair index of (r + 1, q): one lexicographic
+                        // block of n - r - 1 pairs further on.
+                        c += n - r - 1;
+                    }
+                    next_row[b] = acc;
+                    // Likewise b advances to the pair index of (p + 1, q).
+                    b += n - p - 1;
+                }
+                p0 = p1 + 1;
+            }
+            r0 = r1 + 1;
+        }
+    }
+
+    finish_row_stats(ctx, i, j, prev_row, next_row, &mut stats);
+    stats
+}
+
+/// Count the actual writes of a min-accumulated row: the nested cells
+/// whose value in `next_row` now differs from (i.e. improved on)
+/// `prev_row`, and set the row's changed bit accordingly.
+fn finish_row_stats<W: Weight>(
+    ctx: &SquareCtx<'_, W>,
+    i: usize,
+    j: usize,
+    prev_row: &[W],
+    next_row: &[W],
+    stats: &mut OpStats,
+) {
+    for p in i..j {
+        let seg = ctx.idx.segment(p, p + 1, j);
+        for (new, old) in next_row[seg.clone()].iter().zip(&prev_row[seg]) {
+            if new != old {
+                stats.writes += 1;
+            }
+        }
+    }
+    stats.changed = stats.writes > 0;
 }
 
 /// Rytter's square [8] over the same dense storage: composition through
@@ -181,39 +479,41 @@ pub fn a_square_dense<W: Weight>(
 ///
 /// i.e. a masked min-plus matrix square — `Theta(n^6)` candidates, the
 /// work figure the paper improves on.
+///
+/// Uses the default [`SquareStrategy`]; see [`a_square_rytter_with`].
 pub fn a_square_rytter<W: Weight>(
     prev: &DensePw<W>,
     next: &mut DensePw<W>,
     exec: &ExecBackend,
 ) -> OpStats {
+    a_square_rytter_with(prev, next, SquareStrategy::default(), exec)
+}
+
+/// Rytter's square with an explicit kernel choice. All strategies produce
+/// bit-identical tables and identical [`OpStats`]; the non-naive
+/// strategies select the intermediate-major streaming kernel (for the
+/// full composition every cell nested in an intermediate is compatible
+/// with it, so the per-intermediate update footprint is already a run of
+/// contiguous segments and needs no extra tile subdivision).
+pub fn a_square_rytter_with<W: Weight>(
+    prev: &DensePw<W>,
+    next: &mut DensePw<W>,
+    strategy: SquareStrategy,
+    exec: &ExecBackend,
+) -> OpStats {
     let dim = prev.dim();
-    let idx = prev.indexer().clone();
-    let prev_data = prev.as_slice();
+    let ctx = SquareCtx {
+        idx: prev.indexer().clone(),
+        prev: prev.as_slice(),
+        dim,
+    };
+    let tiled = strategy.tile_for(dim).is_some();
     let process_row = |a: usize, next_row: &mut [W]| -> OpStats {
-        let (i, j) = idx.pair(a);
-        let prev_row = &prev_data[a * dim..(a + 1) * dim];
-        let mut stats = OpStats::default();
-        for p in i..j {
-            for q in p + 1..=j {
-                let b = idx.index(p, q);
-                let old = prev_row[b];
-                let mut best = old;
-                for r in i..=p {
-                    for s in q.max(r + 1)..=j {
-                        let c = idx.index(r, s);
-                        let cand = prev_row[c].add(prev_data[c * dim + b]);
-                        best = best.min2(cand);
-                        stats.candidates += 1;
-                    }
-                }
-                stats.writes += 1;
-                if best < old {
-                    stats.changed = true;
-                }
-                next_row[b] = best;
-            }
+        if tiled {
+            rytter_row_streamed(&ctx, a, next_row)
+        } else {
+            rytter_row_naive(&ctx, a, next_row)
         }
-        stats
     };
     exec.map_reduce_chunks_mut(
         next.as_mut_slice(),
@@ -222,6 +522,73 @@ pub fn a_square_rytter<W: Weight>(
         OpStats::default,
         OpStats::merge,
     )
+}
+
+/// Reference kernel: per-cell gather over every intermediate gap.
+fn rytter_row_naive<W: Weight>(ctx: &SquareCtx<'_, W>, a: usize, next_row: &mut [W]) -> OpStats {
+    let (i, j) = ctx.idx.pair(a);
+    let prev_row = ctx.prev_row(a);
+    next_row.copy_from_slice(prev_row);
+    let mut stats = OpStats::default();
+    for p in i..j {
+        for q in p + 1..=j {
+            let b = ctx.idx.index(p, q);
+            let old = prev_row[b];
+            let mut best = old;
+            for r in i..=p {
+                for s in q.max(r + 1)..=j {
+                    let c = ctx.idx.index(r, s);
+                    let cand = prev_row[c].add(ctx.prev[c * ctx.dim + b]);
+                    best = best.min2(cand);
+                    stats.candidates += 1;
+                }
+            }
+            if best < old {
+                next_row[b] = best;
+                stats.writes += 1;
+            }
+        }
+    }
+    stats.changed = stats.writes > 0;
+    stats
+}
+
+/// Streaming kernel: intermediate-major enumeration. For an intermediate
+/// gap `(r, s)` the compatible cells are exactly the pairs nested in
+/// `(r, s)`, one contiguous segment per left endpoint — so each
+/// intermediate row is read once, forward, instead of being gathered
+/// from by `O(n^2)` distant cells. Intermediates whose partial weight is
+/// still infinite are counted in bulk and skipped.
+fn rytter_row_streamed<W: Weight>(ctx: &SquareCtx<'_, W>, a: usize, next_row: &mut [W]) -> OpStats {
+    let (i, j) = ctx.idx.pair(a);
+    let prev_row = ctx.prev_row(a);
+    next_row.copy_from_slice(prev_row);
+    let mut stats = OpStats::default();
+    for r in i..j {
+        let r_base = ctx.idx.index(r, r + 1);
+        for s in r + 1..=j {
+            let c = r_base + (s - r - 1);
+            let vc = prev_row[c];
+            let width = (s - r) as u64;
+            if !vc.is_finite_cost() {
+                stats.candidates += width * (width + 1) / 2;
+                continue;
+            }
+            let crow = &ctx.prev[c * ctx.dim..];
+            for p in r..s {
+                let seg = ctx.idx.segment(p, p + 1, s);
+                stats.candidates += (s - p) as u64;
+                for (cell, &step) in next_row[seg.clone()].iter_mut().zip(&crow[seg]) {
+                    let cand = vc.add(step);
+                    if cand < *cell {
+                        *cell = cand;
+                    }
+                }
+            }
+        }
+    }
+    finish_row_stats(ctx, i, j, prev_row, next_row, &mut stats);
+    stats
 }
 
 // ---------------------------------------------------------------------------
@@ -255,7 +622,6 @@ pub fn a_pebble_dense<W: Weight>(
             let row = &pw_data[a * dim..(a + 1) * dim];
             let old = w_prev.get(i, j);
             let mut best = old; // the (p,q) = (i,j) candidate: pw = 0
-            stats.writes += 1;
             for p in i..j {
                 for q in p + 1..=j {
                     if p == i && q == j {
@@ -269,6 +635,7 @@ pub fn a_pebble_dense<W: Weight>(
             }
             if best < old {
                 stats.changed = true;
+                stats.writes += 1;
             }
             *out_cell = best;
         }
@@ -320,9 +687,9 @@ pub fn a_activate_banded<W: Weight, P: DpProblem<W> + ?Sized>(
             if cand < row[pos] {
                 row[pos] = cand;
                 stats.changed = true;
+                stats.writes += 1;
             }
             stats.candidates += 1;
-            stats.writes += 1;
         }
         // Gap (k,j): eccentricity e = k - i <= band.
         let k_hi = (j - 1).min(i + band);
@@ -333,9 +700,9 @@ pub fn a_activate_banded<W: Weight, P: DpProblem<W> + ?Sized>(
             if cand < row[pos] {
                 row[pos] = cand;
                 stats.changed = true;
+                stats.writes += 1;
             }
             stats.candidates += 1;
-            stats.writes += 1;
         }
         stats
     };
@@ -395,8 +762,8 @@ pub fn a_square_banded<W: Weight>(
                 let pos = e * (e + 1) / 2 + (p - i);
                 if best < old {
                     stats.changed = true;
+                    stats.writes += 1;
                 }
-                stats.writes += 1;
                 next_row[pos] = best;
             }
         }
@@ -427,6 +794,11 @@ pub fn a_square_banded<W: Weight>(
 ///   recomputed here on the fly. The decomposition lemma needs them for
 ///   the terminal chain node `y`, both of whose children are small and
 ///   already final.
+///
+/// Accounting rule: a windowed-out pair copies its previous value into
+/// `out_cell` — a carried-forward value, not a write — and a re-minimised
+/// pair counts as a write only when it strictly improves, exactly like
+/// every other op (see [`OpStats::writes`]).
 pub fn a_pebble_banded<W: Weight, P: DpProblem<W> + ?Sized>(
     problem: &P,
     pw: &BandedPw<W>,
@@ -448,7 +820,6 @@ pub fn a_pebble_banded<W: Weight, P: DpProblem<W> + ?Sized>(
                 }
             }
             let mut best = old;
-            stats.writes += 1;
             for (p, q) in pw.gaps_of(i, j) {
                 if p == i && q == j {
                     continue;
@@ -467,6 +838,7 @@ pub fn a_pebble_banded<W: Weight, P: DpProblem<W> + ?Sized>(
             }
             if best < old {
                 stats.changed = true;
+                stats.writes += 1;
             }
             *out_cell = best;
         }
@@ -706,6 +1078,170 @@ mod tests {
         let stats = a_pebble_banded(&p, &pw, &w, &mut w_next, Some((0, 1)), &SEQ);
         assert!(!stats.changed);
         assert!(!w_next.get(0, n).is_finite_cost());
+    }
+
+    #[test]
+    fn square_strategies_are_bit_identical() {
+        // Warm tables a couple of iterations, then one square per
+        // strategy: tables, candidates and writes must match exactly.
+        let p = chain(vec![7, 3, 9, 4, 12, 5, 8, 6, 10, 2, 11, 13, 1]);
+        let n = p.n();
+        let mut w = WTable::new(n);
+        for i in 0..n {
+            w.set(i, i + 1, p.init(i));
+        }
+        let mut pw = DensePw::new(n);
+        let mut pw_next = DensePw::new(n);
+        let mut w_next = w.clone();
+        for _ in 0..2 {
+            a_activate_dense(&p, &w, &mut pw, &SEQ);
+            a_square_dense(&pw, &mut pw_next, &SEQ);
+            std::mem::swap(&mut pw, &mut pw_next);
+            a_pebble_dense(&pw, &w, &mut w_next, &SEQ);
+            std::mem::swap(&mut w, &mut w_next);
+        }
+        let mut reference = DensePw::new(n);
+        let (base, _) =
+            a_square_dense_scheduled(&pw, &mut reference, SquareStrategy::Naive, None, &SEQ);
+        for strategy in [
+            SquareStrategy::Auto,
+            SquareStrategy::Tiled(1),
+            SquareStrategy::Tiled(3),
+            SquareStrategy::Tiled(7),
+            SquareStrategy::Tiled(1000),
+        ] {
+            let mut out = DensePw::new(n);
+            let (stats, rows) = a_square_dense_scheduled(&pw, &mut out, strategy, None, &SEQ);
+            assert_eq!(out.as_slice(), reference.as_slice(), "{strategy}");
+            assert_eq!(stats, base, "{strategy}");
+            assert_eq!(rows.len(), pw.dim());
+            assert_eq!(rows.iter().any(|&b| b), stats.changed, "{strategy}");
+        }
+        // Rytter: streamed vs naive.
+        let mut y_ref = DensePw::new(n);
+        let y_base = a_square_rytter_with(&pw, &mut y_ref, SquareStrategy::Naive, &SEQ);
+        let mut y_out = DensePw::new(n);
+        let y_stats = a_square_rytter_with(&pw, &mut y_out, SquareStrategy::Auto, &SEQ);
+        assert_eq!(y_out.as_slice(), y_ref.as_slice());
+        assert_eq!(y_stats, y_base);
+    }
+
+    #[test]
+    fn skipped_rows_copy_forward_and_report_clean() {
+        let p = chain(vec![5, 2, 8, 3, 6, 4, 7]);
+        let n = p.n();
+        let mut w = WTable::new(n);
+        for i in 0..n {
+            w.set(i, i + 1, p.init(i));
+        }
+        let mut pw = DensePw::new(n);
+        a_activate_dense(&p, &w, &mut pw, &SEQ);
+        let mut full = DensePw::new(n);
+        let (full_stats, _) =
+            a_square_dense_scheduled(&pw, &mut full, SquareStrategy::Auto, None, &SEQ);
+        // Skip everything: the output must be a verbatim copy of the
+        // input, with zero candidates and no change.
+        let mut all_skipped = DensePw::new(n);
+        let skip = vec![true; pw.dim()];
+        let (stats, rows) = a_square_dense_scheduled(
+            &pw,
+            &mut all_skipped,
+            SquareStrategy::Auto,
+            Some(&skip),
+            &SEQ,
+        );
+        assert_eq!(all_skipped.as_slice(), pw.as_slice());
+        assert_eq!(stats, OpStats::default());
+        assert!(rows.iter().all(|&b| !b));
+        // Skip nothing via an all-false mask: identical to no mask.
+        let mut none_skipped = DensePw::new(n);
+        let no_skip = vec![false; pw.dim()];
+        let (stats, _) = a_square_dense_scheduled(
+            &pw,
+            &mut none_skipped,
+            SquareStrategy::Auto,
+            Some(&no_skip),
+            &SEQ,
+        );
+        assert_eq!(none_skipped.as_slice(), full.as_slice());
+        assert_eq!(stats, full_stats);
+    }
+
+    #[test]
+    fn writes_count_actual_stores_consistently() {
+        // On a converged instance every op must report writes == 0 and
+        // changed == false; mid-run, changed must equal writes > 0.
+        let p = chain(vec![4, 2, 7, 3, 5, 6, 9]);
+        let n = p.n();
+        let mut w = WTable::new(n);
+        for i in 0..n {
+            w.set(i, i + 1, p.init(i));
+        }
+        let mut pw = DensePw::new(n);
+        let mut pw_next = DensePw::new(n);
+        let mut w_next = w.clone();
+        for _ in 0..2 * pardp_pebble::ceil_sqrt(n as u64) {
+            let act = a_activate_dense(&p, &w, &mut pw, &SEQ);
+            let sq = a_square_dense(&pw, &mut pw_next, &SEQ);
+            std::mem::swap(&mut pw, &mut pw_next);
+            let pb = a_pebble_dense(&pw, &w, &mut w_next, &SEQ);
+            std::mem::swap(&mut w, &mut w_next);
+            for (name, s) in [("activate", act), ("square", sq), ("pebble", pb)] {
+                assert_eq!(s.changed, s.writes > 0, "{name}: {s:?}");
+            }
+        }
+        // At the fixpoint: one more sweep of every op stores nothing.
+        let act = a_activate_dense(&p, &w, &mut pw, &SEQ);
+        let sq = a_square_dense(&pw, &mut pw_next, &SEQ);
+        std::mem::swap(&mut pw, &mut pw_next);
+        let pb = a_pebble_dense(&pw, &w, &mut w_next, &SEQ);
+        for s in [act, sq, pb] {
+            assert_eq!(s.writes, 0, "{s:?}");
+            assert!(!s.changed);
+        }
+    }
+
+    #[test]
+    fn windowed_pebble_copies_are_not_writes() {
+        // A window that excludes every pair copies all values forward:
+        // zero writes, no change — same rule as the re-minimised path.
+        let p = chain(vec![3, 8, 2, 5, 7, 4]);
+        let n = p.n();
+        let w = solve_sequential(&p);
+        let pw = BandedPw::new(n, n);
+        let mut w_next = WTable::new(n);
+        let stats = a_pebble_banded(&p, &pw, &w, &mut w_next, Some((0, 0)), &SEQ);
+        assert_eq!(stats.writes, 0);
+        assert!(!stats.changed);
+        assert!(w_next.table_eq(&w));
+        // And a full (unwindowed) pass over final values also stores
+        // nothing new.
+        let stats = a_pebble_banded(&p, &pw, &w, &mut w_next, None, &SEQ);
+        assert_eq!(stats.writes, 0);
+        assert!(!stats.changed);
+    }
+
+    #[test]
+    fn square_strategy_parsing_and_display() {
+        assert_eq!("naive".parse::<SquareStrategy>(), Ok(SquareStrategy::Naive));
+        assert_eq!("auto".parse::<SquareStrategy>(), Ok(SquareStrategy::Auto));
+        assert_eq!("0".parse::<SquareStrategy>(), Ok(SquareStrategy::Auto));
+        assert_eq!(
+            "48".parse::<SquareStrategy>(),
+            Ok(SquareStrategy::Tiled(48))
+        );
+        assert!("blocky".parse::<SquareStrategy>().is_err());
+        assert_eq!(SquareStrategy::Naive.to_string(), "naive");
+        assert_eq!(SquareStrategy::Auto.to_string(), "auto");
+        assert_eq!(SquareStrategy::Tiled(0).to_string(), "auto");
+        assert_eq!(SquareStrategy::Tiled(32).to_string(), "tiled:32");
+        assert_eq!(SquareStrategy::Naive.tile_for(100), None);
+        assert_eq!(SquareStrategy::Auto.tile_for(10), Some(10));
+        assert_eq!(
+            SquareStrategy::Auto.tile_for(10_000),
+            Some(SquareStrategy::AUTO_TILE)
+        );
+        assert_eq!(SquareStrategy::Tiled(16).tile_for(10_000), Some(16));
     }
 
     #[test]

@@ -16,7 +16,13 @@
 //!
 //! Because the window argument relies on the *fixed* `2*ceil(sqrt(n))`
 //! schedule, this solver does not support convergence-based early
-//! termination (change flags under a window are not a fixpoint signal).
+//! termination (change flags under a window are not a fixpoint signal),
+//! and — for the same reason — it has no dirty-row square scheduling:
+//! under the window each iteration's pebble consumes a *different* slice
+//! of pairs, so "nothing changed last pass" says nothing about which
+//! square rows the current pass needs fresh. The dense solver's
+//! `skip_clean_rows` knob lives in
+//! [`crate::sublinear::SolverConfig`] instead.
 
 use crate::exec::ExecBackend;
 use crate::ops::{a_activate_banded, a_pebble_banded, a_square_banded};
@@ -205,6 +211,9 @@ mod tests {
                 exec: ExecBackend::Sequential,
                 termination: Termination::FixedSqrtN,
                 record_trace: true,
+                // Full sweeps: this test compares per-iteration op work.
+                skip_clean_rows: false,
+                ..Default::default()
             },
         );
         let red = solve_reduced(&p, &cfg());

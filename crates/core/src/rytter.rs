@@ -11,7 +11,7 @@
 //! further to `O(n^3.5)`.
 
 use crate::exec::ExecBackend;
-use crate::ops::{a_activate_dense, a_pebble_dense, a_square_rytter};
+use crate::ops::{a_activate_dense, a_pebble_dense, a_square_rytter_with, SquareStrategy};
 use crate::problem::DpProblem;
 use crate::sublinear::Solution;
 use crate::tables::{DensePw, WTable};
@@ -28,6 +28,9 @@ pub struct RytterConfig {
     /// Stop early at a fixpoint (on by default; the schedule cap is the
     /// logarithmic bound below).
     pub fixpoint_stop: bool,
+    /// Kernel of the full-composition square (same tables either way;
+    /// see [`SquareStrategy`]).
+    pub square: SquareStrategy,
 }
 
 impl Default for RytterConfig {
@@ -36,6 +39,7 @@ impl Default for RytterConfig {
             exec: ExecBackend::Parallel,
             record_trace: false,
             fixpoint_stop: true,
+            square: SquareStrategy::Auto,
         }
     }
 }
@@ -76,7 +80,7 @@ pub fn solve_rytter<W: Weight, P: DpProblem<W> + ?Sized>(
 
     for iter in 1..=schedule {
         let act = a_activate_dense(problem, &w, &mut pw, exec);
-        let sq = a_square_rytter(&pw, &mut pw_next, exec);
+        let sq = a_square_rytter_with(&pw, &mut pw_next, config.square, exec);
         std::mem::swap(&mut pw, &mut pw_next);
         let pb = a_pebble_dense(&pw, &w, &mut w_next, exec);
         std::mem::swap(&mut w, &mut w_next);
@@ -119,7 +123,29 @@ mod tests {
             exec: ExecBackend::Sequential,
             record_trace: true,
             fixpoint_stop: true,
+            square: SquareStrategy::Auto,
         }
+    }
+
+    #[test]
+    fn naive_square_strategy_matches_streamed() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let dims: Vec<u64> = (0..=13).map(|_| rng.gen_range(1..40)).collect();
+        let p = chain(dims);
+        let streamed = solve_rytter(&p, &cfg());
+        let naive = solve_rytter(
+            &p,
+            &RytterConfig {
+                square: SquareStrategy::Naive,
+                ..cfg()
+            },
+        );
+        assert!(streamed.w.table_eq(&naive.w));
+        assert_eq!(streamed.trace.iterations, naive.trace.iterations);
+        assert_eq!(
+            streamed.trace.total_candidates,
+            naive.trace.total_candidates
+        );
     }
 
     #[test]
@@ -162,6 +188,7 @@ mod tests {
                 exec: ExecBackend::Sequential,
                 termination: Termination::FixedSqrtN,
                 record_trace: true,
+                ..Default::default()
             },
         );
         // Even though Rytter runs fewer iterations, its per-iteration work

@@ -15,13 +15,14 @@
 //! reference or the work-stealing thread pool); the PRAM costs are
 //! recorded separately by [`crate::pram_exec`].
 
-use crate::ops::{a_activate_dense, a_pebble_dense, a_square_dense};
+use crate::ops::{a_activate_dense_tracked, a_pebble_dense, a_square_dense_scheduled};
 use crate::problem::DpProblem;
 use crate::tables::{DensePw, WTable};
 use crate::trace::{IterationRecord, SolveTrace, StopReason, Termination};
 use crate::weight::Weight;
 
 pub use crate::exec::ExecBackend;
+pub use crate::ops::SquareStrategy;
 
 /// Execution mode for the data-parallel passes. Historical name for
 /// [`ExecBackend`]; `ExecMode::Sequential` and `ExecMode::Parallel`
@@ -38,6 +39,19 @@ pub struct SolverConfig {
     pub termination: Termination,
     /// Keep per-iteration records in the trace.
     pub record_trace: bool,
+    /// Candidate-enumeration kernel of the dense `a-square` — the
+    /// `O(n^5)` hot path. All strategies produce bit-identical tables;
+    /// see [`SquareStrategy`].
+    pub square: SquareStrategy,
+    /// Convergence-aware row scheduling: skip `a-square` rows none of
+    /// whose input rows changed in the previous iteration (they are
+    /// copied forward and report zero candidates). Exact under every
+    /// termination rule — the square is a deterministic monotone function
+    /// of its input rows, so a clean row's recomputation would reproduce
+    /// its previous output. The §5 windowed-reduced solver deliberately
+    /// has no such knob: its fixed-schedule window argument consumes
+    /// every pass (see [`crate::reduced`]).
+    pub skip_clean_rows: bool,
 }
 
 impl Default for SolverConfig {
@@ -46,6 +60,8 @@ impl Default for SolverConfig {
             exec: ExecBackend::Parallel,
             termination: Termination::FixedSqrtN,
             record_trace: false,
+            square: SquareStrategy::Auto,
+            skip_clean_rows: true,
         }
     }
 }
@@ -96,9 +112,33 @@ pub fn solve_sublinear<W: Weight, P: DpProblem<W> + ?Sized>(
     };
     let mut w_stable_streak = 0u32;
 
+    // Dirty-row scheduling state: which pw rows the previous square
+    // changed, and a scratch mask for the skip decision.
+    let dim = pw.dim();
+    let mut square_changed_rows = vec![true; dim];
+    let mut skip_mask = vec![false; dim];
+
     for iter in 1..=schedule {
-        let act = a_activate_dense(problem, &w, &mut pw, exec);
-        let sq = a_square_dense(&pw, &mut pw_next, exec);
+        let (act, activate_changed_rows) = a_activate_dense_tracked(problem, &w, &mut pw, exec);
+        // Row (i,j) of the square reads exactly the rows nested in (i,j)
+        // of pw-after-activate. That input row c is unchanged since the
+        // previous iteration iff neither the previous square nor this
+        // activate touched it; if every input row is unchanged, the
+        // square's output row is reproduced verbatim — copy it instead.
+        let skip = if config.skip_clean_rows && iter > 1 {
+            for a in 0..dim {
+                skip_mask[a] = activate_changed_rows[a] || square_changed_rows[a];
+            }
+            pw.indexer().propagate_nested(&mut skip_mask);
+            for dirty in skip_mask.iter_mut() {
+                *dirty = !*dirty; // clean rows are the skippable ones
+            }
+            Some(skip_mask.as_slice())
+        } else {
+            None
+        };
+        let (sq, sq_rows) = a_square_dense_scheduled(&pw, &mut pw_next, config.square, skip, exec);
+        square_changed_rows = sq_rows;
         std::mem::swap(&mut pw, &mut pw_next);
         let pb = a_pebble_dense(&pw, &w, &mut w_next, exec);
         std::mem::swap(&mut w, &mut w_next);
@@ -158,6 +198,10 @@ mod tests {
             exec: ExecMode::Sequential,
             termination: term,
             record_trace: true,
+            square: SquareStrategy::Auto,
+            // Off so the work-accounting assertions below see full sweeps;
+            // the skip_* tests cover the scheduler.
+            skip_clean_rows: false,
         }
     }
 
@@ -203,10 +247,72 @@ mod tests {
                 exec: ExecMode::Parallel,
                 termination: Termination::FixedSqrtN,
                 record_trace: false,
+                ..Default::default()
             },
         );
         assert!(seq.w.table_eq(&par.w));
         assert_eq!(seq.trace.iterations, par.trace.iterations);
+    }
+
+    #[test]
+    fn skip_clean_rows_is_exact_on_random_instances() {
+        let mut rng = SmallRng::seed_from_u64(2026);
+        for n in [2usize, 5, 9, 16, 24] {
+            for term in [Termination::FixedSqrtN, Termination::Fixpoint] {
+                let dims: Vec<u64> = (0..=n).map(|_| rng.gen_range(1..40)).collect();
+                let p = chain(dims);
+                let base = solve_sublinear(&p, &cfg(term));
+                for (square, exec) in [
+                    (SquareStrategy::Auto, ExecMode::Sequential),
+                    (SquareStrategy::Naive, ExecMode::Sequential),
+                    (SquareStrategy::Tiled(5), ExecMode::Sequential),
+                    (SquareStrategy::Auto, ExecMode::Threads(4)),
+                ] {
+                    let skipping = solve_sublinear(
+                        &p,
+                        &SolverConfig {
+                            exec,
+                            termination: term,
+                            record_trace: true,
+                            square,
+                            skip_clean_rows: true,
+                        },
+                    );
+                    assert!(skipping.w.table_eq(&base.w), "n={n} {term:?} {square}");
+                    assert_eq!(
+                        skipping.trace.iterations, base.trace.iterations,
+                        "n={n} {term:?} {square}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skip_clean_rows_saves_square_work() {
+        // Uniform dims converge fast; under the fixed schedule the
+        // post-convergence iterations must skip every row, so the total
+        // square candidates are strictly below the full-sweep figure.
+        let p = chain(vec![3u64; 50]); // n = 49, schedule bound 14
+        let full = solve_sublinear(&p, &cfg(Termination::FixedSqrtN));
+        let skipping = solve_sublinear(
+            &p,
+            &SolverConfig {
+                skip_clean_rows: true,
+                ..cfg(Termination::FixedSqrtN)
+            },
+        );
+        assert!(skipping.w.table_eq(&full.w));
+        let (_, sq_full, _) = full.trace.work_by_op();
+        let (_, sq_skip, _) = skipping.trace.work_by_op();
+        assert!(
+            2 * sq_skip < sq_full,
+            "skip saved too little: {sq_skip} vs {sq_full}"
+        );
+        // The final recorded iteration does no square work at all.
+        let last = skipping.trace.per_iteration.last().unwrap();
+        assert_eq!(last.square.candidates, 0);
+        assert_eq!(last.square.writes, 0);
     }
 
     #[test]

@@ -95,6 +95,46 @@ impl PairIndexer {
     pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         (0..self.n).flat_map(move |i| (i + 1..=self.n).map(move |j| (i, j)))
     }
+
+    /// The contiguous index range of the pairs `(p, q)` with
+    /// `q ∈ q_lo..=q_hi` — pairs sharing a left endpoint are adjacent in
+    /// index space, which the blocked `a-square` kernels exploit for
+    /// streaming (rather than gathered) access.
+    ///
+    /// Requires `p < q_lo <= q_hi <= n`.
+    #[inline]
+    pub fn segment(&self, p: usize, q_lo: usize, q_hi: usize) -> std::ops::Range<usize> {
+        debug_assert!(
+            p < q_lo && q_lo <= q_hi && q_hi <= self.n,
+            "invalid segment p={p} q={q_lo}..={q_hi} for n={}",
+            self.n
+        );
+        let start = self.index(p, q_lo);
+        start..start + (q_hi - q_lo) + 1
+    }
+
+    /// Close a per-pair mask under nesting: afterwards `mask[a]` is set
+    /// iff, on entry, the mask was set for **any** pair nested in `a`
+    /// (including `a` itself). `O(P)` via the interval recurrence
+    /// `D(i,j) |= D(i+1,j) | D(i,j-1)`, widths ascending.
+    ///
+    /// The dirty-row scheduler uses this to decide which `a-square` rows
+    /// can be skipped: row `(i,j)` reads only rows nested in `(i,j)`, so
+    /// it can only produce a new value if some nested row changed.
+    ///
+    /// # Panics
+    /// If `mask.len()` differs from [`Self::len`].
+    pub fn propagate_nested(&self, mask: &mut [bool]) {
+        assert_eq!(mask.len(), self.len(), "mask must have one slot per pair");
+        for d in 2..=self.n {
+            for i in 0..=self.n - d {
+                let j = i + d;
+                if mask[self.index(i + 1, j)] || mask[self.index(i, j - 1)] {
+                    mask[self.index(i, j)] = true;
+                }
+            }
+        }
+    }
 }
 
 /// The `w'(i,j)` table: a flat `(n+1) x (n+1)` square, row-major.
@@ -433,6 +473,44 @@ mod tests {
         assert_eq!(idx.index(1, 2), 4);
         assert_eq!(idx.index(3, 4), 9);
         assert_eq!(idx.pair(9), (3, 4));
+    }
+
+    #[test]
+    fn segment_matches_index() {
+        let idx = PairIndexer::new(9);
+        for p in 0..9 {
+            for q_lo in p + 1..=9 {
+                for q_hi in q_lo..=9 {
+                    let seg = idx.segment(p, q_lo, q_hi);
+                    let expect: Vec<usize> = (q_lo..=q_hi).map(|q| idx.index(p, q)).collect();
+                    assert_eq!(seg.collect::<Vec<_>>(), expect, "p={p} {q_lo}..={q_hi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn propagate_nested_closes_the_mask() {
+        let n = 8usize;
+        let idx = PairIndexer::new(n);
+        // Mark one pair dirty; exactly its ancestors (pairs containing it)
+        // must light up.
+        for (di, dj) in [(2usize, 5usize), (0, 1), (3, 4)] {
+            let mut mask = vec![false; idx.len()];
+            mask[idx.index(di, dj)] = true;
+            idx.propagate_nested(&mut mask);
+            for (i, j) in idx.pairs() {
+                let contains = i <= di && dj <= j;
+                assert_eq!(mask[idx.index(i, j)], contains, "({i},{j}) vs ({di},{dj})");
+            }
+        }
+        // Empty mask stays empty; full mask stays full.
+        let mut empty = vec![false; idx.len()];
+        idx.propagate_nested(&mut empty);
+        assert!(empty.iter().all(|&b| !b));
+        let mut full = vec![true; idx.len()];
+        idx.propagate_nested(&mut full);
+        assert!(full.iter().all(|&b| b));
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub struct IterationRecord {
 pub struct OpRecord {
     /// Composition candidates examined.
     pub candidates: u64,
-    /// Cells written.
+    /// Cells whose stored value strictly improved — actual stores, under
+    /// one rule for every op (copies and unimproved re-minimisations are
+    /// not writes); `changed == (writes > 0)`. See [`OpStats::writes`].
     pub writes: u64,
     /// Whether any cell strictly improved.
     pub changed: bool,

@@ -1,0 +1,298 @@
+//! Property tests of the [`OpStats`] accounting contract and the
+//! tiled-vs-naive square parity:
+//!
+//! * every op reports `changed == (writes > 0)` and never more writes
+//!   than the cells it is allowed to store into;
+//! * on fresh tables, `candidates` matches the closed-form count derived
+//!   independently from the operation definitions;
+//! * the tiled and naive dense-square kernels produce bit-identical
+//!   tables and identical stats on every backend.
+
+use pardp_core::ops::{
+    a_activate_banded, a_activate_dense, a_pebble_banded, a_pebble_dense, a_square_banded,
+    a_square_dense, a_square_dense_scheduled, a_square_rytter_with, OpStats, SquareStrategy,
+};
+use pardp_core::prelude::*;
+use pardp_core::problem::TabulatedProblem;
+use pardp_core::reduced::default_band;
+use pardp_core::tables::{BandedPw, DensePw, PairIndexer, WTable};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Strategy: a complete instance (init values + f values) for size n.
+fn instance_strategy(n: usize) -> impl Strategy<Value = TabulatedProblem<u64>> {
+    let m = n + 1;
+    (
+        proptest::collection::vec(0u64..100, n),
+        proptest::collection::vec(0u64..100, m * m * m),
+    )
+        .prop_map(move |(init, f)| TabulatedProblem::new(init, |i, k, j| f[(i * m + k) * m + j]))
+}
+
+/// Drive the dense ops for `iters` iterations from the initial state.
+fn warm_dense(p: &TabulatedProblem<u64>, iters: usize) -> (WTable<u64>, DensePw<u64>) {
+    let n = p.n();
+    let mut w = WTable::new(n);
+    for i in 0..n {
+        w.set(i, i + 1, p.init(i));
+    }
+    let mut pw = DensePw::new(n);
+    let mut pw_next = DensePw::new(n);
+    let mut w_next = w.clone();
+    for _ in 0..iters {
+        a_activate_dense(p, &w, &mut pw, &ExecBackend::Sequential);
+        a_square_dense(&pw, &mut pw_next, &ExecBackend::Sequential);
+        std::mem::swap(&mut pw, &mut pw_next);
+        a_pebble_dense(&pw, &w, &mut w_next, &ExecBackend::Sequential);
+        std::mem::swap(&mut w, &mut w_next);
+    }
+    (w, pw)
+}
+
+/// `changed == (writes > 0)` and `writes <= cap`.
+fn check_accounting(stats: &OpStats, cap: u64, label: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(stats.changed, stats.writes > 0, "{}: {:?}", label, stats);
+    prop_assert!(
+        stats.writes <= cap,
+        "{}: writes {} above cell cap {}",
+        label,
+        stats.writes,
+        cap
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tiled_square_matches_naive_on_every_backend(
+        p in instance_strategy(10),
+        iters in 0usize..4,
+        tile in 1usize..90,
+    ) {
+        let (_, pw) = warm_dense(&p, iters);
+        let n = p.n();
+        let mut reference = DensePw::new(n);
+        let (base, base_rows) = a_square_dense_scheduled(
+            &pw, &mut reference, SquareStrategy::Naive, None, &ExecBackend::Sequential,
+        );
+        for backend in [
+            ExecBackend::Sequential,
+            ExecBackend::Parallel,
+            ExecBackend::Threads(3),
+        ] {
+            for strategy in [
+                SquareStrategy::Naive,
+                SquareStrategy::Auto,
+                SquareStrategy::Tiled(tile),
+            ] {
+                let mut out = DensePw::new(n);
+                let (stats, rows) =
+                    a_square_dense_scheduled(&pw, &mut out, strategy, None, &backend);
+                prop_assert_eq!(
+                    out.as_slice(), reference.as_slice(),
+                    "tables diverge: {} on {}", strategy, backend
+                );
+                prop_assert_eq!(stats, base, "stats diverge: {} on {}", strategy, backend);
+                prop_assert_eq!(&rows, &base_rows, "row flags diverge: {} on {}", strategy, backend);
+            }
+        }
+        // Rytter's streamed kernel against its naive reference.
+        let mut y_ref = DensePw::new(n);
+        let y_base = a_square_rytter_with(
+            &pw, &mut y_ref, SquareStrategy::Naive, &ExecBackend::Sequential,
+        );
+        for backend in [ExecBackend::Sequential, ExecBackend::Threads(3)] {
+            let mut y_out = DensePw::new(n);
+            let y_stats = a_square_rytter_with(&pw, &mut y_out, SquareStrategy::Auto, &backend);
+            prop_assert_eq!(y_out.as_slice(), y_ref.as_slice(), "rytter tables diverge on {}", backend);
+            prop_assert_eq!(y_stats, y_base, "rytter stats diverge on {}", backend);
+        }
+    }
+
+    #[test]
+    fn dense_op_accounting_invariants(
+        p in instance_strategy(9),
+        iters in 0usize..5,
+    ) {
+        let n = p.n();
+        let idx = PairIndexer::new(n);
+        let (w, pw) = warm_dense(&p, iters);
+        // Cell caps: what each op is allowed to store into.
+        let nested_cells: u64 = idx
+            .pairs()
+            .map(|(i, j)| {
+                let d = (j - i) as u64;
+                d * (d + 1) / 2
+            })
+            .sum();
+        let pair_count = idx.len() as u64;
+
+        let mut pw_act = pw.clone();
+        let act = a_activate_dense(&p, &w, &mut pw_act, &ExecBackend::Sequential);
+        check_accounting(&act, act.candidates, "activate")?;
+
+        let mut next = DensePw::new(n);
+        let sq = a_square_dense(&pw_act, &mut next, &ExecBackend::Sequential);
+        check_accounting(&sq, nested_cells, "square")?;
+
+        let mut y_next = DensePw::new(n);
+        let ry = a_square_rytter_with(
+            &pw_act, &mut y_next, SquareStrategy::Auto, &ExecBackend::Sequential,
+        );
+        check_accounting(&ry, nested_cells, "rytter")?;
+
+        let mut w_next = w.clone();
+        let pb = a_pebble_dense(&next, &w, &mut w_next, &ExecBackend::Sequential);
+        check_accounting(&pb, pair_count, "pebble")?;
+    }
+
+    #[test]
+    fn fresh_table_candidates_match_closed_forms(n in 2usize..11) {
+        let p = TabulatedProblem::new(vec![1u64; n], |i, k, j| (i + k + j) as u64);
+        let idx = PairIndexer::new(n);
+        let mut w = WTable::new(n);
+        for i in 0..n {
+            w.set(i, i + 1, p.init(i));
+        }
+
+        // Independent model counts, straight from the op definitions.
+        let mut act_model = 0u64;
+        let mut sq_model = 0u64;
+        let mut ry_model = 0u64;
+        let mut pb_model = 0u64;
+        for (i, j) in idx.pairs() {
+            if j - i >= 2 {
+                act_model += 2 * (j - i - 1) as u64;
+            }
+            let mut nested = 0u64;
+            for pp in i..j {
+                for q in pp + 1..=j {
+                    nested += 1;
+                    sq_model += (pp - i) as u64 + (j - q) as u64;
+                    ry_model += (pp - i + 1) as u64 * (j - q + 1) as u64;
+                }
+            }
+            pb_model += nested - 1; // the (i,j) gap itself is free
+        }
+
+        let mut pw = DensePw::new(n);
+        let act = a_activate_dense(&p, &w, &mut pw, &ExecBackend::Sequential);
+        prop_assert_eq!(act.candidates, act_model);
+
+        let fresh = DensePw::new(n);
+        let mut next = DensePw::new(n);
+        for strategy in [SquareStrategy::Naive, SquareStrategy::Auto, SquareStrategy::Tiled(2)] {
+            let (sq, _) = a_square_dense_scheduled(
+                &fresh, &mut next, strategy, None, &ExecBackend::Sequential,
+            );
+            prop_assert_eq!(sq.candidates, sq_model, "square {}", strategy);
+            let ry = a_square_rytter_with(&fresh, &mut next, strategy, &ExecBackend::Sequential);
+            prop_assert_eq!(ry.candidates, ry_model, "rytter {}", strategy);
+        }
+
+        let mut w_next = w.clone();
+        let pb = a_pebble_dense(&fresh, &w, &mut w_next, &ExecBackend::Sequential);
+        prop_assert_eq!(pb.candidates, pb_model);
+    }
+
+    #[test]
+    fn banded_op_accounting_invariants(
+        p in instance_strategy(12),
+        extra_band in 0usize..6,
+        window_spec in (0usize..3, 0usize..6, 6usize..14),
+    ) {
+        let window = match window_spec {
+            (0, ..) => None,
+            (_, lo, hi) => Some((lo, hi)),
+        };
+        let n = p.n();
+        let band = default_band(n) + extra_band;
+        let mut w = WTable::new(n);
+        for i in 0..n {
+            w.set(i, i + 1, p.init(i));
+        }
+        let mut pw = BandedPw::new(n, band);
+        let mut pw_next = BandedPw::new(n, band);
+        let mut w_next = w.clone();
+        let stored = pw.stored_cells() as u64;
+        let pair_count = PairIndexer::new(n).len() as u64;
+        for round in 0..3 {
+            let act = a_activate_banded(&p, &w, &mut pw, &ExecBackend::Sequential);
+            check_accounting(&act, stored, &format!("activate round {round}"))?;
+            let sq = a_square_banded(&pw, &mut pw_next, &ExecBackend::Sequential);
+            check_accounting(&sq, stored, &format!("square round {round}"))?;
+            std::mem::swap(&mut pw, &mut pw_next);
+            let pb = a_pebble_banded(&p, &pw, &w, &mut w_next, window, &ExecBackend::Sequential);
+            // Windowed-out pairs are copies, not writes: the cap is the
+            // number of re-minimised pairs.
+            let cap = match window {
+                None => pair_count,
+                Some((lo, hi)) => PairIndexer::new(n)
+                    .pairs()
+                    .filter(|(i, j)| j - i > lo && j - i <= hi)
+                    .count() as u64,
+            };
+            check_accounting(&pb, cap, &format!("pebble round {round}"))?;
+            std::mem::swap(&mut w, &mut w_next);
+        }
+    }
+
+    #[test]
+    fn banded_fresh_candidates_match_closed_forms(n in 2usize..12, extra in 0usize..4) {
+        let band = default_band(n).saturating_sub(extra).max(1);
+        let idx = PairIndexer::new(n);
+        let in_band = |i: usize, j: usize, pp: usize, q: usize| (j - i) - (q - pp) <= band;
+
+        // Model counts from the §5 windowed rules.
+        let mut act_model = 0u64;
+        let mut sq_model = 0u64;
+        for (i, j) in idx.pairs() {
+            if j - i < 2 {
+                continue;
+            }
+            for k in i + 1..j {
+                if in_band(i, j, i, k) {
+                    act_model += 1; // gap (i,k)
+                }
+                if in_band(i, j, k, j) {
+                    act_model += 1; // gap (k,j)
+                }
+            }
+        }
+        for (i, j) in idx.pairs() {
+            for pp in i..j {
+                for q in pp + 1..=j {
+                    if !in_band(i, j, pp, q) {
+                        continue;
+                    }
+                    for r in i..pp {
+                        if in_band(i, j, r, q) && in_band(r, q, pp, q) {
+                            sq_model += 1;
+                        }
+                    }
+                    for s in q + 1..=j {
+                        if in_band(i, j, pp, s) && in_band(pp, s, pp, q) {
+                            sq_model += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        let p = TabulatedProblem::new(vec![1u64; n], |i, k, j| (i * k + j) as u64);
+        let mut w = WTable::new(n);
+        for i in 0..n {
+            w.set(i, i + 1, p.init(i));
+        }
+        let mut pw = BandedPw::new(n, band);
+        let act = a_activate_banded(&p, &w, &mut pw, &ExecBackend::Sequential);
+        prop_assert_eq!(act.candidates, act_model);
+
+        let fresh = BandedPw::<u64>::new(n, band);
+        let mut next = BandedPw::new(n, band);
+        let sq = a_square_banded(&fresh, &mut next, &ExecBackend::Sequential);
+        prop_assert_eq!(sq.candidates, sq_model);
+    }
+}

@@ -37,6 +37,7 @@ proptest! {
             exec: ExecMode::Sequential,
             termination: Termination::FixedSqrtN,
             record_trace: false,
+            ..Default::default()
         };
         prop_assert!(solve_sublinear(&p, &cfg).w.table_eq(&oracle));
         let rcfg = ReducedConfig { exec: ExecMode::Sequential, ..Default::default() };
@@ -117,12 +118,14 @@ proptest! {
             exec: ExecMode::Sequential,
             termination: Termination::FixedSqrtN,
             record_trace: false,
+            ..Default::default()
         });
         for term in [Termination::Fixpoint, Termination::WStableTwice] {
             let sol = solve_sublinear(&p, &SolverConfig {
                 exec: ExecMode::Sequential,
                 termination: term,
                 record_trace: false,
+                ..Default::default()
             });
             prop_assert!(sol.w.table_eq(&fixed.w));
             prop_assert!(sol.trace.iterations <= fixed.trace.iterations);

@@ -14,6 +14,7 @@ fn iterations<P: DpProblem<u64> + ?Sized>(p: &P, term: Termination) -> (u64, u64
         exec: ExecMode::Parallel,
         termination: term,
         record_trace: false,
+        ..Default::default()
     };
     let sol = solve_sublinear(p, &cfg);
     (sol.trace.iterations, sol.trace.schedule_bound)

@@ -29,6 +29,7 @@ fn main() {
         exec: ExecMode::Parallel,
         termination: Termination::Fixpoint,
         record_trace: true,
+        ..Default::default()
     };
     let sub = solve_sublinear(&chain, &cfg);
     println!(

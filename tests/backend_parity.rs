@@ -24,6 +24,7 @@ fn assert_parity<P: DpProblem<u64> + Sync + ?Sized>(
         exec,
         termination: Termination::FixedSqrtN,
         record_trace: false,
+        ..Default::default()
     };
     let seq = solve_sublinear(p, &cfg(ExecBackend::Sequential));
     let par = solve_sublinear(p, &cfg(POOL));

@@ -14,6 +14,7 @@ fn fixpoint_iterations<P: DpProblem<u64> + ?Sized>(p: &P) -> (u64, u64) {
         exec: ExecMode::Parallel,
         termination: Termination::Fixpoint,
         record_trace: false,
+        ..Default::default()
     };
     let sol = solve_sublinear(p, &cfg);
     (sol.trace.iterations, sol.trace.schedule_bound)

@@ -13,6 +13,7 @@ fn solver_cross_check<P: DpProblem<u64> + ?Sized>(p: &P, label: &str) {
         exec: ExecMode::Parallel,
         termination: Termination::FixedSqrtN,
         record_trace: false,
+        ..Default::default()
     };
     let sub = solve_sublinear(p, &cfg);
     assert!(sub.w.table_eq(&oracle), "{label}: sublinear");
@@ -73,6 +74,7 @@ fn float_polygon_through_all_solvers() {
         exec: ExecMode::Parallel,
         termination: Termination::Fixpoint,
         record_trace: false,
+        ..Default::default()
     };
     let sub = solve_sublinear(&poly, &cfg);
     assert!(sub.w.table_eq(&oracle));
@@ -94,6 +96,7 @@ fn termination_policies_never_return_wrong_values() {
                 exec: ExecMode::Parallel,
                 termination: term,
                 record_trace: false,
+                ..Default::default()
             };
             let sol = solve_sublinear(&p, &cfg);
             assert_eq!(sol.value(), oracle, "seed={seed} {term:?}");

@@ -14,6 +14,7 @@ fn solve_trace_roundtrips_through_json() {
         exec: ExecMode::Sequential,
         termination: Termination::Fixpoint,
         record_trace: true,
+        ..Default::default()
     };
     let sol = solve_sublinear(&p, &cfg);
     let json = serde_json::to_string(&sol.trace).expect("serialize");
