@@ -156,9 +156,13 @@ BACKENDS (--backend): seq | parallel (default) | threads:<k> | <k>
   work-stealing pool at host size, or the pool capped at k workers.
   A bare number is shorthand for threads:<k> (0 = host size).
 TILING (--tile): auto (default) | naive | <t>
-  a-square kernel of the dense solvers (sublinear, rytter): cache-blocked
-  with an auto-picked or explicit tile edge, or the naive row-major
-  reference. All choices produce identical tables.
+  a-square kernel of the sublinear, reduced and rytter solvers:
+  flat-slice blocked/streamed with an auto-picked or explicit tile edge
+  (a positive integer, e.g. --tile 64), or the naive per-cell reference.
+  0 and other degenerate edges are rejected. The reduced and rytter
+  solvers need no tile subdivision, so any positive edge selects the
+  same streamed kernel as auto. All accepted choices produce identical
+  tables.
 ";
 
 fn parse_list(s: &str) -> Result<Vec<u64>, CliError> {
@@ -369,7 +373,6 @@ mod tests {
     fn parse_tile_selection() {
         for (spec, expect) in [
             ("auto", SquareStrategy::Auto),
-            ("0", SquareStrategy::Auto),
             ("naive", SquareStrategy::Naive),
             ("32", SquareStrategy::Tiled(32)),
         ] {
@@ -381,6 +384,11 @@ mod tests {
         }
         let err = parse(&argv("solve --tile blocky chain 2,3,4")).unwrap_err();
         assert!(err.0.contains("unknown square strategy"), "{err}");
+        // Degenerate tile edges get a specific rejection, not a silent
+        // fallback to auto.
+        let err = parse(&argv("solve --tile 0 chain 2,3,4")).unwrap_err();
+        assert!(err.0.contains("degenerate"), "{err}");
+        assert!(err.0.contains("auto"), "{err}");
     }
 
     #[test]

@@ -163,6 +163,21 @@ fn run_solve(
     }
 }
 
+/// Append the per-iteration op counters of a solve trace (used by the
+/// paper algorithms' `--trace` output).
+fn push_iteration_trace(s: &mut String, trace: &pardp_core::trace::SolveTrace) {
+    for r in &trace.per_iteration {
+        s.push_str(&format!(
+            "  iter {:>3}: activate {:>8} square {:>10} pebble {:>8} changed={}\n",
+            r.iteration,
+            r.activate.candidates,
+            r.square.candidates,
+            r.pebble.candidates,
+            r.pebble.changed,
+        ));
+    }
+}
+
 /// Run the chosen solver; return formatted summary and the table (for
 /// witness extraction).
 fn solve_with<P: DpProblem<u64> + Sync + ?Sized>(
@@ -227,16 +242,7 @@ fn solve_with<P: DpProblem<u64> + Sync + ?Sized>(
                 sol.trace.stop
             );
             if trace {
-                for r in &sol.trace.per_iteration {
-                    s.push_str(&format!(
-                        "  iter {:>3}: activate {:>8} square {:>10} pebble {:>8} changed={}\n",
-                        r.iteration,
-                        r.activate.candidates,
-                        r.square.candidates,
-                        r.pebble.candidates,
-                        r.pebble.changed,
-                    ));
-                }
+                push_iteration_trace(&mut s, &sol.trace);
             }
             Ok((s, sol.w))
         }
@@ -245,17 +251,20 @@ fn solve_with<P: DpProblem<u64> + Sync + ?Sized>(
                 p,
                 &ReducedConfig {
                     exec: backend,
+                    record_trace: trace,
+                    square: tile,
                     ..Default::default()
                 },
             );
-            Ok((
-                format!(
-                    "algorithm: reduced (paper §5)\nc(0,{n}) = {}\niterations: {}\n",
-                    sol.value(),
-                    sol.trace.iterations
-                ),
-                sol.w,
-            ))
+            let mut s = format!(
+                "algorithm: reduced (paper §5)\nc(0,{n}) = {}\niterations: {}\n",
+                sol.value(),
+                sol.trace.iterations
+            );
+            if trace {
+                push_iteration_trace(&mut s, &sol.trace);
+            }
+            Ok((s, sol.w))
         }
         Algo::Rytter => {
             let sol = solve_rytter(
@@ -312,8 +321,8 @@ mod tests {
 
     #[test]
     fn tile_selection_yields_identical_values() {
-        for algo in ["sublinear", "rytter"] {
-            for tile in ["naive", "auto", "4", "0"] {
+        for algo in ["sublinear", "reduced", "rytter"] {
+            for tile in ["naive", "auto", "4"] {
                 let out = run_line(&format!(
                     "solve --algo {algo} --tile {tile} chain 30,35,15,5,10,20,25"
                 ))

@@ -255,6 +255,144 @@ impl ExecBackend {
         unreachable!("workers > 1 requires the `parallel` feature")
     }
 
+    /// Map-reduce over disjoint rows of **two** mutable buffers: row `r`
+    /// receives `data[spans[r]]` and `side[side_spans[r]]`, both
+    /// exclusively. The side buffer carries per-row metadata whose
+    /// granularity differs from the data rows — e.g. the banded pebble
+    /// writes one `w'` table row per task but one changed-flag per *pair*,
+    /// and pairs sharing a left endpoint form a contiguous flag range.
+    /// `grain` is a floor on rows per scheduling block (see
+    /// [`Self::map_reduce_chunks_flagged_mut`]).
+    ///
+    /// Both span lists must be ascending, non-overlapping and within
+    /// bounds (empty spans are fine); they are validated up front because
+    /// the parallel path hands each row its two slices as exclusive
+    /// `&mut` references.
+    ///
+    /// # Panics
+    /// If the span lists differ in length or either is out of order,
+    /// overlapping, or out of bounds.
+    // The argument list is the full shape of the operation (two buffers,
+    // two span tables, a grain, and the three map-reduce closures);
+    // bundling them into a struct would only move the names around.
+    #[allow(clippy::too_many_arguments)]
+    pub fn map_reduce_rows_sided_mut<T, U, R>(
+        &self,
+        data: &mut [T],
+        spans: &[(usize, usize)],
+        side: &mut [U],
+        side_spans: &[(usize, usize)],
+        grain: usize,
+        process: impl Fn(usize, &mut [T], &mut [U]) -> R + Sync,
+        identity: impl Fn() -> R + Sync,
+        merge: impl Fn(R, R) -> R + Sync,
+    ) -> R
+    where
+        T: Send,
+        U: Send,
+        R: Send,
+    {
+        assert_eq!(
+            spans.len(),
+            side_spans.len(),
+            "need exactly one side span per row"
+        );
+        let validate = |spans: &[(usize, usize)], len: usize, what: &str| {
+            let mut cursor = 0usize;
+            for &(s, e) in spans {
+                assert!(
+                    cursor <= s && s <= e && e <= len,
+                    "{what} spans must be ascending, disjoint and within bounds \
+                     (violated at ({s},{e}), previous end {cursor}, len {len})"
+                );
+                cursor = e;
+            }
+        };
+        validate(spans, data.len(), "data");
+        validate(side_spans, side.len(), "side");
+        let workers = self.effective_threads();
+        if workers <= 1 || spans.len() <= 1 {
+            let mut total = identity();
+            for (row, (&(s, e), &(ss, se))) in spans.iter().zip(side_spans).enumerate() {
+                total = merge(total, process(row, &mut data[s..e], &mut side[ss..se]));
+            }
+            return total;
+        }
+        #[cfg(feature = "parallel")]
+        {
+            let base = SendPtr(data.as_mut_ptr());
+            let side_base = SendPtr(side.as_mut_ptr());
+            let (process, identity, merge) = (&process, &identity, &merge);
+            pool::run_blocks(
+                workers,
+                spans.len(),
+                grain,
+                &move |range, acc: &mut Option<R>| {
+                    let mut local = acc.take().unwrap_or_else(&identity);
+                    for row in range {
+                        let (s, e) = spans[row];
+                        let (ss, se) = side_spans[row];
+                        // SAFETY: both span lists were validated disjoint
+                        // and in-bounds above, and each row index is
+                        // claimed by exactly one block, so these are the
+                        // only live references to data[s..e] and
+                        // side[ss..se].
+                        let slice =
+                            unsafe { std::slice::from_raw_parts_mut(base.get().add(s), e - s) };
+                        let side_slice = unsafe {
+                            std::slice::from_raw_parts_mut(side_base.get().add(ss), se - ss)
+                        };
+                        local = merge(local, process(row, slice, side_slice));
+                    }
+                    *acc = Some(local);
+                },
+            )
+            .into_iter()
+            .flatten()
+            .fold(identity(), merge)
+        }
+        #[cfg(not(feature = "parallel"))]
+        unreachable!("workers > 1 requires the `parallel` feature")
+    }
+
+    /// [`Self::map_reduce_rows_mut`] with per-row flag plumbing and a
+    /// scheduling grain — the ragged-row counterpart of
+    /// [`Self::map_reduce_chunks_flagged_mut`], used by the banded ops
+    /// (whose rows shrink with eccentricity) for convergence-aware
+    /// scheduling. Implemented on top of
+    /// [`Self::map_reduce_rows_sided_mut`] with one flag slot per row.
+    pub fn map_reduce_rows_flagged_mut<T, R>(
+        &self,
+        data: &mut [T],
+        spans: &[(usize, usize)],
+        grain: usize,
+        process: impl Fn(usize, &mut [T]) -> (R, bool) + Sync,
+        identity: impl Fn() -> R + Sync,
+        merge: impl Fn(R, R) -> R + Sync,
+    ) -> (R, Vec<bool>)
+    where
+        T: Send,
+        R: Send,
+    {
+        let mut flags = vec![false; spans.len()];
+        let flag_spans: Vec<(usize, usize)> = (0..spans.len()).map(|r| (r, r + 1)).collect();
+        let total = self.map_reduce_rows_sided_mut(
+            data,
+            spans,
+            &mut flags,
+            &flag_spans,
+            grain,
+            |row, slice, flag: &mut [bool]| {
+                let (partial, changed) = process(row, slice);
+                flag[0] = changed;
+                partial
+            },
+            identity,
+            merge,
+        );
+        (total, flags)
+    }
+
     /// [`Self::map_reduce_chunks_mut`] with per-row flag plumbing and
     /// scheduling-grain control, for convergence-aware row scheduling:
     ///
@@ -731,6 +869,71 @@ mod tests {
                     .chunks(width)
                     .enumerate()
                     .all(|(r, chunk)| chunk.iter().all(|&v| v == r as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn sided_rows_partition_both_buffers_on_all_backends() {
+        // Rows over a ragged data buffer; side slots of a different
+        // granularity (two per row here), both written exclusively.
+        let spans = [(0usize, 3usize), (3, 3), (3, 8), (8, 17)];
+        let side_spans = [(0usize, 2usize), (2, 4), (4, 6), (6, 8)];
+        for backend in [
+            ExecBackend::Sequential,
+            ExecBackend::Parallel,
+            ExecBackend::Threads(3),
+        ] {
+            for grain in [1usize, 2, 100] {
+                let mut data = vec![0u64; 17];
+                let mut side = vec![0u32; 8];
+                let total = backend.map_reduce_rows_sided_mut(
+                    &mut data,
+                    &spans,
+                    &mut side,
+                    &side_spans,
+                    grain,
+                    |row, slice, side| {
+                        slice.fill(row as u64 + 1);
+                        for s in side.iter_mut() {
+                            *s = row as u32 + 10;
+                        }
+                        slice.len() as u64
+                    },
+                    || 0u64,
+                    |a, b| a + b,
+                );
+                assert_eq!(total, 17, "{backend} grain={grain}");
+                for (row, &(s, e)) in spans.iter().enumerate() {
+                    assert!(data[s..e].iter().all(|&v| v == row as u64 + 1));
+                }
+                for (row, &(ss, se)) in side_spans.iter().enumerate() {
+                    assert!(side[ss..se].iter().all(|&v| v == row as u32 + 10));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_flagged_rows_return_per_row_flags() {
+        let spans: Vec<(usize, usize)> = (0..40).map(|r| (r * 3, r * 3 + 3)).collect();
+        for backend in [ExecBackend::Sequential, ExecBackend::Threads(4)] {
+            let mut data = vec![0u8; 120];
+            let (total, flags) = backend.map_reduce_rows_flagged_mut(
+                &mut data,
+                &spans,
+                1,
+                |row, slice| {
+                    slice.fill(row as u8);
+                    (1u64, row % 5 == 0)
+                },
+                || 0u64,
+                |a, b| a + b,
+            );
+            assert_eq!(total, 40, "{backend}");
+            assert_eq!(flags.len(), 40);
+            for (row, &flag) in flags.iter().enumerate() {
+                assert_eq!(flag, row % 5 == 0, "{backend} row={row}");
             }
         }
     }

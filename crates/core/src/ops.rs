@@ -23,12 +23,19 @@
 //! The dense squares ([`a_square_dense`], [`a_square_rytter`]) come in two
 //! interchangeable kernels selected by [`SquareStrategy`]: the naive
 //! row-major reference and a cache-blocked kernel that walks cells and
-//! intermediate ranges in tiles over the flattened `pw` matrix. Both
+//! intermediate ranges in tiles over the flattened `pw` matrix. The
+//! banded square ([`a_square_banded`]) mirrors this with a per-cell
+//! naive reference and a flat-slice streamed kernel over the
+//! eccentricity-block layout of [`BandedPw`]. Either way, both kernels
 //! enumerate exactly the same candidate set, so tables and [`OpStats`] are
-//! identical; only the memory access order differs. [`a_square_dense_scheduled`]
-//! additionally supports convergence-aware row scheduling: rows whose
-//! inputs did not change since the previous pass are copied forward
-//! instead of recomputed.
+//! identical; only the memory access order differs.
+//!
+//! The `*_scheduled` variants ([`a_square_dense_scheduled`],
+//! [`a_square_banded_scheduled`], [`a_pebble_dense_scheduled`],
+//! [`a_pebble_banded_scheduled`]) additionally support convergence-aware
+//! scheduling: rows/pairs whose inputs did not change since the previous
+//! pass are copied forward instead of recomputed, and per-row/per-pair
+//! changed bits are returned for the caller's next scheduling decision.
 
 use std::fmt;
 use std::str::FromStr;
@@ -120,7 +127,13 @@ impl fmt::Display for SquareStrategy {
     }
 }
 
-/// Parse `naive`, `auto`, or a tile edge (`0` means auto).
+/// Parse `naive`, `auto`, or an explicit tile edge (a positive integer).
+///
+/// A tile edge of `0` is rejected rather than silently degenerating: the
+/// internal `Tiled(0)` alias for [`SquareStrategy::Auto`] exists for
+/// programmatic construction, but a user writing `--tile 0` almost
+/// certainly meant something else, so the error spells out the accepted
+/// forms.
 impl FromStr for SquareStrategy {
     type Err = String;
 
@@ -129,10 +142,15 @@ impl FromStr for SquareStrategy {
             "naive" => Ok(SquareStrategy::Naive),
             "auto" => Ok(SquareStrategy::Auto),
             other => match other.parse::<usize>() {
-                Ok(0) => Ok(SquareStrategy::Auto),
+                Ok(0) => Err(
+                    "tile edge 0 is degenerate; write 'auto' for the auto-picked edge, \
+                     'naive' for the reference kernel, or a positive edge like 64"
+                        .to_string(),
+                ),
                 Ok(t) => Ok(SquareStrategy::Tiled(t)),
                 Err(_) => Err(format!(
-                    "unknown square strategy '{other}' (expected naive | auto | <tile>)"
+                    "unknown square strategy '{other}' (expected naive | auto | <tile>, \
+                     where <tile> is a positive integer edge like 64)"
                 )),
             },
         }
@@ -605,22 +623,72 @@ fn rytter_row_streamed<W: Weight>(ctx: &SquareCtx<'_, W>, a: usize, next_row: &m
 /// The `(p,q) = (i,j)` candidate contributes `0 + w'(i,j)`, so the update
 /// is monotone non-increasing. Reads `w_prev`, writes `w_next`
 /// (partitioned by `w_next` row, one parallel task per left endpoint `i`).
+///
+/// See [`a_pebble_dense_scheduled`] for convergence-aware pair skipping.
 pub fn a_pebble_dense<W: Weight>(
     pw: &DensePw<W>,
     w_prev: &WTable<W>,
     w_next: &mut WTable<W>,
     exec: &ExecBackend,
 ) -> OpStats {
+    a_pebble_dense_scheduled(pw, w_prev, w_next, None, exec).0
+}
+
+/// The per-left-endpoint spans used to hand each `a-pebble` task its
+/// private range of the per-pair flag vector: pairs sharing a left
+/// endpoint are contiguous in pair-index space, so `w'` row `i` owns the
+/// flag slots of pairs `(i, i+1 ..= n)`.
+fn pebble_flag_spans(idx: &PairIndexer) -> Vec<(usize, usize)> {
+    let n = idx.n();
+    (0..=n)
+        .map(|i| {
+            if i < n {
+                let start = idx.index(i, i + 1);
+                (start, start + (n - i))
+            } else {
+                (idx.len(), idx.len())
+            }
+        })
+        .collect()
+}
+
+/// Dense `a-pebble` with convergence-aware pair scheduling.
+///
+/// `skip`, if given, marks pairs whose **inputs** (their `pw'` row and the
+/// `w'` values of their nested pairs) did not change since the pair was
+/// last re-minimised; such pairs copy their previous value forward and
+/// report zero candidates — sound because the pebble is a deterministic
+/// monotone function of those inputs. The returned `Vec<bool>` holds the
+/// per-pair changed bits (did `w'(i,j)` strictly improve?) that feed the
+/// caller's next scheduling decision.
+pub fn a_pebble_dense_scheduled<W: Weight>(
+    pw: &DensePw<W>,
+    w_prev: &WTable<W>,
+    w_next: &mut WTable<W>,
+    skip: Option<&[bool]>,
+    exec: &ExecBackend,
+) -> (OpStats, Vec<bool>) {
     let n = w_prev.n();
     let idx = pw.indexer().clone();
     let dim = pw.dim();
     let pw_data = pw.as_slice();
-    let process_w_row = |i: usize, out_row: &mut [W]| -> OpStats {
+    let stride = n + 1;
+    let spans: Vec<(usize, usize)> = (0..=n).map(|i| (i * stride, (i + 1) * stride)).collect();
+    let flag_spans = pebble_flag_spans(&idx);
+    let mut flags = vec![false; idx.len()];
+    let process_w_row = |i: usize, out_row: &mut [W], flags: &mut [bool]| -> OpStats {
         let mut stats = OpStats::default();
+        // Pair index of (i, j) is a_base + (j - i - 1); hoisted out of
+        // the per-cell path.
+        let a_base = if i < n { idx.index(i, i + 1) } else { 0 };
         for (j, out_cell) in out_row.iter_mut().enumerate().skip(i + 1) {
-            let a = idx.index(i, j);
-            let row = &pw_data[a * dim..(a + 1) * dim];
+            let a = a_base + (j - i - 1);
             let old = w_prev.get(i, j);
+            if skip.is_some_and(|mask| mask[a]) {
+                *out_cell = old;
+                continue;
+            }
+            let row = &pw_data[a * dim..(a + 1) * dim];
             let mut best = old; // the (p,q) = (i,j) candidate: pw = 0
             for p in i..j {
                 for q in p + 1..=j {
@@ -636,18 +704,23 @@ pub fn a_pebble_dense<W: Weight>(
             if best < old {
                 stats.changed = true;
                 stats.writes += 1;
+                flags[j - i - 1] = true;
             }
             *out_cell = best;
         }
         stats
     };
-    exec.map_reduce_chunks_mut(
+    let total = exec.map_reduce_rows_sided_mut(
         w_next.as_mut_slice(),
-        n + 1,
+        &spans,
+        &mut flags,
+        &flag_spans,
+        1,
         process_w_row,
         OpStats::default,
         OpStats::merge,
-    )
+    );
+    (total, flags)
 }
 
 // ---------------------------------------------------------------------------
@@ -663,15 +736,31 @@ pub fn a_activate_banded<W: Weight, P: DpProblem<W> + ?Sized>(
     pw: &mut BandedPw<W>,
     exec: &ExecBackend,
 ) -> OpStats {
+    a_activate_banded_tracked(problem, w, pw, exec).0
+}
+
+/// [`a_activate_banded`], additionally returning the per-row (= per-pair)
+/// changed bits that feed the banded dirty-row schedulers of
+/// [`a_square_banded_scheduled`] and [`a_pebble_banded_scheduled`].
+pub fn a_activate_banded_tracked<W: Weight, P: DpProblem<W> + ?Sized>(
+    problem: &P,
+    w: &WTable<W>,
+    pw: &mut BandedPw<W>,
+    exec: &ExecBackend,
+) -> (OpStats, Vec<bool>) {
     let band = pw.band();
     let idx = pw.indexer().clone();
+    // Hoisted per-op tables: the inverse pair lookup (a binary search in
+    // `PairIndexer::pair`) and the ragged row spans, computed once here
+    // instead of once per row / per cell.
+    let pairs: Vec<(usize, usize)> = idx.pairs().collect();
     let spans: Vec<(usize, usize)> = (0..idx.len()).map(|a| pw.row_span(a)).collect();
-    let process_row = |a: usize, row: &mut [W]| -> OpStats {
-        let (i, j) = idx.pair(a);
+    let process_row = |a: usize, row: &mut [W]| -> (OpStats, bool) {
+        let (i, j) = pairs[a];
         let d = j - i;
         let mut stats = OpStats::default();
         if d < 2 {
-            return stats;
+            return (stats, false);
         }
         // Gap (i,k): eccentricity e = j - k <= band  =>  k >= j - band.
         let k_lo_1 = i + 1;
@@ -682,7 +771,7 @@ pub fn a_activate_banded<W: Weight, P: DpProblem<W> + ?Sized>(
         };
         for k in k_lo..j {
             let e = j - k;
-            let pos = e * (e + 1) / 2; // p - i = 0
+            let pos = BandedPw::<W>::block_offset(e); // p - i = 0
             let cand = problem.f(i, k, j).add(w.get(k, j));
             if cand < row[pos] {
                 row[pos] = cand;
@@ -695,7 +784,7 @@ pub fn a_activate_banded<W: Weight, P: DpProblem<W> + ?Sized>(
         let k_hi = (j - 1).min(i + band);
         for k in i + 1..=k_hi {
             let e = k - i;
-            let pos = e * (e + 1) / 2 + (k - i);
+            let pos = BandedPw::<W>::block_offset(e) + (k - i);
             let cand = problem.f(i, k, j).add(w.get(i, k));
             if cand < row[pos] {
                 row[pos] = cand;
@@ -704,11 +793,12 @@ pub fn a_activate_banded<W: Weight, P: DpProblem<W> + ?Sized>(
             }
             stats.candidates += 1;
         }
-        stats
+        (stats, stats.changed)
     };
-    exec.map_reduce_rows_mut(
+    exec.map_reduce_rows_flagged_mut(
         pw.as_mut_slice(),
         &spans,
+        1,
         process_row,
         OpStats::default,
         OpStats::merge,
@@ -719,63 +809,252 @@ pub fn a_activate_banded<W: Weight, P: DpProblem<W> + ?Sized>(
 /// windows: intermediate gaps `(r,q)` need `r >= p - B` **and**
 /// `r <= q - d + B` to keep both factors in band (symmetrically for
 /// `(p,s)`), so every cell examines `O(B)` candidates.
+///
+/// Uses the default [`SquareStrategy`] (streamed); see
+/// [`a_square_banded_scheduled`] for strategy selection and row skipping.
 pub fn a_square_banded<W: Weight>(
     prev: &BandedPw<W>,
     next: &mut BandedPw<W>,
     exec: &ExecBackend,
 ) -> OpStats {
-    let band = prev.band();
+    a_square_banded_scheduled(prev, next, SquareStrategy::default(), None, exec).0
+}
+
+/// Banded `a-square` with full scheduling control — the §5 mirror of
+/// [`a_square_dense_scheduled`].
+///
+/// * `strategy` selects the kernel: [`SquareStrategy::Naive`] is the
+///   definitional per-cell gather through the [`BandedPw::get`] accessor;
+///   every other strategy selects the flat-slice streamed kernel
+///   ([`banded_square_row_streamed`]). As with Rytter's square, the tile
+///   edge needs no further subdivision here: a banded row holds at most
+///   `(B+1)(B+2)/2` cells, so the streamed kernel's whole per-intermediate
+///   footprint (the root row, the intermediate's row, and the output row)
+///   already fits in cache. All strategies enumerate exactly the same
+///   candidate set and produce bit-identical tables and [`OpStats`].
+/// * `skip`, if given, marks rows whose **inputs** did not change since
+///   the previous square (row `(i,j)` reads only rows nested in `(i,j)`);
+///   such rows are copied from `prev` instead of recomputed and report
+///   zero candidates.
+/// * The returned `Vec<bool>` holds the per-row changed bits for the
+///   caller's next scheduling decision.
+pub fn a_square_banded_scheduled<W: Weight>(
+    prev: &BandedPw<W>,
+    next: &mut BandedPw<W>,
+    strategy: SquareStrategy,
+    skip: Option<&[bool]>,
+    exec: &ExecBackend,
+) -> (OpStats, Vec<bool>) {
     let idx = prev.indexer().clone();
+    // Hoisted per-op tables (see `a_activate_banded_tracked`).
+    let pairs: Vec<(usize, usize)> = idx.pairs().collect();
     let spans: Vec<(usize, usize)> = (0..idx.len()).map(|a| next.row_span(a)).collect();
-    let process_row = |a: usize, next_row: &mut [W]| -> OpStats {
-        let (i, j) = idx.pair(a);
-        let d = j - i;
-        let mut stats = OpStats::default();
-        let emax = (d - 1).min(band);
-        for e in 0..=emax {
-            let g = d - e; // gap width q - p
-            for p in i..=i + e {
-                let q = p + g;
-                let old = prev.get(i, j, p, q);
-                let mut best = old;
-                // (r, q) intermediates: i <= r < p, with both factors in
-                // band: r >= p - B (for pw(r,q,p,q)) and r <= q + B - d
-                // (for pw(i,j,r,q)). In-band (p,q) guarantees
-                // q + B >= i + d, so the upper bound never underflows.
-                let r_lo = i.max(p.saturating_sub(band));
-                if p > r_lo {
-                    let r_hi = (p - 1).min(q + band - d);
-                    for r in r_lo..=r_hi {
-                        let cand = prev.get(i, j, r, q).add(prev.get(r, q, p, q));
-                        best = best.min2(cand);
-                        stats.candidates += 1;
-                    }
-                }
-                // (p, s) intermediates: q < s <= j, s >= p + d - B, s <= q + B.
-                let s_lo = (q + 1).max((p + d).saturating_sub(band));
-                let s_hi = j.min(q + band);
-                for s in s_lo..=s_hi {
-                    let cand = prev.get(i, j, p, s).add(prev.get(p, s, p, q));
-                    best = best.min2(cand);
-                    stats.candidates += 1;
-                }
-                let pos = e * (e + 1) / 2 + (p - i);
-                if best < old {
-                    stats.changed = true;
-                    stats.writes += 1;
-                }
-                next_row[pos] = best;
-            }
+    let streamed = strategy.tile_for(idx.len()).is_some();
+    let process_row = |a: usize, next_row: &mut [W]| -> (OpStats, bool) {
+        if skip.is_some_and(|mask| mask[a]) {
+            next_row.copy_from_slice(prev.row(a));
+            return (OpStats::default(), false);
         }
-        stats
+        let (i, j) = pairs[a];
+        let stats = if streamed {
+            banded_square_row_streamed(prev, a, i, j, next_row)
+        } else {
+            banded_square_row_naive(prev, a, i, j, next_row)
+        };
+        (stats, stats.changed)
     };
-    exec.map_reduce_rows_mut(
+    // With a skip mask many rows degrade to memcpys; coarsen the block
+    // floor so claim overhead is amortised (as in the dense scheduler).
+    let grain = if skip.is_some() { 8 } else { 1 };
+    exec.map_reduce_rows_flagged_mut(
         next.as_mut_slice(),
         &spans,
+        grain,
         process_row,
         OpStats::default,
         OpStats::merge,
     )
+}
+
+/// Reference kernel: per-cell gathers through the bounds-checked
+/// [`BandedPw::get`] accessor, straight from the §5 composition rule.
+fn banded_square_row_naive<W: Weight>(
+    prev: &BandedPw<W>,
+    _a: usize,
+    i: usize,
+    j: usize,
+    next_row: &mut [W],
+) -> OpStats {
+    let band = prev.band();
+    let d = j - i;
+    let mut stats = OpStats::default();
+    let emax = prev.emax(d);
+    for e in 0..=emax {
+        let g = d - e; // gap width q - p
+        for p in i..=i + e {
+            let q = p + g;
+            let old = prev.get(i, j, p, q);
+            let mut best = old;
+            // (r, q) intermediates: i <= r < p, with both factors in
+            // band: r >= p - B (for pw(r,q,p,q)) and r <= q + B - d
+            // (for pw(i,j,r,q)). In-band (p,q) guarantees
+            // q + B >= i + d, so the upper bound never underflows.
+            let r_lo = i.max(p.saturating_sub(band));
+            if p > r_lo {
+                let r_hi = (p - 1).min(q + band - d);
+                for r in r_lo..=r_hi {
+                    let cand = prev.get(i, j, r, q).add(prev.get(r, q, p, q));
+                    best = best.min2(cand);
+                    stats.candidates += 1;
+                }
+            }
+            // (p, s) intermediates: q < s <= j, s >= p + d - B, s <= q + B.
+            let s_lo = (q + 1).max((p + d).saturating_sub(band));
+            let s_hi = j.min(q + band);
+            for s in s_lo..=s_hi {
+                let cand = prev.get(i, j, p, s).add(prev.get(p, s, p, q));
+                best = best.min2(cand);
+                stats.candidates += 1;
+            }
+            let pos = BandedPw::<W>::block_offset(e) + (p - i);
+            if best < old {
+                stats.changed = true;
+                stats.writes += 1;
+            }
+            next_row[pos] = best;
+        }
+    }
+    stats
+}
+
+/// Flat-slice streamed kernel: intermediate-major enumeration over the
+/// eccentricity-block layout, exactly the candidate set of the naive
+/// kernel.
+///
+/// For a root row `(i, j)` every §5 composition factors through an
+/// intermediate gap `(x, y)` that shares an endpoint with the updated
+/// cell. Instead of gathering, per cell, both factors through the
+/// [`BandedPw::get`] offset arithmetic, this kernel walks the in-band
+/// gaps `(x, y)` of the root once, `x`-major — so the intermediates'
+/// table rows are visited in ascending, mostly contiguous memory order —
+/// and plays each gap's two roles against **three resident slices**:
+///
+/// * the root row `prev.row(a)` (first factors, read at precomputed
+///   block offsets);
+/// * the intermediate's own row `prev.row(index(x, y))` (second factors:
+///   `pw'(x,y,x,q)` is the *first* cell of block `y - q`, `pw'(x,y,p,y)`
+///   the *last* cell of block `p - x`);
+/// * the output row `next_row` (min-accumulated in place).
+///
+/// Each slice holds at most `(B+1)(B+2)/2` cells, so the working set per
+/// intermediate is three cache-resident rows — no per-cell indexer calls,
+/// no bounds/band checks, and intermediates whose partial weight is still
+/// infinite are counted in bulk and skipped without touching their row
+/// (most of the table, in the early iterations).
+// The hand-maintained counters (`c`, `u`, `e_cell`) are the point of the
+// kernel: each advances by a data-dependent recurrence, which the
+// iterator forms clippy suggests cannot express without reintroducing
+// the per-candidate multiplies this kernel removes.
+#[allow(clippy::explicit_counter_loop)]
+fn banded_square_row_streamed<W: Weight>(
+    prev: &BandedPw<W>,
+    a: usize,
+    i: usize,
+    j: usize,
+    next_row: &mut [W],
+) -> OpStats {
+    let band = prev.band();
+    let idx = prev.indexer();
+    let d = j - i;
+    let prev_row = prev.row(a);
+    next_row.copy_from_slice(prev_row);
+    let mut stats = OpStats::default();
+    // In-band gaps (x, y) of the root need y - x >= d - band.
+    let x_hi = (j - 1).min(i + band);
+    for x in i..=x_hi {
+        let y_lo = (x + 1).max((x + d).saturating_sub(band));
+        // Pair indices of (x, y) for consecutive y are consecutive, so
+        // the intermediate rows stream forward in memory.
+        let mut c = idx.index(x, y_lo);
+        for y in y_lo..=j {
+            // Cells reached through this intermediate (empty ranges
+            // clamp to zero):
+            // * s-role — cells (x, q) sharing the left endpoint, with
+            //   q >= y - B (second factor in band) and the cell itself
+            //   in band (q >= x + d - B);
+            // * r-role — cells (p, y) sharing the right endpoint, with
+            //   p <= x + B and the cell in band (p <= y + B - d; in-band
+            //   (x, y) guarantees y + B >= x + d, so no underflow).
+            let q_lo = (x + 1)
+                .max((x + d).saturating_sub(band))
+                .max(y.saturating_sub(band));
+            let s_cells = y.saturating_sub(q_lo);
+            let p_hi = (y - 1).min(y + band - d).min(x + band);
+            let r_cells = p_hi.saturating_sub(x);
+            stats.candidates += (s_cells + r_cells) as u64;
+            let e_int = d - (y - x);
+            let v = prev_row[BandedPw::<W>::block_offset(e_int) + (x - i)];
+            if v.is_finite_cost() && s_cells + r_cells > 0 {
+                let crow = prev.row(c);
+                // Both walks keep their positions incrementally: a block
+                // offset moves between adjacent eccentricities by the
+                // eccentricity itself (tri(e+1) = tri(e) + e + 1), so no
+                // per-candidate multiplies survive.
+                //
+                // s-role: pw'(i,j,x,y) + pw'(x,y,x,q) -> cell (x, q),
+                // q ascending. The step factor sits at block_offset(y-q)
+                // of the intermediate's row, the cell at
+                // block_offset(d - (q-x)) + (x-i) of the root row.
+                if s_cells > 0 {
+                    let mut t = y - q_lo;
+                    let mut step_pos = BandedPw::<W>::block_offset(t);
+                    let mut e_cell = d - (q_lo - x);
+                    let mut cell_pos = BandedPw::<W>::block_offset(e_cell) + (x - i);
+                    for _ in 0..s_cells {
+                        let cand = v.add(crow[step_pos]);
+                        let cell = &mut next_row[cell_pos];
+                        if cand < *cell {
+                            *cell = cand;
+                        }
+                        step_pos -= t;
+                        t -= 1;
+                        cell_pos -= e_cell;
+                        e_cell -= 1;
+                    }
+                }
+                // r-role: pw'(i,j,x,y) + pw'(x,y,p,y) -> cell (p, y),
+                // p ascending. The step factor is the last cell of block
+                // (p-x) of the intermediate's row, the cell at
+                // block_offset(d - (y-p)) + (p-i) of the root row.
+                let mut u = 1usize;
+                let mut step_pos = 2usize; // block_offset(1) + 1
+                let mut e_cell = d - (y - x - 1);
+                let mut cell_pos = BandedPw::<W>::block_offset(e_cell) + (x + 1 - i);
+                for _ in 0..r_cells {
+                    let cand = v.add(crow[step_pos]);
+                    let cell = &mut next_row[cell_pos];
+                    if cand < *cell {
+                        *cell = cand;
+                    }
+                    step_pos += u + 2;
+                    u += 1;
+                    cell_pos += e_cell + 2;
+                    e_cell += 1;
+                }
+            }
+            c += 1;
+        }
+    }
+    // Writes = cells that improved; min-accumulation is monotone, so
+    // "differs from prev" and "improved" coincide (cf. the naive kernel's
+    // best < old test).
+    for (new, old) in next_row.iter().zip(prev_row) {
+        if new != old {
+            stats.writes += 1;
+        }
+    }
+    stats.changed = stats.writes > 0;
+    stats
 }
 
 /// `a-pebble` over banded storage, optionally restricted to the §5 size
@@ -799,6 +1078,8 @@ pub fn a_square_banded<W: Weight>(
 /// `out_cell` — a carried-forward value, not a write — and a re-minimised
 /// pair counts as a write only when it strictly improves, exactly like
 /// every other op (see [`OpStats::writes`]).
+///
+/// See [`a_pebble_banded_scheduled`] for convergence-aware pair skipping.
 pub fn a_pebble_banded<W: Weight, P: DpProblem<W> + ?Sized>(
     problem: &P,
     pw: &BandedPw<W>,
@@ -807,11 +1088,46 @@ pub fn a_pebble_banded<W: Weight, P: DpProblem<W> + ?Sized>(
     window: Option<(usize, usize)>,
     exec: &ExecBackend,
 ) -> OpStats {
+    a_pebble_banded_scheduled(problem, pw, w_prev, w_next, window, None, exec).0
+}
+
+/// Banded `a-pebble` with convergence-aware pair scheduling, the §5
+/// counterpart of [`a_pebble_dense_scheduled`].
+///
+/// The in-band candidate family walks the pair's flat `pw'` row slice in
+/// storage order (eccentricity-block-major) instead of gathering each gap
+/// through the [`BandedPw::get`] offset arithmetic; gaps whose partial
+/// weight is still infinite skip their `w'` lookup.
+///
+/// `skip`, if given, marks pairs whose inputs (`pw'` row, nested `w'`
+/// values, which include every `w'` the direct decompositions read) have
+/// not changed since the pair was last re-minimised; like a windowed-out
+/// pair, a skipped pair copies its previous value — not a write, zero
+/// candidates. The returned `Vec<bool>` holds the per-pair changed bits;
+/// windowed-out and skipped pairs report `false` (their value is carried,
+/// not changed), so the bits are exact inputs for the caller's dirty-pair
+/// bookkeeping.
+pub fn a_pebble_banded_scheduled<W: Weight, P: DpProblem<W> + ?Sized>(
+    problem: &P,
+    pw: &BandedPw<W>,
+    w_prev: &WTable<W>,
+    w_next: &mut WTable<W>,
+    window: Option<(usize, usize)>,
+    skip: Option<&[bool]>,
+    exec: &ExecBackend,
+) -> (OpStats, Vec<bool>) {
     let n = w_prev.n();
-    let process_w_row = |i: usize, out_row: &mut [W]| -> OpStats {
+    let idx = pw.indexer().clone();
+    let stride = n + 1;
+    let spans: Vec<(usize, usize)> = (0..=n).map(|i| (i * stride, (i + 1) * stride)).collect();
+    let flag_spans = pebble_flag_spans(&idx);
+    let mut flags = vec![false; idx.len()];
+    let process_w_row = |i: usize, out_row: &mut [W], flags: &mut [bool]| -> OpStats {
         let mut stats = OpStats::default();
+        let a_base = if i < n { idx.index(i, i + 1) } else { 0 };
         for (j, out_cell) in out_row.iter_mut().enumerate().skip(i + 1) {
             let d = j - i;
+            let a = a_base + (j - i - 1);
             let old = w_prev.get(i, j);
             if let Some((lo, hi)) = window {
                 if d <= lo || d > hi {
@@ -819,14 +1135,30 @@ pub fn a_pebble_banded<W: Weight, P: DpProblem<W> + ?Sized>(
                     continue;
                 }
             }
+            if skip.is_some_and(|mask| mask[a]) {
+                *out_cell = old;
+                continue;
+            }
             let mut best = old;
-            for (p, q) in pw.gaps_of(i, j) {
-                if p == i && q == j {
-                    continue;
+            // In-band stored gaps, walked as the flat row slice in
+            // storage order. Position 0 is the (i,j) gap itself (the
+            // free 0 + w'(i,j) candidate already seeded via `old`).
+            let row = pw.row(a);
+            let mut pos = 0usize;
+            for e in 0..=pw.emax(d) {
+                let g = d - e;
+                for t in 0..=e {
+                    if pos > 0 {
+                        let pwv = row[pos];
+                        if pwv.is_finite_cost() {
+                            let p = i + t;
+                            let cand = pwv.add(w_prev.get(p, p + g));
+                            best = best.min2(cand);
+                        }
+                        stats.candidates += 1;
+                    }
+                    pos += 1;
                 }
-                let cand = pw.get(i, j, p, q).add(w_prev.get(p, q));
-                best = best.min2(cand);
-                stats.candidates += 1;
             }
             for k in i + 1..j {
                 let cand = problem
@@ -839,18 +1171,23 @@ pub fn a_pebble_banded<W: Weight, P: DpProblem<W> + ?Sized>(
             if best < old {
                 stats.changed = true;
                 stats.writes += 1;
+                flags[j - i - 1] = true;
             }
             *out_cell = best;
         }
         stats
     };
-    exec.map_reduce_chunks_mut(
+    let total = exec.map_reduce_rows_sided_mut(
         w_next.as_mut_slice(),
-        n + 1,
+        &spans,
+        &mut flags,
+        &flag_spans,
+        1,
         process_w_row,
         OpStats::default,
         OpStats::merge,
-    )
+    );
+    (total, flags)
 }
 
 #[cfg(test)]
@@ -1225,12 +1562,18 @@ mod tests {
     fn square_strategy_parsing_and_display() {
         assert_eq!("naive".parse::<SquareStrategy>(), Ok(SquareStrategy::Naive));
         assert_eq!("auto".parse::<SquareStrategy>(), Ok(SquareStrategy::Auto));
-        assert_eq!("0".parse::<SquareStrategy>(), Ok(SquareStrategy::Auto));
         assert_eq!(
             "48".parse::<SquareStrategy>(),
             Ok(SquareStrategy::Tiled(48))
         );
-        assert!("blocky".parse::<SquareStrategy>().is_err());
+        // Degenerate edges are rejected with a pointed message, not
+        // silently mapped to auto.
+        let zero = "0".parse::<SquareStrategy>().unwrap_err();
+        assert!(zero.contains("degenerate"), "{zero}");
+        assert!(zero.contains("auto"), "{zero}");
+        let unknown = "blocky".parse::<SquareStrategy>().unwrap_err();
+        assert!(unknown.contains("unknown square strategy"), "{unknown}");
+        assert!(unknown.contains("positive integer"), "{unknown}");
         assert_eq!(SquareStrategy::Naive.to_string(), "naive");
         assert_eq!(SquareStrategy::Auto.to_string(), "auto");
         assert_eq!(SquareStrategy::Tiled(0).to_string(), "auto");

@@ -16,16 +16,26 @@
 //!
 //! Because the window argument relies on the *fixed* `2*ceil(sqrt(n))`
 //! schedule, this solver does not support convergence-based early
-//! termination (change flags under a window are not a fixpoint signal),
-//! and — for the same reason — it has no dirty-row square scheduling:
-//! under the window each iteration's pebble consumes a *different* slice
-//! of pairs, so "nothing changed last pass" says nothing about which
-//! square rows the current pass needs fresh. The dense solver's
-//! `skip_clean_rows` knob lives in
-//! [`crate::sublinear::SolverConfig`] instead.
+//! termination (change flags under a window are not a fixpoint signal).
+//! Convergence-aware *scheduling* within the fixed schedule is a
+//! different matter and is exact (`skip_clean_rows`, on by default):
+//!
+//! * **square rows** — banded square row `(i,j)` reads only `pw'` rows
+//!   nested in `(i,j)`; if neither this iteration's activate nor the
+//!   previous square changed any of them, the row is copied forward
+//!   (exactly the dense solver's rule);
+//! * **pebble pairs** — pebble pair `(i,j)` reads its own `pw'` row and
+//!   the `w'` of its nested pairs. Because the window re-minimises a
+//!   pair only on some iterations, a *persistent* per-pair dirty bit
+//!   accumulates input changes across iterations and is cleared only
+//!   when the pair is actually re-minimised; a windowed-in pair whose
+//!   bit is clear would reproduce its current value and is copied
+//!   instead.
 
 use crate::exec::ExecBackend;
-use crate::ops::{a_activate_banded, a_pebble_banded, a_square_banded};
+use crate::ops::{
+    a_activate_banded_tracked, a_pebble_banded_scheduled, a_square_banded_scheduled, SquareStrategy,
+};
 use crate::problem::DpProblem;
 use crate::sublinear::Solution;
 use crate::tables::{BandedPw, WTable};
@@ -45,6 +55,13 @@ pub struct ReducedConfig {
     pub windowed_pebble: bool,
     /// Band width override; `None` uses the paper's `2 * ceil(sqrt(n))`.
     pub band: Option<usize>,
+    /// Kernel of the banded `a-square` — the §5 hot path. All strategies
+    /// produce bit-identical tables; see [`SquareStrategy`].
+    pub square: SquareStrategy,
+    /// Convergence-aware scheduling (square rows and pebble pairs whose
+    /// inputs did not change are copied forward; see the module docs).
+    /// Exact: every configuration computes identical tables.
+    pub skip_clean_rows: bool,
 }
 
 impl Default for ReducedConfig {
@@ -54,6 +71,8 @@ impl Default for ReducedConfig {
             record_trace: false,
             windowed_pebble: true,
             band: None,
+            square: SquareStrategy::Auto,
+            skip_clean_rows: true,
         }
     }
 }
@@ -90,9 +109,40 @@ pub fn solve_reduced<W: Weight, P: DpProblem<W> + ?Sized>(
         per_iteration: Vec::new(),
     };
 
+    // Convergence-aware scheduling state (see the module docs): per-pair
+    // change bits from the previous square and pebble, the persistent
+    // pebble dirty bits, and scratch masks for the skip decisions.
+    let idx = pw.indexer().clone();
+    let pairs: Vec<(usize, usize)> = idx.pairs().collect();
+    let dim = idx.len();
+    let mut square_changed_rows = vec![true; dim];
+    let mut w_changed_pairs = vec![true; dim];
+    let mut pebble_dirty = vec![true; dim];
+    let mut square_skip_mask = vec![false; dim];
+    let mut pebble_skip_mask = vec![false; dim];
+
     for iter in 1..=schedule {
-        let act = a_activate_banded(problem, &w, &mut pw, exec);
-        let sq = a_square_banded(&pw, &mut pw_next, exec);
+        let (act, activate_changed_rows) = a_activate_banded_tracked(problem, &w, &mut pw, exec);
+        // Square row (i,j) reads the pw rows nested in (i,j): unchanged
+        // since the previous square iff neither the previous square nor
+        // this activate touched them (the dense solver's rule; the
+        // pebble window below does not interfere — the square is not
+        // windowed).
+        let square_skip = if config.skip_clean_rows && iter > 1 {
+            for a in 0..dim {
+                square_skip_mask[a] = activate_changed_rows[a] || square_changed_rows[a];
+            }
+            idx.propagate_nested(&mut square_skip_mask);
+            for dirty in square_skip_mask.iter_mut() {
+                *dirty = !*dirty;
+            }
+            Some(square_skip_mask.as_slice())
+        } else {
+            None
+        };
+        let (sq, sq_rows) =
+            a_square_banded_scheduled(&pw, &mut pw_next, config.square, square_skip, exec);
+        square_changed_rows = sq_rows;
         std::mem::swap(&mut pw, &mut pw_next);
         // Size window for iterations 2l-1 and 2l: (l-1)^2 < j-i <= l^2.
         let window = if config.windowed_pebble {
@@ -101,8 +151,44 @@ pub fn solve_reduced<W: Weight, P: DpProblem<W> + ?Sized>(
         } else {
             None
         };
-        let pb = a_pebble_banded(problem, &pw, &w, &mut w_next, window, exec);
+        // Accumulate input changes into the persistent dirty bits: pair
+        // (i,j)'s pebble inputs are its own pw row (changed iff activate
+        // or square touched it this iteration) and the w' of its nested
+        // pairs (changed iff the previous pebble improved them). A
+        // windowed-out pair keeps accumulating dirt until the window
+        // reaches it.
+        let pebble_skip = if config.skip_clean_rows {
+            if iter > 1 {
+                for a in 0..dim {
+                    pebble_skip_mask[a] =
+                        activate_changed_rows[a] || square_changed_rows[a] || w_changed_pairs[a];
+                }
+                idx.propagate_nested(&mut pebble_skip_mask);
+                for (dirty, fresh) in pebble_dirty.iter_mut().zip(&pebble_skip_mask) {
+                    *dirty |= fresh;
+                }
+            }
+            for (skip, dirty) in pebble_skip_mask.iter_mut().zip(&pebble_dirty) {
+                *skip = !dirty;
+            }
+            Some(pebble_skip_mask.as_slice())
+        } else {
+            None
+        };
+        let (pb, pb_pairs) =
+            a_pebble_banded_scheduled(problem, &pw, &w, &mut w_next, window, pebble_skip, exec);
         std::mem::swap(&mut w, &mut w_next);
+        if config.skip_clean_rows {
+            // Pairs the window admitted and the skip mask did not veto
+            // were re-minimised against their current inputs: clean.
+            for (a, &(pi, pj)) in pairs.iter().enumerate() {
+                let in_window = window.is_none_or(|(lo, hi)| pj - pi > lo && pj - pi <= hi);
+                if in_window && !pebble_skip_mask[a] {
+                    pebble_dirty[a] = false;
+                }
+            }
+            w_changed_pairs = pb_pairs;
+        }
 
         trace.iterations = iter;
         trace.total_candidates += act.candidates + sq.candidates + pb.candidates;
@@ -135,12 +221,17 @@ mod tests {
         FnProblem::new(n, |_| 0u64, move |i, k, j| dims[i] * dims[k] * dims[j])
     }
 
+    /// Full-sweep sequential baseline: the work-accounting assertions
+    /// below compare per-op candidate counts, so scheduling is off; the
+    /// skip_* tests cover the scheduler.
     fn cfg() -> ReducedConfig {
         ReducedConfig {
             exec: ExecBackend::Sequential,
             record_trace: true,
             windowed_pebble: true,
             band: None,
+            square: SquareStrategy::Auto,
+            skip_clean_rows: false,
         }
     }
 
@@ -240,6 +331,99 @@ mod tests {
             },
         );
         assert!(seq.w.table_eq(&par.w));
+    }
+
+    #[test]
+    fn skip_clean_rows_is_exact_on_random_instances() {
+        // Clean-row/pair skipping must not change a single table cell,
+        // for every kernel, backend and window setting.
+        let mut rng = SmallRng::seed_from_u64(20260728);
+        for n in [2usize, 5, 9, 16, 25] {
+            let dims: Vec<u64> = (0..=n).map(|_| rng.gen_range(1..40)).collect();
+            let p = chain(dims);
+            let oracle = solve_sequential(&p);
+            for windowed in [true, false] {
+                let base = solve_reduced(
+                    &p,
+                    &ReducedConfig {
+                        windowed_pebble: windowed,
+                        ..cfg()
+                    },
+                );
+                assert!(base.w.table_eq(&oracle), "n={n} windowed={windowed}");
+                for (square, exec) in [
+                    (SquareStrategy::Auto, ExecBackend::Sequential),
+                    (SquareStrategy::Naive, ExecBackend::Sequential),
+                    (SquareStrategy::Auto, ExecBackend::Threads(4)),
+                ] {
+                    let skipping = solve_reduced(
+                        &p,
+                        &ReducedConfig {
+                            exec,
+                            windowed_pebble: windowed,
+                            square,
+                            skip_clean_rows: true,
+                            ..cfg()
+                        },
+                    );
+                    assert!(
+                        skipping.w.table_eq(&base.w),
+                        "n={n} windowed={windowed} {square} {exec}"
+                    );
+                    // Skipping can only remove candidate work.
+                    assert!(
+                        skipping.trace.total_candidates <= base.trace.total_candidates,
+                        "n={n} windowed={windowed} {square} {exec}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skip_clean_rows_saves_reduced_work() {
+        // Uniform dims converge fast; under the fixed 2*ceil(sqrt(n))
+        // schedule the post-convergence iterations must skip nearly
+        // everything, so total candidates drop well below the full-sweep
+        // figure.
+        let p = chain(vec![3u64; 50]); // n = 49, schedule bound 14
+        let full = solve_reduced(&p, &cfg());
+        let skipping = solve_reduced(
+            &p,
+            &ReducedConfig {
+                skip_clean_rows: true,
+                ..cfg()
+            },
+        );
+        assert!(skipping.w.table_eq(&full.w));
+        assert!(
+            2 * skipping.trace.total_candidates < full.trace.total_candidates,
+            "skip saved too little: {} vs {}",
+            skipping.trace.total_candidates,
+            full.trace.total_candidates
+        );
+    }
+
+    #[test]
+    fn square_strategies_agree_in_the_solver() {
+        let mut rng = SmallRng::seed_from_u64(404);
+        let dims: Vec<u64> = (0..=28).map(|_| rng.gen_range(1..60)).collect();
+        let p = chain(dims);
+        let naive = solve_reduced(
+            &p,
+            &ReducedConfig {
+                square: SquareStrategy::Naive,
+                ..cfg()
+            },
+        );
+        for square in [SquareStrategy::Auto, SquareStrategy::Tiled(16)] {
+            let other = solve_reduced(&p, &ReducedConfig { square, ..cfg() });
+            assert!(other.w.table_eq(&naive.w), "{square}");
+            assert_eq!(
+                other.trace.total_candidates, naive.trace.total_candidates,
+                "{square}"
+            );
+        }
     }
 
     #[test]

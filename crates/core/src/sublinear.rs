@@ -15,7 +15,7 @@
 //! reference or the work-stealing thread pool); the PRAM costs are
 //! recorded separately by [`crate::pram_exec`].
 
-use crate::ops::{a_activate_dense_tracked, a_pebble_dense, a_square_dense_scheduled};
+use crate::ops::{a_activate_dense_tracked, a_pebble_dense_scheduled, a_square_dense_scheduled};
 use crate::problem::DpProblem;
 use crate::tables::{DensePw, WTable};
 use crate::trace::{IterationRecord, SolveTrace, StopReason, Termination};
@@ -43,14 +43,16 @@ pub struct SolverConfig {
     /// `O(n^5)` hot path. All strategies produce bit-identical tables;
     /// see [`SquareStrategy`].
     pub square: SquareStrategy,
-    /// Convergence-aware row scheduling: skip `a-square` rows none of
-    /// whose input rows changed in the previous iteration (they are
-    /// copied forward and report zero candidates). Exact under every
-    /// termination rule — the square is a deterministic monotone function
-    /// of its input rows, so a clean row's recomputation would reproduce
-    /// its previous output. The §5 windowed-reduced solver deliberately
-    /// has no such knob: its fixed-schedule window argument consumes
-    /// every pass (see [`crate::reduced`]).
+    /// Convergence-aware scheduling: skip `a-square` rows none of whose
+    /// input rows changed in the previous iteration, and `a-pebble` pairs
+    /// none of whose inputs (their `pw'` row or a nested pair's `w'`)
+    /// changed — both are copied forward and report zero candidates.
+    /// Exact under every termination rule: square and pebble are
+    /// deterministic monotone functions of their inputs, so a clean
+    /// row's/pair's recomputation would reproduce its previous output.
+    /// The §5 reduced solver has the same knob in
+    /// [`crate::reduced::ReducedConfig`], where the pebble bookkeeping
+    /// additionally persists across the size window.
     pub skip_clean_rows: bool,
 }
 
@@ -113,10 +115,13 @@ pub fn solve_sublinear<W: Weight, P: DpProblem<W> + ?Sized>(
     let mut w_stable_streak = 0u32;
 
     // Dirty-row scheduling state: which pw rows the previous square
-    // changed, and a scratch mask for the skip decision.
+    // changed, which pairs the previous pebble improved, and scratch
+    // masks for the skip decisions.
     let dim = pw.dim();
     let mut square_changed_rows = vec![true; dim];
+    let mut w_changed_pairs = vec![true; dim];
     let mut skip_mask = vec![false; dim];
+    let mut pebble_skip_mask = vec![false; dim];
 
     for iter in 1..=schedule {
         let (act, activate_changed_rows) = a_activate_dense_tracked(problem, &w, &mut pw, exec);
@@ -140,7 +145,26 @@ pub fn solve_sublinear<W: Weight, P: DpProblem<W> + ?Sized>(
         let (sq, sq_rows) = a_square_dense_scheduled(&pw, &mut pw_next, config.square, skip, exec);
         square_changed_rows = sq_rows;
         std::mem::swap(&mut pw, &mut pw_next);
-        let pb = a_pebble_dense(&pw, &w, &mut w_next, exec);
+        // Pebble pair (i,j) reads its pw row (changed iff this
+        // iteration's activate or square touched it) and the w' of its
+        // nested pairs (changed iff the previous pebble improved them);
+        // pairs with no changed input since their last re-minimisation
+        // would reproduce their current value, so copy them instead.
+        let pebble_skip = if config.skip_clean_rows && iter > 1 {
+            for a in 0..dim {
+                pebble_skip_mask[a] =
+                    activate_changed_rows[a] || square_changed_rows[a] || w_changed_pairs[a];
+            }
+            pw.indexer().propagate_nested(&mut pebble_skip_mask);
+            for dirty in pebble_skip_mask.iter_mut() {
+                *dirty = !*dirty;
+            }
+            Some(pebble_skip_mask.as_slice())
+        } else {
+            None
+        };
+        let (pb, pb_pairs) = a_pebble_dense_scheduled(&pw, &w, &mut w_next, pebble_skip, exec);
+        w_changed_pairs = pb_pairs;
         std::mem::swap(&mut w, &mut w_next);
 
         trace.iterations = iter;

@@ -319,10 +319,25 @@ impl<W: Weight> DensePw<W> {
 /// The §5 banded `pw'` storage: only cells with
 /// `(j - i) - (q - p) <= band` are stored.
 ///
-/// Per root pair `(i,j)` with `d = j - i`, the stored gaps are grouped by
-/// *eccentricity* `e = d - (q - p)` (0 ≤ e ≤ min(d-1, band)); block `e`
-/// starts at offset `e(e+1)/2` within the row and holds the `e + 1` gaps
-/// `(p, p + d - e)` for `p = i ..= i + e`.
+/// # Layout
+///
+/// Rows (one per root pair `(i,j)`, in [`PairIndexer`] order) are
+/// concatenated in one flat buffer; [`Self::row_span`] / [`Self::row`]
+/// recover a row's slice. Within a row with `d = j - i`, the stored gaps
+/// are grouped by *eccentricity* `e = d - (q - p)`
+/// (`0 <= e <= emax = min(d-1, band)`): block `e` starts at offset
+/// [`block_offset(e)`](Self::block_offset) `= e(e+1)/2` within the row
+/// and holds the `e + 1` gaps `(p, p + d - e)` for `p = i ..= i + e`, so
+/// a whole row occupies `(emax+1)(emax+2)/2` cells. Two flat-kernel
+/// consequences:
+///
+/// * gaps of equal eccentricity and consecutive left endpoints are
+///   **adjacent cells**, so per-eccentricity candidate families stream
+///   instead of gather;
+/// * a gap's in-row position `block_offset(e) + (p - i)` depends only on
+///   `(e, p - i)`, so kernels precompute block offsets once per row
+///   instead of redoing the offset arithmetic per cell (what the
+///   per-cell [`Self::get`] accessor has to do).
 #[derive(Debug, Clone)]
 pub struct BandedPw<W> {
     idx: PairIndexer,
@@ -386,12 +401,46 @@ impl<W: Weight> BandedPw<W> {
         (j - i) - (q - p) <= self.band
     }
 
+    /// Offset of eccentricity block `e` within any row: `e(e+1)/2`. Block
+    /// `e` holds the `e + 1` gaps `(i + t, i + t + d - e)` for
+    /// `t = 0 ..= e`, so the cell of gap `(p, q)` sits at
+    /// `block_offset(e) + (p - i)` with `e = (j-i) - (q-p)`.
+    #[inline]
+    pub const fn block_offset(e: usize) -> usize {
+        e * (e + 1) / 2
+    }
+
+    /// The highest stored eccentricity of a width-`d` row:
+    /// `min(d - 1, band)`.
+    #[inline]
+    pub fn emax(&self, d: usize) -> usize {
+        debug_assert!(d >= 1, "rows have width >= 1");
+        (d - 1).min(self.band)
+    }
+
+    /// Immutable row of pair index `a`: all stored gaps of that root, in
+    /// eccentricity-block order (see the type-level layout notes).
+    #[inline]
+    pub fn row(&self, a: usize) -> &[W] {
+        debug_assert!(a < self.idx.len(), "pair index {a} out of range");
+        &self.data[self.row_offsets[a] as usize..self.row_offsets[a + 1] as usize]
+    }
+
+    /// Mutable row of pair index `a` (see [`Self::row`]).
+    #[inline]
+    pub fn row_mut(&mut self, a: usize) -> &mut [W] {
+        debug_assert!(a < self.idx.len(), "pair index {a} out of range");
+        &mut self.data[self.row_offsets[a] as usize..self.row_offsets[a + 1] as usize]
+    }
+
     #[inline]
     fn cell(&self, i: usize, j: usize, p: usize, q: usize) -> usize {
         let a = self.idx.index(i, j);
         let e = (j - i) - (q - p);
         debug_assert!(e <= self.band);
-        self.row_offsets[a] as usize + e * (e + 1) / 2 + (p - i)
+        let c = self.row_offsets[a] as usize + Self::block_offset(e) + (p - i);
+        debug_assert!(c < self.row_offsets[a + 1] as usize, "cell outside row");
+        c
     }
 
     /// Read `pw'(i,j,p,q)`; out-of-band cells read as `INFINITY`.
@@ -629,6 +678,37 @@ mod tests {
             end_prev = e;
         }
         assert_eq!(end_prev, pw.stored_cells());
+    }
+
+    #[test]
+    fn row_slices_follow_the_block_layout() {
+        // row(a)[block_offset(e) + (p - i)] must equal get(i, j, p, q)
+        // for every stored gap, and row_mut must write the same cell.
+        for (n, band) in [(9usize, 3usize), (12, 5), (6, 100)] {
+            let mut pw = BandedPw::<u64>::new(n, band);
+            let idx = PairIndexer::new(n);
+            let mut v = 10u64;
+            for (i, j) in idx.pairs() {
+                let a = idx.index(i, j);
+                let gaps: Vec<_> = pw.gaps_of(i, j).collect();
+                for &(p, q) in &gaps {
+                    let e = (j - i) - (q - p);
+                    let pos = BandedPw::<u64>::block_offset(e) + (p - i);
+                    pw.row_mut(a)[pos] = v;
+                    assert_eq!(pw.get(i, j, p, q), v, "({i},{j},{p},{q})");
+                    assert_eq!(pw.row(a)[pos], v);
+                    v += 1;
+                }
+                let d = j - i;
+                assert_eq!(
+                    pw.row(a).len(),
+                    BandedPw::<u64>::block_offset(pw.emax(d) + 1),
+                    "row ({i},{j}) length"
+                );
+                let (s, e) = pw.row_span(a);
+                assert_eq!(pw.row(a).len(), e - s);
+            }
+        }
     }
 
     #[test]

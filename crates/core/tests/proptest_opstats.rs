@@ -9,8 +9,10 @@
 //!   tables and identical stats on every backend.
 
 use pardp_core::ops::{
-    a_activate_banded, a_activate_dense, a_pebble_banded, a_pebble_dense, a_square_banded,
-    a_square_dense, a_square_dense_scheduled, a_square_rytter_with, OpStats, SquareStrategy,
+    a_activate_banded, a_activate_banded_tracked, a_activate_dense, a_pebble_banded,
+    a_pebble_banded_scheduled, a_pebble_dense, a_pebble_dense_scheduled, a_square_banded,
+    a_square_banded_scheduled, a_square_dense, a_square_dense_scheduled, a_square_rytter_with,
+    OpStats, SquareStrategy,
 };
 use pardp_core::prelude::*;
 use pardp_core::problem::TabulatedProblem;
@@ -44,6 +46,30 @@ fn warm_dense(p: &TabulatedProblem<u64>, iters: usize) -> (WTable<u64>, DensePw<
         a_square_dense(&pw, &mut pw_next, &ExecBackend::Sequential);
         std::mem::swap(&mut pw, &mut pw_next);
         a_pebble_dense(&pw, &w, &mut w_next, &ExecBackend::Sequential);
+        std::mem::swap(&mut w, &mut w_next);
+    }
+    (w, pw)
+}
+
+/// Drive the banded ops for `iters` iterations from the initial state.
+fn warm_banded(
+    p: &TabulatedProblem<u64>,
+    band: usize,
+    iters: usize,
+) -> (WTable<u64>, BandedPw<u64>) {
+    let n = p.n();
+    let mut w = WTable::new(n);
+    for i in 0..n {
+        w.set(i, i + 1, p.init(i));
+    }
+    let mut pw = BandedPw::new(n, band);
+    let mut pw_next = BandedPw::new(n, band);
+    let mut w_next = w.clone();
+    for _ in 0..iters {
+        a_activate_banded(p, &w, &mut pw, &ExecBackend::Sequential);
+        a_square_banded(&pw, &mut pw_next, &ExecBackend::Sequential);
+        std::mem::swap(&mut pw, &mut pw_next);
+        a_pebble_banded(p, &pw, &w, &mut w_next, None, &ExecBackend::Sequential);
         std::mem::swap(&mut w, &mut w_next);
     }
     (w, pw)
@@ -237,6 +263,135 @@ proptest! {
             check_accounting(&pb, cap, &format!("pebble round {round}"))?;
             std::mem::swap(&mut w, &mut w_next);
         }
+    }
+
+    #[test]
+    fn banded_square_streamed_matches_naive_on_every_backend(
+        p in instance_strategy(12),
+        iters in 0usize..4,
+        extra_band in 0usize..5,
+        tile in 1usize..90,
+    ) {
+        // Warm realistic banded tables, then one square per kernel and
+        // backend: tables, stats and per-row flags must match the naive
+        // sequential reference bit for bit.
+        let n = p.n();
+        let band = default_band(n) + extra_band;
+        let (w, pw) = warm_banded(&p, band, iters);
+        let mut reference = BandedPw::new(n, band);
+        let (base, base_rows) = a_square_banded_scheduled(
+            &pw, &mut reference, SquareStrategy::Naive, None, &ExecBackend::Sequential,
+        );
+        for backend in [
+            ExecBackend::Sequential,
+            ExecBackend::Parallel,
+            ExecBackend::Threads(3),
+        ] {
+            for strategy in [
+                SquareStrategy::Naive,
+                SquareStrategy::Auto,
+                SquareStrategy::Tiled(tile),
+            ] {
+                let mut out = BandedPw::new(n, band);
+                let (stats, rows) =
+                    a_square_banded_scheduled(&pw, &mut out, strategy, None, &backend);
+                prop_assert_eq!(
+                    out.as_slice(), reference.as_slice(),
+                    "banded tables diverge: {} on {}", strategy, backend
+                );
+                prop_assert_eq!(stats, base, "banded stats diverge: {} on {}", strategy, backend);
+                prop_assert_eq!(
+                    &rows, &base_rows,
+                    "banded row flags diverge: {} on {}", strategy, backend
+                );
+            }
+        }
+        // Skip-everything degrades to a verbatim copy with no stats.
+        let mut copied = BandedPw::new(n, band);
+        let skip = vec![true; pw.indexer().len()];
+        let (stats, rows) = a_square_banded_scheduled(
+            &pw, &mut copied, SquareStrategy::Auto, Some(&skip), &ExecBackend::Threads(3),
+        );
+        prop_assert_eq!(copied.as_slice(), pw.as_slice());
+        prop_assert_eq!(stats, OpStats::default());
+        prop_assert!(rows.iter().all(|&b| !b));
+        // The activate-tracked flags match a changed-cell diff.
+        let mut pw_act = pw.clone();
+        let (act, act_rows) =
+            a_activate_banded_tracked(&p, &w, &mut pw_act, &ExecBackend::Threads(3));
+        prop_assert_eq!(act.changed, act_rows.iter().any(|&b| b));
+        for (a, &flag) in act_rows.iter().enumerate() {
+            let (s, e) = pw.row_span(a);
+            let row_changed = pw.as_slice()[s..e] != pw_act.as_slice()[s..e];
+            prop_assert_eq!(flag, row_changed, "activate flag row {}", a);
+        }
+    }
+
+    #[test]
+    fn scheduled_pebbles_skip_exactly_and_flag_changes(
+        p in instance_strategy(11),
+        iters in 1usize..4,
+        window_spec in (0usize..3, 0usize..5, 5usize..12),
+    ) {
+        let window = match window_spec {
+            (0, ..) => None,
+            (_, lo, hi) => Some((lo, hi)),
+        };
+        let n = p.n();
+        let band = default_band(n);
+        let (w, pw) = warm_banded(&p, band, iters);
+        let idx = PairIndexer::new(n);
+        let dim = idx.len();
+
+        // Banded: a full pass is the reference; its per-pair flags must
+        // equal the w-table diff, windowed-out pairs must report false.
+        let mut w_full = WTable::new(n);
+        let (full, full_flags) = a_pebble_banded_scheduled(
+            &p, &pw, &w, &mut w_full, window, None, &ExecBackend::Sequential,
+        );
+        prop_assert_eq!(full.changed, full.writes > 0);
+        prop_assert_eq!(full_flags.iter().filter(|&&b| b).count() as u64, full.writes);
+        for (a, (i, j)) in idx.pairs().enumerate() {
+            let changed = w_full.get(i, j) != w.get(i, j);
+            prop_assert_eq!(full_flags[a], changed, "flag ({},{})", i, j);
+            if let Some((lo, hi)) = window {
+                if j - i <= lo || j - i > hi {
+                    prop_assert!(!full_flags[a], "windowed-out pair flagged ({},{})", i, j);
+                }
+            }
+        }
+        // Skipping the clean pairs (those a full pass did not improve)
+        // must reproduce the full result with fewer candidates, on every
+        // backend.
+        let skip: Vec<bool> = full_flags.iter().map(|&b| !b).collect();
+        for backend in [
+            ExecBackend::Sequential,
+            ExecBackend::Parallel,
+            ExecBackend::Threads(3),
+        ] {
+            let mut w_skip = WTable::new(n);
+            let (stats, flags) = a_pebble_banded_scheduled(
+                &p, &pw, &w, &mut w_skip, window, Some(&skip), &backend,
+            );
+            prop_assert!(w_skip.table_eq(&w_full), "skip diverges on {}", backend);
+            prop_assert_eq!(stats.writes, full.writes, "writes diverge on {}", backend);
+            prop_assert_eq!(&flags, &full_flags, "flags diverge on {}", backend);
+            prop_assert!(stats.candidates <= full.candidates);
+        }
+        // Dense scheduled pebble: same contract, no window.
+        let (_, dpw) = warm_dense(&p, iters);
+        let mut w_dense_full = WTable::new(n);
+        let (dfull, dflags) =
+            a_pebble_dense_scheduled(&dpw, &w, &mut w_dense_full, None, &ExecBackend::Sequential);
+        prop_assert_eq!(dflags.iter().filter(|&&b| b).count() as u64, dfull.writes);
+        let dskip = vec![true; dim];
+        let mut w_dense_skip = WTable::new(n);
+        let (dstats, dflags2) = a_pebble_dense_scheduled(
+            &dpw, &w, &mut w_dense_skip, Some(&dskip), &ExecBackend::Threads(3),
+        );
+        prop_assert!(w_dense_skip.table_eq(&w));
+        prop_assert_eq!(dstats, OpStats::default());
+        prop_assert!(dflags2.iter().all(|&b| !b));
     }
 
     #[test]

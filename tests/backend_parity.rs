@@ -102,6 +102,42 @@ proptest! {
         let poly = WeightedPolygon::new(weights);
         assert_parity(&poly, "triangulation")?;
     }
+
+    #[test]
+    fn reduced_scheduling_is_exact_on_every_backend(
+        dims in proptest::collection::vec(1u64..100, 2..22),
+        windowed_sel in 0usize..2,
+    ) {
+        // The §5 solver's convergence-aware scheduling (banded square row
+        // skipping + persistent pebble dirty bits) and its square kernels
+        // must not move a single w' cell, on any backend.
+        let windowed = windowed_sel == 1;
+        let mc = MatrixChain::new(dims);
+        let base = solve_reduced(&mc, &ReducedConfig {
+            exec: ExecBackend::Sequential,
+            windowed_pebble: windowed,
+            square: SquareStrategy::Naive,
+            skip_clean_rows: false,
+            ..Default::default()
+        });
+        for exec in [ExecBackend::Sequential, POOL] {
+            for square in [SquareStrategy::Naive, SquareStrategy::Auto] {
+                for skip in [false, true] {
+                    let sol = solve_reduced(&mc, &ReducedConfig {
+                        exec,
+                        windowed_pebble: windowed,
+                        square,
+                        skip_clean_rows: skip,
+                        ..Default::default()
+                    });
+                    prop_assert!(
+                        sol.w.table_eq(&base.w),
+                        "reduced diverges: {exec} {square} skip={skip} windowed={windowed}"
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Release-mode sanity check (ignored in debug builds, where the solver
