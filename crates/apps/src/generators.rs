@@ -147,7 +147,7 @@ mod tests {
         let n = 64usize;
         let iterations = |p: &TabulatedProblem<u64>| {
             let cfg = SolverConfig {
-                exec: ExecMode::Sequential,
+                exec: ExecBackend::Sequential,
                 termination: Termination::Fixpoint,
                 record_trace: false,
                 ..Default::default()

@@ -6,7 +6,6 @@
 //! recurrence (*) with `init(i) = 0` and `f(i,k,j) = d_i d_k d_j`.
 
 use pardp_core::prelude::*;
-use pardp_core::reconstruct;
 
 /// A matrix-chain instance, defined by the `n + 1` dimensions.
 #[derive(Debug, Clone)]
@@ -39,11 +38,12 @@ impl MatrixChain {
         tree_cost(self, tree)
     }
 
-    /// Solve sequentially and return `(cost, optimal parenthesization)`.
+    /// Solve (sequentially, via the [`Solver`] façade) and return
+    /// `(cost, optimal parenthesization)`.
     pub fn optimal_order(&self) -> (u64, ParenTree) {
-        let w = solve_sequential(self);
-        let t = reconstruct::reconstruct_root(self, &w).expect("solved table");
-        (w.root(), t)
+        let sol = Solver::new(Algorithm::Sequential).solve(self);
+        let t = sol.tree(self).expect("solved table");
+        (sol.value(), t)
     }
 
     /// Render a parenthesization over matrix names `A1 .. An`.
@@ -121,7 +121,7 @@ mod tests {
             let mc = MatrixChain::new(dims);
             let seq = solve_sequential(&mc).root();
             let cfg = SolverConfig {
-                exec: ExecMode::Sequential,
+                exec: ExecBackend::Sequential,
                 termination: Termination::FixedSqrtN,
                 record_trace: false,
                 ..Default::default()
@@ -131,7 +131,7 @@ mod tests {
                 solve_reduced(
                     &mc,
                     &ReducedConfig {
-                        exec: ExecMode::Sequential,
+                        exec: ExecBackend::Sequential,
                         ..Default::default()
                     }
                 )

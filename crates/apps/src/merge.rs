@@ -17,7 +17,6 @@
 //! by the general (*) machinery).
 
 use pardp_core::prelude::*;
-use pardp_core::reconstruct;
 
 /// An optimal adjacent-merge instance.
 #[derive(Debug, Clone)]
@@ -48,11 +47,12 @@ impl MergeOrder {
         self.prefix[j] - self.prefix[i]
     }
 
-    /// Solve and return `(total cost, merge tree)`.
+    /// Solve (via the [`Solver`] façade) and return
+    /// `(total cost, merge tree)`.
     pub fn optimal_merge(&self) -> (u64, ParenTree) {
-        let w = solve_sequential(self);
-        let t = reconstruct::reconstruct_root(self, &w).expect("solved table");
-        (w.root(), t)
+        let sol = Solver::new(Algorithm::Sequential).solve(self);
+        let t = sol.tree(self).expect("solved table");
+        (sol.value(), t)
     }
 
     /// Independent cost evaluation: sum of group spans over internal
@@ -166,14 +166,14 @@ mod tests {
         let m = MergeOrder::new((0..20).map(|_| rng.gen_range(1..100)).collect());
         let oracle = solve_sequential(&m);
         let cfg = SolverConfig {
-            exec: ExecMode::Sequential,
+            exec: ExecBackend::Sequential,
             termination: Termination::FixedSqrtN,
             record_trace: false,
             ..Default::default()
         };
         assert!(solve_sublinear(&m, &cfg).w.table_eq(&oracle));
         let rcfg = ReducedConfig {
-            exec: ExecMode::Sequential,
+            exec: ExecBackend::Sequential,
             ..Default::default()
         };
         assert!(solve_reduced(&m, &rcfg).w.table_eq(&oracle));

@@ -1,4 +1,4 @@
-//! Optimal binary search trees (Knuth 1971, the paper's reference [5]).
+//! Optimal binary search trees (Knuth 1971, the paper's reference \[5\]).
 //!
 //! Keys `k_1 < ... < k_m` with access frequencies `p_1 .. p_m`, and dummy
 //! keys (failure intervals) `d_0 .. d_m` with frequencies `q_0 .. q_m`.
@@ -22,7 +22,6 @@
 //! `O(1)` via prefix sums.
 
 use pardp_core::prelude::*;
-use pardp_core::reconstruct;
 
 /// An optimal-BST instance with integer frequencies.
 #[derive(Debug, Clone)]
@@ -98,11 +97,12 @@ impl OptimalBst {
         (self.p_prefix[j - 1] - self.p_prefix[i]) + (self.q_prefix[j] - self.q_prefix[i])
     }
 
-    /// Solve sequentially and return `(expected cost, tree)`.
+    /// Solve (via the [`Solver`] façade) and return
+    /// `(expected cost, tree)`.
     pub fn optimal_tree(&self) -> (u64, BstNode) {
-        let w = solve_sequential(self);
-        let t = reconstruct::reconstruct_root(self, &w).expect("solved table");
-        (w.root(), Self::to_bst(&t))
+        let sol = Solver::new(Algorithm::Sequential).solve(self);
+        let t = sol.tree(self).expect("solved table");
+        (sol.value(), Self::to_bst(&t))
     }
 
     /// Convert a parenthesization tree into the BST it encodes.
@@ -264,14 +264,14 @@ mod tests {
             let bst = OptimalBst::new(p, q);
             let oracle = solve_sequential(&bst).root();
             let cfg = SolverConfig {
-                exec: ExecMode::Sequential,
+                exec: ExecBackend::Sequential,
                 termination: Termination::FixedSqrtN,
                 record_trace: false,
                 ..Default::default()
             };
             assert_eq!(solve_sublinear(&bst, &cfg).value(), oracle, "m={m}");
             let rcfg = ReducedConfig {
-                exec: ExecMode::Sequential,
+                exec: ExecBackend::Sequential,
                 ..Default::default()
             };
             assert_eq!(solve_reduced(&bst, &rcfg).value(), oracle, "m={m}");

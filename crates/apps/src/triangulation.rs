@@ -15,7 +15,6 @@
 //!   (f64 costs).
 
 use pardp_core::prelude::*;
-use pardp_core::reconstruct;
 
 /// A convex polygon with one abstract weight per vertex.
 #[derive(Debug, Clone)]
@@ -35,12 +34,12 @@ impl WeightedPolygon {
         self.weights.len()
     }
 
-    /// Solve and return `(cost, diagonals)` — the `n_vertices - 3` chords
-    /// of the optimal triangulation.
+    /// Solve (via the [`Solver`] façade) and return `(cost, diagonals)`
+    /// — the `n_vertices - 3` chords of the optimal triangulation.
     pub fn optimal_triangulation(&self) -> (u64, Vec<(usize, usize)>) {
-        let w = solve_sequential(self);
-        let t = reconstruct::reconstruct_root(self, &w).expect("solved table");
-        (w.root(), diagonals_of(&t, self.n()))
+        let sol = Solver::new(Algorithm::Sequential).solve(self);
+        let t = sol.tree(self).expect("solved table");
+        (sol.value(), diagonals_of(&t, self.n()))
     }
 }
 
@@ -100,11 +99,11 @@ impl PointPolygon {
         ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
     }
 
-    /// Solve and return `(cost, diagonals)`.
+    /// Solve (via the [`Solver`] façade) and return `(cost, diagonals)`.
     pub fn optimal_triangulation(&self) -> (f64, Vec<(usize, usize)>) {
-        let w = solve_sequential(self);
-        let t = reconstruct::reconstruct_root(self, &w).expect("solved table");
-        (w.root(), diagonals_of(&t, self.n()))
+        let sol = Solver::new(Algorithm::Sequential).solve(self);
+        let t = sol.tree(self).expect("solved table");
+        (sol.value(), diagonals_of(&t, self.n()))
     }
 }
 
@@ -232,7 +231,7 @@ mod tests {
         let poly = PointPolygon::regular(14);
         let oracle = solve_sequential(&poly).root();
         let cfg = SolverConfig {
-            exec: ExecMode::Sequential,
+            exec: ExecBackend::Sequential,
             termination: Termination::FixedSqrtN,
             record_trace: false,
             ..Default::default()
@@ -240,7 +239,7 @@ mod tests {
         let sub = solve_sublinear(&poly, &cfg).value();
         assert!(sub.cost_eq(&oracle), "{sub} vs {oracle}");
         let rcfg = ReducedConfig {
-            exec: ExecMode::Sequential,
+            exec: ExecBackend::Sequential,
             ..Default::default()
         };
         let red = solve_reduced(&poly, &rcfg).value();

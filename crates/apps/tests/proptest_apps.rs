@@ -123,7 +123,7 @@ proptest! {
     ) {
         let mc = MatrixChain::new(dims);
         let cfg = SolverConfig {
-            exec: ExecMode::Sequential,
+            exec: ExecBackend::Sequential,
             termination: Termination::FixedSqrtN,
             record_trace: false,
             ..Default::default()

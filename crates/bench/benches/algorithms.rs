@@ -34,7 +34,7 @@ fn bench_paper_algorithms(c: &mut Criterion) {
     for n in [24usize, 40, 56] {
         let p = generators::random_chain(n, 100, 44);
         let cfg = SolverConfig {
-            exec: ExecMode::Parallel,
+            exec: ExecBackend::Parallel,
             termination: Termination::FixedSqrtN,
             record_trace: false,
             ..Default::default()
@@ -68,7 +68,7 @@ fn bench_termination_modes(c: &mut Criterion) {
         ("w_stable_twice", Termination::WStableTwice),
     ] {
         let cfg = SolverConfig {
-            exec: ExecMode::Parallel,
+            exec: ExecBackend::Parallel,
             termination: term,
             record_trace: false,
             ..Default::default()

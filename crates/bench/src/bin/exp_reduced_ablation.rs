@@ -25,18 +25,14 @@ fn main() {
         let p = generators::random_chain(n, 80, 31415);
         let oracle = solve_sequential(&p);
 
-        let scfg = SolverConfig {
-            exec: ExecMode::Parallel,
-            termination: Termination::FixedSqrtN,
-            record_trace: true,
-            // Full sweeps: this experiment measures the per-iteration
-            // Theta(n^5) square work, so dirty-row skipping must not
-            // deflate the post-convergence iterations.
-            skip_clean_rows: false,
-            ..Default::default()
-        };
+        // Full sweeps: this experiment measures the per-iteration
+        // Theta(n^5) square work, so dirty-row skipping must not
+        // deflate the post-convergence iterations.
+        let opts = SolveOptions::default()
+            .record_trace(true)
+            .skip_clean_rows(false);
         let (sub_sq, sub_pb, dense_cells) = if n <= 72 {
-            let sol = solve_sublinear(&p, &scfg);
+            let sol = Solver::new(Algorithm::Sublinear).options(opts).solve(&p);
             assert!(sol.w.table_eq(&oracle));
             let (_, sq, pb) = sol.trace.work_by_op();
             let per_iter = sq / sol.trace.iterations;
@@ -50,25 +46,15 @@ fn main() {
             (cell("-"), cell("-"), cell("-"))
         };
 
-        let rcfg = ReducedConfig {
-            exec: ExecMode::Parallel,
-            record_trace: true,
-            ..Default::default()
-        };
-        let red = solve_reduced(&p, &rcfg);
+        let red = Solver::new(Algorithm::Reduced).options(opts).solve(&p);
         assert!(red.w.table_eq(&oracle));
         let (_, rsq, rpb) = red.trace.work_by_op();
         let rsq_per_iter = rsq / red.trace.iterations;
         band_pts.push((n as f64, rsq_per_iter as f64));
 
-        let nowin = solve_reduced(
-            &p,
-            &ReducedConfig {
-                windowed_pebble: false,
-                record_trace: true,
-                ..rcfg
-            },
-        );
+        let nowin = Solver::new(Algorithm::Reduced)
+            .options(opts.windowed_pebble(false))
+            .solve(&p);
         assert!(nowin.w.table_eq(&oracle));
         let (_, _, npb) = nowin.trace.work_by_op();
 

@@ -25,33 +25,27 @@ fn main() {
     for &n in &[64usize, 128, 256, 512, 1024, 2048] {
         let p = generators::random_chain(n, 100, 1234);
         let reps = if n <= 256 { 5 } else { 2 };
-        let (seq_val, t_seq) = time_best(reps, || solve_sequential(&p).root());
-        let (wav_val, t_wav) = time_best(reps, || solve_wavefront_default(&p).root());
+        let (seq_val, t_seq) = time_best(reps, || {
+            Solver::new(Algorithm::Sequential).solve(&p).value()
+        });
+        let (wav_val, t_wav) =
+            time_best(reps, || Solver::new(Algorithm::Wavefront).solve(&p).value());
         assert_eq!(seq_val, wav_val);
-        let (sub_report, t_sub) = if n <= 128 {
-            let cfg = SolverConfig {
-                exec: ExecMode::Parallel,
-                termination: Termination::FixedSqrtN,
-                record_trace: false,
-                ..Default::default()
-            };
-            let ((), t) = time_best(1, || {
-                let sol = solve_sublinear(&p, &cfg);
-                assert_eq!(sol.value(), seq_val);
-            });
-            (fmt_f(t), t)
-        } else {
-            ("-".into(), f64::NAN)
+        // One façade call per paper algorithm — the size caps differ
+        // (Theta(n^5) vs Theta(n^3.5) per-iteration work), nothing else.
+        let paper_report = |algo: Algorithm, cap: usize| {
+            if n <= cap {
+                let ((), t) = time_best(1, || {
+                    let sol = Solver::new(algo).solve(&p);
+                    assert_eq!(sol.value(), seq_val);
+                });
+                (fmt_f(t), t)
+            } else {
+                ("-".into(), f64::NAN)
+            }
         };
-        let (red_report, _t_red) = if n <= 192 {
-            let ((), t) = time_best(1, || {
-                let sol = solve_reduced(&p, &ReducedConfig::default());
-                assert_eq!(sol.value(), seq_val);
-            });
-            (fmt_f(t), t)
-        } else {
-            ("-".into(), f64::NAN)
-        };
+        let (sub_report, t_sub) = paper_report(Algorithm::Sublinear, 128);
+        let (red_report, _t_red) = paper_report(Algorithm::Reduced, 192);
         let _ = t_sub;
         rows.push(vec![
             cell(n),
@@ -86,15 +80,15 @@ fn main() {
     let n = 1024usize;
     let p = generators::random_chain(n, 100, 4321);
     let solve_on = |threads: usize| {
-        let cfg = WavefrontConfig {
-            exec: if threads == 1 {
-                ExecBackend::Sequential
-            } else {
-                ExecBackend::Threads(threads)
-            },
-            ..Default::default()
+        let exec = if threads == 1 {
+            ExecBackend::Sequential
+        } else {
+            ExecBackend::Threads(threads)
         };
-        solve_wavefront(&p, &cfg).root()
+        Solver::new(Algorithm::Wavefront)
+            .options(SolveOptions::default().exec(exec))
+            .solve(&p)
+            .value()
     };
     let (_, t1) = time_best(3, || solve_on(1));
     let mut rows = Vec::new();

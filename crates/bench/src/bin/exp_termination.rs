@@ -13,13 +13,9 @@ use pardp_bench::{banner, cell, fmt_f, print_table};
 use pardp_core::prelude::*;
 
 fn iters<PB: DpProblem<u64> + ?Sized>(p: &PB, term: Termination) -> (u64, u64, bool) {
-    let cfg = SolverConfig {
-        exec: ExecMode::Parallel,
-        termination: term,
-        record_trace: false,
-        ..Default::default()
-    };
-    let sol = solve_sublinear(p, &cfg);
+    let sol = Solver::new(Algorithm::Sublinear)
+        .options(SolveOptions::default().termination(term))
+        .solve(p);
     let exact = sol.w.table_eq(&solve_sequential(p));
     (sol.trace.iterations, sol.trace.schedule_bound, exact)
 }

@@ -10,11 +10,11 @@
 //! | wavefront  | O(n log n)*     | O(n^2)         | O(n^3)      |
 //! | reduced §5 | O(sqrt n log n) | O(n^3.5/log n) | O(n^4)      |
 //! | sublinear  | O(sqrt n log n) | O(n^5/log n)   | O(n^5.5)    |
-//! | Rytter [8] | O(log^2 n)      | O(n^6/log n)   | O(n^6 log n)|
+//! | Rytter \[8\] | O(log^2 n)      | O(n^6/log n)   | O(n^6 log n)|
 //!
 //! (*) the wavefront model charges `ceil(log2 d)` per diagonal for its
 //! min-reductions, hence `n log n` rather than the paper's `O(n)` citation
-//! of [10] (private communication; an `O(n)` schedule needs per-cell
+//! of \[10\] (private communication; an `O(n)` schedule needs per-cell
 //! serial mins on `O(n^2)` processors).
 
 use pardp_bench::{banner, cell, fmt_f, print_table};

@@ -1,8 +1,12 @@
 //! Hand-rolled argument parsing (no external parser dependency).
+//!
+//! Algorithm names, descriptions and flag applicability come from the
+//! [`Algorithm`] registry in `pardp-core` — the CLI maintains no
+//! algorithm table of its own.
 
 use std::fmt;
 
-use pardp_core::prelude::{ExecBackend, SquareStrategy};
+use pardp_core::prelude::{Algorithm, ExecBackend, SquareStrategy};
 
 /// A parsing or execution error with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,49 +19,6 @@ impl fmt::Display for CliError {
 }
 
 impl std::error::Error for CliError {}
-
-/// Which algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Algo {
-    /// Classic O(n^3) DP.
-    Sequential,
-    /// Knuth O(n^2) (quadrangle-inequality instances only).
-    Knuth,
-    /// Anti-diagonal rayon parallel DP.
-    Wavefront,
-    /// The paper's §2 algorithm.
-    Sublinear,
-    /// The paper's §5 reduced-processor variant.
-    Reduced,
-    /// Rytter's O(log^2 n) baseline.
-    Rytter,
-}
-
-impl Algo {
-    fn parse(s: &str) -> Result<Algo, CliError> {
-        Ok(match s {
-            "seq" | "sequential" => Algo::Sequential,
-            "knuth" => Algo::Knuth,
-            "wavefront" | "wave" => Algo::Wavefront,
-            "sublinear" | "paper" => Algo::Sublinear,
-            "reduced" => Algo::Reduced,
-            "rytter" => Algo::Rytter,
-            other => return Err(CliError(format!("unknown --algo '{other}'"))),
-        })
-    }
-
-    /// Display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Algo::Sequential => "sequential",
-            Algo::Knuth => "knuth",
-            Algo::Wavefront => "wavefront",
-            Algo::Sublinear => "sublinear",
-            Algo::Reduced => "reduced",
-            Algo::Rytter => "rytter",
-        }
-    }
-}
 
 /// The problem family of a `solve` command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,15 +58,17 @@ pub enum Parsed {
     Solve {
         /// The instance.
         problem: Problem,
-        /// Solver selection.
-        algo: Algo,
-        /// Execution backend for the parallel solvers.
-        backend: ExecBackend,
-        /// `a-square` kernel for the dense solvers (sublinear, rytter).
-        tile: SquareStrategy,
+        /// Solver selection (from the `pardp-core` registry).
+        algo: Algorithm,
+        /// Execution backend, if `--backend` was given explicitly (only
+        /// accepted for algorithms with [`Algorithm::is_parallel`]).
+        backend: Option<ExecBackend>,
+        /// `a-square` kernel, if `--tile` was given explicitly (only
+        /// accepted for algorithms with [`Algorithm::supports_tile`]).
+        tile: Option<SquareStrategy>,
         /// Print the witness structure.
         witness: bool,
-        /// Print the per-iteration trace (paper algorithms only).
+        /// Print the per-iteration trace (iterative algorithms only).
         trace: bool,
     },
     /// `pardp game <shape> <n>`
@@ -135,8 +98,32 @@ pub enum Parsed {
     Help,
 }
 
-/// Usage text.
-pub const USAGE: &str = "\
+/// The names of all algorithms that accept `--backend`, comma-separated.
+fn parallel_algo_names() -> String {
+    Algorithm::ALL
+        .iter()
+        .filter(|a| a.is_parallel())
+        .map(|a| a.name())
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+/// The names of all algorithms that accept `--tile` / `--trace`.
+fn tile_algo_names() -> String {
+    Algorithm::ALL
+        .iter()
+        .filter(|a| a.supports_tile())
+        .map(|a| a.name())
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+/// Usage text. The algorithm list is generated from the
+/// [`Algorithm`] registry, so it can never drift from the solvers the
+/// core actually exposes.
+pub fn usage() -> String {
+    format!(
+        "\
 pardp — sublinear parallel dynamic programming (Huang–Liu–Viswanathan 1990/1992)
 
 USAGE:
@@ -149,21 +136,27 @@ USAGE:
   pardp bound <n>
   pardp help
 
-ALGORITHMS (--algo): seq | knuth | wavefront | sublinear (default) | reduced | rytter
+ALGORITHMS (--algo, default sublinear):
+{algos}\
 BACKENDS (--backend): seq | parallel (default) | threads:<k> | <k>
-  Selects the execution backend of the parallel solvers (wavefront,
-  sublinear, reduced, rytter): single-threaded reference, the
-  work-stealing pool at host size, or the pool capped at k workers.
-  A bare number is shorthand for threads:<k> (0 = host size).
+  Selects the execution backend of the parallel solvers ({parallel}):
+  single-threaded reference, the work-stealing pool at host size, or the
+  pool capped at k workers. A bare number is shorthand for threads:<k>
+  (0 = host size). Rejected for the purely sequential algorithms.
 TILING (--tile): auto (default) | naive | <t>
-  a-square kernel of the sublinear, reduced and rytter solvers:
+  a-square kernel of the iterative solvers ({tile}):
   flat-slice blocked/streamed with an auto-picked or explicit tile edge
   (a positive integer, e.g. --tile 64), or the naive per-cell reference.
   0 and other degenerate edges are rejected. The reduced and rytter
   solvers need no tile subdivision, so any positive edge selects the
   same streamed kernel as auto. All accepted choices produce identical
-  tables.
-";
+  tables. Rejected for algorithms without an a-square kernel.
+",
+        algos = Algorithm::listing(),
+        parallel = parallel_algo_names(),
+        tile = tile_algo_names(),
+    )
+}
 
 fn parse_list(s: &str) -> Result<Vec<u64>, CliError> {
     s.split(',')
@@ -208,19 +201,45 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
         "help" | "--help" | "-h" => Ok(Parsed::Help),
         "solve" => {
             let algo = match take_value(&mut rest, "--algo")? {
-                Some(s) => Algo::parse(&s)?,
-                None => Algo::Sublinear,
+                Some(s) => s.parse::<Algorithm>().map_err(CliError)?,
+                None => Algorithm::Sublinear,
             };
             let backend = match take_value(&mut rest, "--backend")? {
-                Some(s) => s.parse::<ExecBackend>().map_err(CliError)?,
-                None => ExecBackend::Parallel,
+                Some(s) => Some(s.parse::<ExecBackend>().map_err(CliError)?),
+                None => None,
             };
             let tile = match take_value(&mut rest, "--tile")? {
-                Some(s) => s.parse::<SquareStrategy>().map_err(CliError)?,
-                None => SquareStrategy::Auto,
+                Some(s) => Some(s.parse::<SquareStrategy>().map_err(CliError)?),
+                None => None,
             };
             let witness = take_flag(&mut rest, "--witness");
             let trace = take_flag(&mut rest, "--trace");
+            // Flags a non-capable algorithm would silently ignore are
+            // rejected with pointed errors instead.
+            if backend.is_some() && !algo.is_parallel() {
+                return Err(CliError(format!(
+                    "--backend has no effect on '{algo}' ({}): it runs no \
+                     data-parallel passes; drop --backend or pick one of: {}",
+                    algo.description(),
+                    parallel_algo_names()
+                )));
+            }
+            if tile.is_some() && !algo.supports_tile() {
+                return Err(CliError(format!(
+                    "--tile has no effect on '{algo}' ({}): it has no a-square \
+                     kernel; drop --tile or pick one of: {}",
+                    algo.description(),
+                    tile_algo_names()
+                )));
+            }
+            if trace && !algo.is_iterative() {
+                return Err(CliError(format!(
+                    "--trace has no effect on '{algo}' ({}): it does not iterate \
+                     (activate, square, pebble); drop --trace or pick one of: {}",
+                    algo.description(),
+                    tile_algo_names()
+                )));
+            }
             if rest.is_empty() {
                 return Err(CliError("solve needs a problem family".into()));
             }
@@ -360,9 +379,9 @@ mod tests {
             p,
             Parsed::Solve {
                 problem: Problem::Chain(vec![30, 35, 15]),
-                algo: Algo::Sublinear,
-                backend: ExecBackend::Parallel,
-                tile: SquareStrategy::Auto,
+                algo: Algorithm::Sublinear,
+                backend: None,
+                tile: None,
                 witness: false,
                 trace: false,
             }
@@ -378,7 +397,7 @@ mod tests {
         ] {
             let p = parse(&argv(&format!("solve --tile {spec} chain 2,3,4"))).unwrap();
             match p {
-                Parsed::Solve { tile, .. } => assert_eq!(tile, expect, "{spec}"),
+                Parsed::Solve { tile, .. } => assert_eq!(tile, Some(expect), "{spec}"),
                 other => panic!("{other:?}"),
             }
         }
@@ -410,8 +429,8 @@ mod tests {
                 backend,
                 ..
             } => {
-                assert_eq!(algo, Algo::Reduced);
-                assert_eq!(backend, ExecBackend::Parallel);
+                assert_eq!(algo, Algorithm::Reduced);
+                assert_eq!(backend, None);
                 assert!(witness);
                 assert!(!trace);
             }
@@ -430,12 +449,47 @@ mod tests {
         ] {
             let p = parse(&argv(&format!("solve --backend {spec} chain 2,3,4"))).unwrap();
             match p {
-                Parsed::Solve { backend, .. } => assert_eq!(backend, expect, "{spec}"),
+                Parsed::Solve { backend, .. } => assert_eq!(backend, Some(expect), "{spec}"),
                 other => panic!("{other:?}"),
             }
         }
         let err = parse(&argv("solve --backend bogus chain 2,3,4")).unwrap_err();
         assert!(err.0.contains("unknown backend"), "{err}");
+    }
+
+    #[test]
+    fn unknown_algo_lists_the_registry() {
+        let err = parse(&argv("solve --algo blort chain 2,3,4")).unwrap_err();
+        for a in Algorithm::ALL {
+            assert!(err.0.contains(a.name()), "{err}");
+            assert!(err.0.contains(a.description()), "{err}");
+        }
+    }
+
+    #[test]
+    fn inapplicable_flag_combos_are_rejected() {
+        // --backend on a purely sequential algorithm.
+        let err = parse(&argv("solve --algo seq --backend parallel chain 2,3,4")).unwrap_err();
+        assert!(err.0.contains("--backend has no effect"), "{err}");
+        assert!(err.0.contains("wavefront"), "{err}");
+        let err = parse(&argv("solve --algo knuth --backend 4 chain 2,3,4")).unwrap_err();
+        assert!(err.0.contains("--backend has no effect"), "{err}");
+        // --tile on algorithms without an a-square kernel.
+        let err = parse(&argv("solve --algo sequential --tile 8 chain 2,3,4")).unwrap_err();
+        assert!(err.0.contains("--tile has no effect"), "{err}");
+        assert!(err.0.contains("sublinear"), "{err}");
+        let err = parse(&argv("solve --algo wavefront --tile naive chain 2,3,4")).unwrap_err();
+        assert!(err.0.contains("--tile has no effect"), "{err}");
+        // --trace on non-iterative algorithms.
+        let err = parse(&argv("solve --algo wavefront --trace chain 2,3,4")).unwrap_err();
+        assert!(err.0.contains("--trace has no effect"), "{err}");
+        // The capable combinations still parse.
+        assert!(parse(&argv(
+            "solve --algo reduced --tile 8 --backend seq chain 2,3,4"
+        ))
+        .is_ok());
+        assert!(parse(&argv("solve --algo wavefront --backend 4 chain 2,3,4")).is_ok());
+        assert!(parse(&argv("solve --algo rytter --trace chain 2,3,4")).is_ok());
     }
 
     #[test]

@@ -12,12 +12,12 @@ use pardp_pram::Timeline;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::args::{Algo, CliError, Parsed, Problem, Shape, USAGE};
+use crate::args::{usage, CliError, Parsed, Problem, Shape};
 
 /// Execute a parsed command, producing the output text.
 pub fn execute(parsed: &Parsed) -> Result<String, CliError> {
     match parsed {
-        Parsed::Help => Ok(USAGE.to_string()),
+        Parsed::Help => Ok(usage()),
         Parsed::Bound { n } => {
             let b = pardp_core::schedule_bound(*n);
             Ok(format!(
@@ -98,9 +98,9 @@ fn run_model(n: usize, processors: u64) -> Result<String, CliError> {
 
 fn run_solve(
     problem: &Problem,
-    algo: Algo,
-    backend: ExecBackend,
-    tile: SquareStrategy,
+    algo: Algorithm,
+    backend: Option<ExecBackend>,
+    tile: Option<SquareStrategy>,
     witness: bool,
     trace: bool,
 ) -> Result<String, CliError> {
@@ -178,113 +178,62 @@ fn push_iteration_trace(s: &mut String, trace: &pardp_core::trace::SolveTrace) {
     }
 }
 
-/// Run the chosen solver; return formatted summary and the table (for
-/// witness extraction).
-fn solve_with<P: DpProblem<u64> + Sync + ?Sized>(
+/// Run the chosen solver through the [`Solver`] façade; return the
+/// formatted summary and the table (for witness extraction).
+///
+/// There is deliberately no per-algorithm dispatch here: the options
+/// builder carries every knob, the registry's capability flags decide
+/// what to print, and the façade returns the same [`Solution`] shape for
+/// the whole spectrum.
+fn solve_with<P: DpProblem<u64> + ?Sized>(
     p: &P,
-    algo: Algo,
-    backend: ExecBackend,
-    tile: SquareStrategy,
+    algo: Algorithm,
+    backend: Option<ExecBackend>,
+    tile: Option<SquareStrategy>,
     trace: bool,
 ) -> Result<(String, WTable<u64>), CliError> {
     let n = p.n();
-    match algo {
-        Algo::Sequential => {
-            let w = solve_sequential(p);
-            Ok((
-                format!("algorithm: sequential O(n^3)\nc(0,{n}) = {}\n", w.root()),
-                w,
-            ))
-        }
-        Algo::Knuth => {
-            let w = solve_knuth(p);
-            let check = solve_sequential(p);
-            if !w.table_eq(&check) {
-                return Err(CliError(
-                    "knuth speedup disagrees with the full DP — instance lacks the \
-                     quadrangle inequality; use --algo seq"
-                        .into(),
-                ));
-            }
-            Ok((
-                format!("algorithm: knuth O(n^2)\nc(0,{n}) = {}\n", w.root()),
-                w,
-            ))
-        }
-        Algo::Wavefront => {
-            let cfg = WavefrontConfig {
-                exec: backend,
-                ..Default::default()
-            };
-            let w = solve_wavefront(p, &cfg);
-            Ok((
-                format!(
-                    "algorithm: wavefront [{backend}]\nc(0,{n}) = {}\n",
-                    w.root()
-                ),
-                w,
-            ))
-        }
-        Algo::Sublinear => {
-            let cfg = SolverConfig {
-                exec: backend,
-                termination: Termination::Fixpoint,
-                record_trace: trace,
-                square: tile,
-                skip_clean_rows: true,
-            };
-            let sol = solve_sublinear(p, &cfg);
-            let mut s = format!(
-                "algorithm: sublinear (paper §2)\nc(0,{n}) = {}\niterations: {}/{} ({:?})\n",
-                sol.value(),
-                sol.trace.iterations,
-                sol.trace.schedule_bound,
-                sol.trace.stop
-            );
-            if trace {
-                push_iteration_trace(&mut s, &sol.trace);
-            }
-            Ok((s, sol.w))
-        }
-        Algo::Reduced => {
-            let sol = solve_reduced(
-                p,
-                &ReducedConfig {
-                    exec: backend,
-                    record_trace: trace,
-                    square: tile,
-                    ..Default::default()
-                },
-            );
-            let mut s = format!(
-                "algorithm: reduced (paper §5)\nc(0,{n}) = {}\niterations: {}\n",
-                sol.value(),
-                sol.trace.iterations
-            );
-            if trace {
-                push_iteration_trace(&mut s, &sol.trace);
-            }
-            Ok((s, sol.w))
-        }
-        Algo::Rytter => {
-            let sol = solve_rytter(
-                p,
-                &RytterConfig {
-                    exec: backend,
-                    square: tile,
-                    ..Default::default()
-                },
-            );
-            Ok((
-                format!(
-                    "algorithm: rytter [8]\nc(0,{n}) = {}\niterations: {}\n",
-                    sol.value(),
-                    sol.trace.iterations
-                ),
-                sol.w,
-            ))
-        }
+    let mut opts = SolveOptions::default()
+        .termination(Termination::Fixpoint)
+        .record_trace(trace);
+    if let Some(b) = backend {
+        opts = opts.exec(b);
     }
+    if let Some(t) = tile {
+        opts = opts.square(t);
+    }
+    let sol = Solver::new(algo).options(opts).solve(p);
+
+    // The Knuth-Yao speedup is only valid on quadrangle-inequality
+    // instances; the CLI guards the user by cross-checking the full DP.
+    if algo == Algorithm::Knuth && !sol.w.table_eq(&solve_sequential(p)) {
+        return Err(CliError(
+            "knuth speedup disagrees with the full DP — instance lacks the \
+             quadrangle inequality; use --algo seq"
+                .into(),
+        ));
+    }
+
+    let mut s = format!(
+        "algorithm: {} — {} [{}]\n",
+        algo.name(),
+        algo.description(),
+        algo.complexity()
+    );
+    if algo.is_parallel() {
+        s.push_str(&format!("backend: {}\n", opts.exec));
+    }
+    s.push_str(&format!("c(0,{n}) = {}\n", sol.value()));
+    if algo.is_iterative() {
+        s.push_str(&format!(
+            "iterations: {}/{} ({:?})\n",
+            sol.trace.iterations, sol.trace.schedule_bound, sol.trace.stop
+        ));
+    }
+    if trace {
+        push_iteration_trace(&mut s, &sol.trace);
+    }
+    Ok((s, sol.w))
 }
 
 #[cfg(test)]

@@ -21,18 +21,27 @@
 //!
 //! ## Solvers
 //!
-//! | function | algorithm | time × processors (paper) |
-//! |---|---|---|
-//! | [`seq::solve_sequential`] | classic DP [1] | `O(n^3)` × 1 |
-//! | [`seq::solve_knuth`] | Knuth–Yao (QI instances) | `O(n^2)` × 1 |
-//! | [`wavefront::solve_wavefront`] | anti-diagonal [10] | `O(n)` × `O(n^2)` |
-//! | [`sublinear::solve_sublinear`] | **this paper §2** | `O(sqrt(n) log n)` × `O(n^5/log n)` |
-//! | [`reduced::solve_reduced`] | **this paper §5** | `O(sqrt(n) log n)` × `O(n^3.5/log n)` |
-//! | [`rytter::solve_rytter`] | Rytter [8] | `O(log^2 n)` × `O(n^6/log n)` |
+//! All six algorithms run through the [`solver`] façade —
+//! `Solver::new(algorithm).options(..).solve(&problem)` — and return the
+//! same uniform [`solver::Solution`] (value, table, trace, statistics,
+//! wall time, lazy tree reconstruction). [`solver::Algorithm`] is the
+//! registry: names, descriptions, capability flags.
 //!
-//! All parallel solvers execute their data-parallel operations with rayon
-//! (or sequentially, for reference), and all agree exactly with the
-//! sequential oracle — property-tested across problem families.
+//! | [`solver::Algorithm`] | direct entry point | algorithm | time × processors (paper) |
+//! |---|---|---|---|
+//! | `Sequential` | [`seq::solve_sequential`] | classic DP \[1\] | `O(n^3)` × 1 |
+//! | `Knuth` | [`seq::solve_knuth`] | Knuth–Yao (QI instances) | `O(n^2)` × 1 |
+//! | `Wavefront` | [`wavefront::solve_wavefront`] | anti-diagonal \[10\] | `O(n)` × `O(n^2)` |
+//! | `Sublinear` | [`sublinear::solve_sublinear`] | **this paper §2** | `O(sqrt(n) log n)` × `O(n^5/log n)` |
+//! | `Reduced` | [`reduced::solve_reduced`] | **this paper §5** | `O(sqrt(n) log n)` × `O(n^3.5/log n)` |
+//! | `Rytter` | [`rytter::solve_rytter`] | Rytter \[8\] | `O(log^2 n)` × `O(n^6/log n)` |
+//!
+//! The direct entry points remain as thin, stable functions (the façade
+//! dispatches through them, bit-identically). All parallel solvers
+//! execute their data-parallel operations on a pluggable
+//! [`exec::ExecBackend`] (sequential reference or the work-stealing
+//! thread pool), and all agree exactly with the sequential oracle —
+//! property-tested across problem families.
 //!
 //! ## Verification and accounting
 //!
@@ -56,8 +65,20 @@
 //!     |_| 0u64,
 //!     move |i, k, j| dims[i] * dims[k] * dims[j],
 //! );
-//! let solution = solve_sublinear(&problem, &SolverConfig::default());
+//!
+//! // Any algorithm on the paper's spectrum, one entry point:
+//! let solution = Solver::new(Algorithm::Sublinear).solve(&problem);
 //! assert_eq!(solution.value(), 15125);
+//!
+//! // Knobs ride in one options builder; results carry uniform
+//! // diagnostics for every algorithm.
+//! let solution = Solver::new(Algorithm::Reduced)
+//!     .options(SolveOptions::default().exec(ExecBackend::Sequential))
+//!     .solve(&problem);
+//! assert_eq!(solution.value(), 15125);
+//! assert!(solution.trace.iterations <= solution.trace.schedule_bound);
+//! let tree = solution.tree(&problem).unwrap();
+//! assert_eq!(tree.n_leaves(), 6);
 //! ```
 
 #![warn(missing_docs)]
@@ -70,6 +91,7 @@ pub mod reconstruct;
 pub mod reduced;
 pub mod rytter;
 pub mod seq;
+pub mod solver;
 pub mod sublinear;
 pub mod tables;
 pub mod trace;
@@ -86,7 +108,10 @@ pub mod prelude {
     pub use crate::reduced::{solve_reduced, ReducedConfig};
     pub use crate::rytter::{solve_rytter, RytterConfig};
     pub use crate::seq::{solve_knuth, solve_sequential};
-    pub use crate::sublinear::{solve_sublinear, ExecMode, Solution, SolverConfig};
+    pub use crate::solver::{Algorithm, Solution, SolveOptions, Solver};
+    #[allow(deprecated)]
+    pub use crate::sublinear::ExecMode;
+    pub use crate::sublinear::{solve_sublinear, SolverConfig};
     pub use crate::tables::WTable;
     pub use crate::trace::{StopReason, Termination};
     pub use crate::wavefront::{solve_wavefront, solve_wavefront_default, WavefrontConfig};

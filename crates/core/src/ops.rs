@@ -2,7 +2,7 @@
 //! regimes:
 //!
 //! * **dense** — the `O(n^5)`-work algorithm of §2/§4 over [`DensePw`];
-//! * **rytter** — the full-composition square of Rytter [8] (`O(n^6)`
+//! * **rytter** — the full-composition square of Rytter \[8\] (`O(n^6)`
 //!   work) over the same dense storage, used as the baseline;
 //! * **banded** — the §5 reduced-processor variant over [`BandedPw`]
 //!   (`O(n^3.5)` work per square), with the windowed pebble step.
@@ -486,7 +486,7 @@ fn finish_row_stats<W: Weight>(
     stats.changed = stats.writes > 0;
 }
 
-/// Rytter's square [8] over the same dense storage: composition through
+/// Rytter's square \[8\] over the same dense storage: composition through
 /// **every** intermediate gap,
 ///
 /// ```text
@@ -826,7 +826,7 @@ pub fn a_square_banded<W: Weight>(
 /// * `strategy` selects the kernel: [`SquareStrategy::Naive`] is the
 ///   definitional per-cell gather through the [`BandedPw::get`] accessor;
 ///   every other strategy selects the flat-slice streamed kernel
-///   ([`banded_square_row_streamed`]). As with Rytter's square, the tile
+///   (`banded_square_row_streamed`). As with Rytter's square, the tile
 ///   edge needs no further subdivision here: a banded row holds at most
 ///   `(B+1)(B+2)/2` cells, so the streamed kernel's whole per-intermediate
 ///   footprint (the root row, the intermediate's row, and the output row)

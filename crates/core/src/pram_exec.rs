@@ -232,7 +232,7 @@ pub fn account_reduced<W: Weight, P: DpProblem<W> + ?Sized>(problem: &P) -> Acco
     }
 }
 
-/// Run Rytter's algorithm [8] with exact PRAM phase accounting.
+/// Run Rytter's algorithm \[8\] with exact PRAM phase accounting.
 pub fn account_rytter<W: Weight, P: DpProblem<W> + ?Sized>(problem: &P) -> AccountedRun<W> {
     let n = problem.n();
     let mut pram = Pram::new(format!("rytter(n={n})"));
@@ -277,7 +277,7 @@ pub fn account_rytter<W: Weight, P: DpProblem<W> + ?Sized>(problem: &P) -> Accou
     }
 }
 
-/// Account the wavefront algorithm [10]: one reduce phase per
+/// Account the wavefront algorithm \[10\]: one reduce phase per
 /// anti-diagonal (`n - 1` phases, `O(n^3)` work — the work-optimal row of
 /// the comparison table). Each cell of diagonal `d` reduces over its
 /// `d - 1` candidates plus the infinity seed (fan `d`), so the phase work
@@ -362,7 +362,7 @@ pub fn model_reduced(n: usize) -> Pram {
     pram
 }
 
-/// The PRAM cost model of Rytter's algorithm [8] at size `n`, for the
+/// The PRAM cost model of Rytter's algorithm \[8\] at size `n`, for the
 /// given iteration count (pass [`crate::rytter::rytter_schedule`] for the
 /// worst case, or an observed count).
 pub fn model_rytter(n: usize, iterations: u64) -> Pram {

@@ -34,10 +34,11 @@
 
 use crate::exec::ExecBackend;
 use crate::ops::{
-    a_activate_banded_tracked, a_pebble_banded_scheduled, a_square_banded_scheduled, SquareStrategy,
+    a_activate_banded_tracked, a_pebble_banded_scheduled, a_square_banded_scheduled, OpStats,
+    SquareStrategy,
 };
 use crate::problem::DpProblem;
-use crate::sublinear::Solution;
+use crate::solver::{Algorithm, Solution};
 use crate::tables::{BandedPw, WTable};
 use crate::trace::{IterationRecord, SolveTrace, StopReason};
 use crate::weight::Weight;
@@ -87,6 +88,7 @@ pub fn solve_reduced<W: Weight, P: DpProblem<W> + ?Sized>(
     problem: &P,
     config: &ReducedConfig,
 ) -> Solution<W> {
+    let t0 = std::time::Instant::now();
     let n = problem.n();
     let exec = &config.exec;
     let band = config.band.unwrap_or_else(|| default_band(n));
@@ -108,6 +110,7 @@ pub fn solve_reduced<W: Weight, P: DpProblem<W> + ?Sized>(
         total_candidates: 0,
         per_iteration: Vec::new(),
     };
+    let mut stats = OpStats::default();
 
     // Convergence-aware scheduling state (see the module docs): per-pair
     // change bits from the previous square and pebble, the persistent
@@ -192,6 +195,7 @@ pub fn solve_reduced<W: Weight, P: DpProblem<W> + ?Sized>(
 
         trace.iterations = iter;
         trace.total_candidates += act.candidates + sq.candidates + pb.candidates;
+        stats = stats.merge(act).merge(sq).merge(pb);
         if config.record_trace {
             trace.per_iteration.push(IterationRecord {
                 iteration: iter,
@@ -203,7 +207,13 @@ pub fn solve_reduced<W: Weight, P: DpProblem<W> + ?Sized>(
         }
     }
 
-    Solution { w, trace }
+    Solution {
+        algorithm: Algorithm::Reduced,
+        w,
+        trace,
+        stats,
+        wall: t0.elapsed(),
+    }
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! The baseline of Rytter [8]: `O(log^2 n)` time, `O(n^6 / log n)`
+//! The baseline of Rytter \[8\]: `O(log^2 n)` time, `O(n^6 / log n)`
 //! processors.
 //!
 //! Same tables, same `a-activate` and `a-pebble`; the difference is the
@@ -11,9 +11,9 @@
 //! further to `O(n^3.5)`.
 
 use crate::exec::ExecBackend;
-use crate::ops::{a_activate_dense, a_pebble_dense, a_square_rytter_with, SquareStrategy};
+use crate::ops::{a_activate_dense, a_pebble_dense, a_square_rytter_with, OpStats, SquareStrategy};
 use crate::problem::DpProblem;
-use crate::sublinear::Solution;
+use crate::solver::{Algorithm, Solution};
 use crate::tables::{DensePw, WTable};
 use crate::trace::{IterationRecord, SolveTrace, StopReason};
 use crate::weight::Weight;
@@ -52,11 +52,12 @@ pub fn rytter_schedule(n: usize) -> u64 {
     2 * (usize::BITS - n.next_power_of_two().leading_zeros()) as u64 + 4
 }
 
-/// Solve recurrence (*) with Rytter's full-composition algorithm [8].
+/// Solve recurrence (*) with Rytter's full-composition algorithm \[8\].
 pub fn solve_rytter<W: Weight, P: DpProblem<W> + ?Sized>(
     problem: &P,
     config: &RytterConfig,
 ) -> Solution<W> {
+    let t0 = std::time::Instant::now();
     let n = problem.n();
     let exec = &config.exec;
     let schedule = rytter_schedule(n);
@@ -77,6 +78,7 @@ pub fn solve_rytter<W: Weight, P: DpProblem<W> + ?Sized>(
         total_candidates: 0,
         per_iteration: Vec::new(),
     };
+    let mut stats = OpStats::default();
 
     for iter in 1..=schedule {
         let act = a_activate_dense(problem, &w, &mut pw, exec);
@@ -87,6 +89,7 @@ pub fn solve_rytter<W: Weight, P: DpProblem<W> + ?Sized>(
 
         trace.iterations = iter;
         trace.total_candidates += act.candidates + sq.candidates + pb.candidates;
+        stats = stats.merge(act).merge(sq).merge(pb);
         if config.record_trace {
             trace.per_iteration.push(IterationRecord {
                 iteration: iter,
@@ -102,7 +105,13 @@ pub fn solve_rytter<W: Weight, P: DpProblem<W> + ?Sized>(
         }
     }
 
-    Solution { w, trace }
+    Solution {
+        algorithm: Algorithm::Rytter,
+        w,
+        trace,
+        stats,
+        wall: t0.elapsed(),
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! Sequential baselines for recurrence (*).
 //!
-//! * [`solve_sequential`] — the classic `O(n^3)` dynamic program [1],
+//! * [`solve_sequential`] — the classic `O(n^3)` dynamic program \[1\],
 //!   the work-optimal baseline every parallel algorithm is compared to;
 //! * [`solve_knuth`] — the `O(n^2)` Knuth–Yao speedup, valid when the
 //!   instance satisfies the quadrangle inequality / monotonicity (e.g.

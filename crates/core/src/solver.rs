@@ -1,0 +1,641 @@
+//! The unified solver façade: one entry point, one options struct, one
+//! result type for **all six** algorithms on the paper's spectrum.
+//!
+//! The paper positions its §2/§5 algorithms between the work-optimal
+//! sequential/wavefront DPs and Rytter's `O(log² n)` scheme (§1). This
+//! module exposes that whole spectrum behind a single API:
+//!
+//! ```
+//! use pardp_core::prelude::*;
+//!
+//! let dims = vec![30u64, 35, 15, 5, 10, 20, 25];
+//! let problem = FnProblem::new(
+//!     dims.len() - 1,
+//!     |_| 0u64,
+//!     move |i, k, j| dims[i] * dims[k] * dims[j],
+//! );
+//! let solution = Solver::new(Algorithm::Sublinear)
+//!     .options(SolveOptions::default().exec(ExecBackend::Sequential))
+//!     .solve(&problem);
+//! assert_eq!(solution.value(), 15125);
+//! let tree = solution.tree(&problem).unwrap();
+//! assert_eq!(tree.n_leaves(), 6);
+//! ```
+//!
+//! Every algorithm returns the same [`Solution`]: the goal value, the full
+//! `w` table, a [`SolveTrace`] (empty-but-well-formed for the
+//! non-iterative paths), aggregate [`OpStats`], the wall-clock time, and
+//! lazy optimal-tree reconstruction via [`Solution::tree`].
+//!
+//! ## Registry
+//!
+//! [`Algorithm`] doubles as the registry: [`Algorithm::ALL`] enumerates
+//! the spectrum, [`Algorithm::from_str`](str::parse) parses user input
+//! (with an error that lists every valid name), and the capability flags
+//! ([`Algorithm::is_parallel`], [`Algorithm::supports_tile`], …) let
+//! front ends validate knobs without hard-coding per-algorithm tables.
+//!
+//! ## Migration from the per-module entry points
+//!
+//! The free functions remain as thin, stable entry points — the façade
+//! produces bit-identical tables (property-tested in
+//! `crates/core/tests/proptest_facade.rs`):
+//!
+//! | old entry point | façade call |
+//! |---|---|
+//! | `seq::solve_sequential(p)` | `Solver::new(Algorithm::Sequential).solve(p)` |
+//! | `seq::solve_knuth(p)` | `Solver::new(Algorithm::Knuth).solve(p)` |
+//! | `wavefront::solve_wavefront(p, &WavefrontConfig { exec, parallel_threshold })` | `Solver::new(Algorithm::Wavefront).options(SolveOptions::default().exec(exec).wavefront_grain(g)).solve(p)` |
+//! | `sublinear::solve_sublinear(p, &SolverConfig { exec, termination, .. })` | `Solver::new(Algorithm::Sublinear).options(SolveOptions::default().exec(exec).termination(t)).solve(p)` |
+//! | `reduced::solve_reduced(p, &ReducedConfig { band, windowed_pebble, .. })` | `Solver::new(Algorithm::Reduced).options(SolveOptions::default().band(b).windowed_pebble(w)).solve(p)` |
+//! | `rytter::solve_rytter(p, &RytterConfig::default())` | `Solver::new(Algorithm::Rytter).solve(p)` (the exact fixpoint stop stays on; a full-schedule run still needs `RytterConfig` directly) |
+//!
+//! The legacy config structs convert losslessly: [`SolveOptions`] carries
+//! the union of their knobs and [`SolveOptions::sublinear_config`] /
+//! [`SolveOptions::reduced_config`] / [`SolveOptions::rytter_config`] /
+//! [`SolveOptions::wavefront_config`] produce the per-module structs the
+//! façade itself dispatches through.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use crate::exec::ExecBackend;
+use crate::ops::{OpStats, SquareStrategy};
+use crate::problem::DpProblem;
+use crate::reconstruct::{reconstruct_root, ParenTree};
+use crate::reduced::{solve_reduced, ReducedConfig};
+use crate::rytter::{solve_rytter, RytterConfig};
+use crate::seq::{solve_knuth, solve_sequential};
+use crate::sublinear::{solve_sublinear, SolverConfig};
+use crate::tables::WTable;
+use crate::trace::{SolveTrace, Termination};
+use crate::wavefront::{solve_wavefront, WavefrontConfig};
+use crate::weight::Weight;
+
+/// Every solver on the paper's spectrum (§1), slowest-sequential to
+/// most-parallel. The enum is the registry: parse names with
+/// [`str::parse`], enumerate with [`Algorithm::ALL`], and query
+/// capabilities with the `supports_*` / `is_*` flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// The classic `O(n³)` sequential dynamic program \[1\].
+    Sequential,
+    /// The Knuth–Yao `O(n²)` speedup — **only** valid on instances
+    /// satisfying the quadrangle inequality (optimal BSTs, not arbitrary
+    /// matrix chains); the façade runs it as asked and leaves validity to
+    /// the caller, exactly like [`solve_knuth`].
+    Knuth,
+    /// The work-optimal anti-diagonal parallel DP \[10\].
+    Wavefront,
+    /// The paper's §2 algorithm: `O(√n log n)` time, `O(n⁵/log n)`
+    /// processors, dense tables.
+    Sublinear,
+    /// The paper's §5 reduced-processor variant: banded tables and the
+    /// windowed pebble, `O(n³·⁵/log n)` processors.
+    Reduced,
+    /// Rytter's baseline \[8\]: `O(log² n)` time, `O(n⁶/log n)` processors.
+    Rytter,
+}
+
+impl Algorithm {
+    /// The whole spectrum, in the order of the paper's comparison table.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::Sequential,
+        Algorithm::Knuth,
+        Algorithm::Wavefront,
+        Algorithm::Sublinear,
+        Algorithm::Reduced,
+        Algorithm::Rytter,
+    ];
+
+    /// Canonical name — round-trips through [`str::parse`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Sequential => "sequential",
+            Algorithm::Knuth => "knuth",
+            Algorithm::Wavefront => "wavefront",
+            Algorithm::Sublinear => "sublinear",
+            Algorithm::Reduced => "reduced",
+            Algorithm::Rytter => "rytter",
+        }
+    }
+
+    /// Accepted aliases (the canonical name is always accepted too).
+    pub fn aliases(&self) -> &'static [&'static str] {
+        match self {
+            Algorithm::Sequential => &["seq"],
+            Algorithm::Knuth => &[],
+            Algorithm::Wavefront => &["wave"],
+            Algorithm::Sublinear => &["paper"],
+            Algorithm::Reduced => &[],
+            Algorithm::Rytter => &[],
+        }
+    }
+
+    /// One-line description for listings and error messages.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Algorithm::Sequential => "classic O(n^3) sequential DP",
+            Algorithm::Knuth => "Knuth-Yao O(n^2) DP (quadrangle-inequality instances only)",
+            Algorithm::Wavefront => "work-optimal anti-diagonal parallel DP",
+            Algorithm::Sublinear => "the paper's S2 algorithm: O(sqrt(n) log n) time, dense tables",
+            Algorithm::Reduced => "the paper's S5 variant: banded tables + windowed pebble",
+            Algorithm::Rytter => "Rytter's O(log^2 n) full-composition baseline",
+        }
+    }
+
+    /// `time × processors` on the paper's comparison spectrum (§1).
+    pub fn complexity(&self) -> &'static str {
+        match self {
+            Algorithm::Sequential => "O(n^3) x 1",
+            Algorithm::Knuth => "O(n^2) x 1",
+            Algorithm::Wavefront => "O(n) x O(n^2)",
+            Algorithm::Sublinear => "O(sqrt(n) log n) x O(n^5/log n)",
+            Algorithm::Reduced => "O(sqrt(n) log n) x O(n^3.5/log n)",
+            Algorithm::Rytter => "O(log^2 n) x O(n^6/log n)",
+        }
+    }
+
+    /// Whether the algorithm runs data-parallel passes on an
+    /// [`ExecBackend`] (i.e. [`SolveOptions::exec`] has any effect).
+    pub fn is_parallel(&self) -> bool {
+        !matches!(self, Algorithm::Sequential | Algorithm::Knuth)
+    }
+
+    /// Whether the `a-square` kernel selection ([`SolveOptions::square`])
+    /// applies — the algorithms that iterate (activate, square, pebble).
+    pub fn supports_tile(&self) -> bool {
+        self.is_iterative()
+    }
+
+    /// Whether the algorithm iterates the (activate, square, pebble)
+    /// operations and therefore produces a non-empty per-iteration
+    /// [`SolveTrace`] under [`SolveOptions::record_trace`].
+    pub fn is_iterative(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::Sublinear | Algorithm::Reduced | Algorithm::Rytter
+        )
+    }
+
+    /// Whether the stopping rule ([`SolveOptions::termination`]) affects
+    /// the run. The §5 solver is excluded: its window argument relies on
+    /// the fixed `2⌈√n⌉` schedule.
+    pub fn supports_termination(&self) -> bool {
+        matches!(self, Algorithm::Sublinear | Algorithm::Rytter)
+    }
+
+    /// Whether the §5 band-width override ([`SolveOptions::band`]) and
+    /// the windowed-pebble toggle ([`SolveOptions::windowed_pebble`])
+    /// apply.
+    pub fn supports_band(&self) -> bool {
+        matches!(self, Algorithm::Reduced)
+    }
+
+    /// Whether the wavefront fork-join grain
+    /// ([`SolveOptions::wavefront_grain`]) applies.
+    pub fn supports_grain(&self) -> bool {
+        matches!(self, Algorithm::Wavefront)
+    }
+
+    /// Whether convergence-aware scheduling
+    /// ([`SolveOptions::skip_clean_rows`]) applies.
+    pub fn supports_skip(&self) -> bool {
+        matches!(self, Algorithm::Sublinear | Algorithm::Reduced)
+    }
+
+    /// `"name — description"` lines for every algorithm, the body of the
+    /// "unknown algorithm" error and of CLI listings.
+    pub fn listing() -> String {
+        let mut s = String::new();
+        for a in Algorithm::ALL {
+            s.push_str(&format!("  {:<10} — {}\n", a.name(), a.description()));
+        }
+        s
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        for a in Algorithm::ALL {
+            if s == a.name() || a.aliases().contains(&s) {
+                return Ok(a);
+            }
+        }
+        Err(format!(
+            "unknown algorithm '{s}'; valid algorithms:\n{}",
+            Algorithm::listing()
+        ))
+    }
+}
+
+/// Every shared solver knob, in one builder. Each algorithm reads the
+/// subset it understands (see the [`Algorithm`] capability flags) and
+/// ignores the rest, so one `SolveOptions` can drive a sweep across the
+/// whole spectrum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveOptions {
+    /// Execution backend for the data-parallel passes (parallel
+    /// algorithms only).
+    pub exec: ExecBackend,
+    /// `a-square` kernel of the iterative algorithms; every strategy
+    /// produces bit-identical tables.
+    pub square: SquareStrategy,
+    /// Stopping rule for the §2 solver (it honours all three rules).
+    /// The other iterative algorithms keep their own exact defaults:
+    /// Rytter always stops at its fixpoint (running past it is a no-op,
+    /// so the stop is exact — use [`RytterConfig`] directly to force a
+    /// full-schedule run for work accounting), and the §5 solver always
+    /// runs its fixed schedule (its window argument requires it).
+    pub termination: Termination,
+    /// Keep per-iteration records in the trace (iterative algorithms).
+    pub record_trace: bool,
+    /// Convergence-aware scheduling: copy forward square rows / pebble
+    /// pairs whose inputs did not change (§2 dense and §5 banded solvers;
+    /// exact under every configuration).
+    pub skip_clean_rows: bool,
+    /// §5 band-width override; `None` uses the paper's `2⌈√n⌉`.
+    pub band: Option<usize>,
+    /// Apply the §5 size window to the pebble step (the E8 ablation
+    /// point; reduced solver only).
+    pub windowed_pebble: bool,
+    /// Wavefront fork-join grain: diagonals with fewer candidate
+    /// evaluations than this run sequentially.
+    pub wavefront_grain: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            exec: ExecBackend::Parallel,
+            square: SquareStrategy::Auto,
+            termination: Termination::FixedSqrtN,
+            record_trace: false,
+            skip_clean_rows: true,
+            band: None,
+            windowed_pebble: true,
+            wavefront_grain: WavefrontConfig::default().parallel_threshold,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Set the execution backend.
+    pub fn exec(mut self, exec: ExecBackend) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Set the `a-square` kernel.
+    pub fn square(mut self, square: SquareStrategy) -> Self {
+        self.square = square;
+        self
+    }
+
+    /// Set the stopping rule.
+    pub fn termination(mut self, termination: Termination) -> Self {
+        self.termination = termination;
+        self
+    }
+
+    /// Keep per-iteration records in the trace.
+    pub fn record_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// Toggle convergence-aware scheduling.
+    pub fn skip_clean_rows(mut self, skip: bool) -> Self {
+        self.skip_clean_rows = skip;
+        self
+    }
+
+    /// Override the §5 band width (`None` = the paper's `2⌈√n⌉`).
+    pub fn band(mut self, band: Option<usize>) -> Self {
+        self.band = band;
+        self
+    }
+
+    /// Toggle the §5 windowed pebble.
+    pub fn windowed_pebble(mut self, windowed: bool) -> Self {
+        self.windowed_pebble = windowed;
+        self
+    }
+
+    /// Set the wavefront fork-join grain.
+    pub fn wavefront_grain(mut self, grain: usize) -> Self {
+        self.wavefront_grain = grain;
+        self
+    }
+
+    /// The [`SolverConfig`] these options denote for the §2 solver.
+    pub fn sublinear_config(&self) -> SolverConfig {
+        SolverConfig {
+            exec: self.exec,
+            termination: self.termination,
+            record_trace: self.record_trace,
+            square: self.square,
+            skip_clean_rows: self.skip_clean_rows,
+        }
+    }
+
+    /// The [`ReducedConfig`] these options denote for the §5 solver.
+    pub fn reduced_config(&self) -> ReducedConfig {
+        ReducedConfig {
+            exec: self.exec,
+            record_trace: self.record_trace,
+            windowed_pebble: self.windowed_pebble,
+            band: self.band,
+            square: self.square,
+            skip_clean_rows: self.skip_clean_rows,
+        }
+    }
+
+    /// The [`RytterConfig`] these options denote. The fixpoint stop stays
+    /// on — Rytter's legacy default — under every [`Termination`]: the
+    /// stop is exact (iterating past a fixpoint is a no-op), so the rule
+    /// choice cannot change the result. A full-schedule Rytter run (for
+    /// work accounting) needs [`RytterConfig`] directly.
+    pub fn rytter_config(&self) -> RytterConfig {
+        RytterConfig {
+            exec: self.exec,
+            record_trace: self.record_trace,
+            fixpoint_stop: true,
+            square: self.square,
+        }
+    }
+
+    /// The [`WavefrontConfig`] these options denote.
+    pub fn wavefront_config(&self) -> WavefrontConfig {
+        WavefrontConfig {
+            exec: self.exec,
+            parallel_threshold: self.wavefront_grain,
+        }
+    }
+}
+
+/// Result of any solver run: the full `w` table plus uniform diagnostics.
+///
+/// Every [`Algorithm`] produces one of these — the iterative solvers fill
+/// the trace and statistics from their (activate, square, pebble) loops;
+/// the direct solvers (sequential, Knuth, wavefront) attach an
+/// empty-but-well-formed trace ([`SolveTrace::direct`]) so downstream
+/// reporting code needs no per-algorithm cases.
+#[derive(Debug, Clone)]
+pub struct Solution<W> {
+    /// Which algorithm produced this solution.
+    pub algorithm: Algorithm,
+    /// The computed `w'` table; `w.root()` is `c(0, n)`.
+    pub w: WTable<W>,
+    /// Run diagnostics (iteration counts, stop reason, per-iteration
+    /// records when recording was enabled; see [`SolveTrace`]).
+    pub trace: SolveTrace,
+    /// Aggregate operation statistics over the whole run: candidates
+    /// examined, improved-cell stores, and whether anything changed —
+    /// summed across all ops and iterations. Zero for the direct solvers,
+    /// which do not instrument their loops.
+    pub stats: OpStats,
+    /// Wall-clock time of the solve call.
+    pub wall: Duration,
+}
+
+impl<W: Weight> Solution<W> {
+    /// The goal value `c(0, n)`.
+    pub fn value(&self) -> W {
+        self.w.root()
+    }
+
+    /// The solved table.
+    pub fn table(&self) -> &WTable<W> {
+        &self.w
+    }
+
+    /// Reconstruct the optimal parenthesization tree lazily, by walking
+    /// the solved table with [`reconstruct_root`]. The problem is a
+    /// parameter (not captured at solve time) so solutions stay cheap to
+    /// clone and ship across threads.
+    pub fn tree<P: DpProblem<W> + ?Sized>(&self, problem: &P) -> Result<ParenTree, String> {
+        reconstruct_root(problem, &self.w)
+    }
+
+    /// Wrap a bare table from a non-iterative solver in the uniform
+    /// result shape.
+    pub(crate) fn direct(algorithm: Algorithm, w: WTable<W>, wall: Duration) -> Self {
+        let n = w.n();
+        Solution {
+            algorithm,
+            w,
+            trace: SolveTrace::direct(n),
+            stats: OpStats::default(),
+            wall,
+        }
+    }
+}
+
+/// The façade: pick an [`Algorithm`], optionally adjust [`SolveOptions`],
+/// and [`solve`](Solver::solve) any [`DpProblem`].
+///
+/// ```
+/// use pardp_core::prelude::*;
+///
+/// let p = FnProblem::new(3, |_| 0u64, |i, k, j| (i + k + j) as u64);
+/// for algo in Algorithm::ALL {
+///     if algo == Algorithm::Knuth {
+///         continue; // needs the quadrangle inequality
+///     }
+///     let sol = Solver::new(algo)
+///         .options(SolveOptions::default().exec(ExecBackend::Sequential))
+///         .solve(&p);
+///     assert_eq!(sol.value(), Solver::new(Algorithm::Sequential).solve(&p).value());
+/// }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Solver {
+    algorithm: Algorithm,
+    options: SolveOptions,
+}
+
+impl Solver {
+    /// A solver for `algorithm` with [`SolveOptions::default`].
+    pub fn new(algorithm: Algorithm) -> Self {
+        Solver {
+            algorithm,
+            options: SolveOptions::default(),
+        }
+    }
+
+    /// Replace the options wholesale (builder style).
+    pub fn options(mut self, options: SolveOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The selected algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The current options.
+    pub fn solve_options(&self) -> &SolveOptions {
+        &self.options
+    }
+
+    /// Run the selected algorithm on `problem`. Dispatches to the
+    /// per-module entry points, so results are bit-identical to calling
+    /// them directly with the equivalent config.
+    pub fn solve<W: Weight, P: DpProblem<W> + ?Sized>(&self, problem: &P) -> Solution<W> {
+        let opts = &self.options;
+        match self.algorithm {
+            Algorithm::Sequential => {
+                let t0 = Instant::now();
+                let w = solve_sequential(problem);
+                Solution::direct(Algorithm::Sequential, w, t0.elapsed())
+            }
+            Algorithm::Knuth => {
+                let t0 = Instant::now();
+                let w = solve_knuth(problem);
+                Solution::direct(Algorithm::Knuth, w, t0.elapsed())
+            }
+            Algorithm::Wavefront => {
+                let t0 = Instant::now();
+                let w = solve_wavefront(problem, &opts.wavefront_config());
+                Solution::direct(Algorithm::Wavefront, w, t0.elapsed())
+            }
+            Algorithm::Sublinear => solve_sublinear(problem, &opts.sublinear_config()),
+            Algorithm::Reduced => solve_reduced(problem, &opts.reduced_config()),
+            Algorithm::Rytter => solve_rytter(problem, &opts.rytter_config()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnProblem;
+    use crate::trace::StopReason;
+
+    fn clrs() -> impl DpProblem<u64> {
+        let dims = [30u64, 35, 15, 5, 10, 20, 25];
+        FnProblem::new(6, |_| 0u64, move |i, k, j| dims[i] * dims[k] * dims[j])
+    }
+
+    #[test]
+    fn registry_names_round_trip() {
+        for a in Algorithm::ALL {
+            assert_eq!(a.name().parse::<Algorithm>().unwrap(), a);
+            for alias in a.aliases() {
+                assert_eq!(alias.parse::<Algorithm>().unwrap(), a, "{alias}");
+            }
+            assert!(!a.description().is_empty());
+            assert!(!a.complexity().is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_all_algorithms() {
+        let err = "sortof-parallel".parse::<Algorithm>().unwrap_err();
+        for a in Algorithm::ALL {
+            assert!(err.contains(a.name()), "{err}");
+            assert!(err.contains(a.description()), "{err}");
+        }
+    }
+
+    #[test]
+    fn capability_flags_are_consistent() {
+        for a in Algorithm::ALL {
+            // Tiling and scheduling only make sense for the iterating
+            // (activate, square, pebble) algorithms, which are parallel.
+            assert_eq!(a.supports_tile(), a.is_iterative(), "{a}");
+            assert!(!a.supports_tile() || a.is_parallel(), "{a}");
+            assert!(!a.supports_skip() || a.is_iterative(), "{a}");
+            assert!(!a.supports_band() || a.is_iterative(), "{a}");
+            assert!(!a.supports_termination() || a.is_iterative(), "{a}");
+            // The grain is the wavefront's alone.
+            assert_eq!(a.supports_grain(), a == Algorithm::Wavefront, "{a}");
+        }
+        assert_eq!(Algorithm::ALL.len(), 6);
+    }
+
+    #[test]
+    fn all_algorithms_agree_through_the_facade() {
+        let p = clrs();
+        let opts = SolveOptions::default().exec(ExecBackend::Sequential);
+        for algo in Algorithm::ALL {
+            if algo == Algorithm::Knuth {
+                continue; // matrix chains lack the quadrangle inequality
+            }
+            let sol = Solver::new(algo).options(opts).solve(&p);
+            assert_eq!(sol.value(), 15125, "{algo}");
+            assert_eq!(sol.algorithm, algo);
+            let tree = sol.tree(&p).unwrap();
+            assert_eq!(tree.n_leaves(), 6, "{algo}");
+        }
+    }
+
+    #[test]
+    fn direct_solvers_return_well_formed_empty_traces() {
+        let p = clrs();
+        for algo in [
+            Algorithm::Sequential,
+            Algorithm::Knuth,
+            Algorithm::Wavefront,
+        ] {
+            let sol = Solver::new(algo)
+                .options(SolveOptions::default().exec(ExecBackend::Sequential))
+                .solve(&p);
+            assert_eq!(sol.trace.n, 6, "{algo}");
+            assert_eq!(sol.trace.iterations, 0, "{algo}");
+            assert_eq!(sol.trace.stop, StopReason::Direct, "{algo}");
+            assert!(sol.trace.per_iteration.is_empty(), "{algo}");
+            assert_eq!(sol.trace.work_by_op(), (0, 0, 0), "{algo}");
+            assert_eq!(sol.stats, OpStats::default(), "{algo}");
+        }
+    }
+
+    #[test]
+    fn iterative_solvers_fill_stats_and_wall_time() {
+        let p = clrs();
+        for algo in [Algorithm::Sublinear, Algorithm::Reduced, Algorithm::Rytter] {
+            let sol: Solution<u64> = Solver::new(algo)
+                .options(
+                    SolveOptions::default()
+                        .exec(ExecBackend::Sequential)
+                        .record_trace(true),
+                )
+                .solve(&p);
+            assert!(sol.trace.iterations > 0, "{algo}");
+            assert_eq!(sol.stats.candidates, sol.trace.total_candidates, "{algo}");
+            assert!(sol.stats.changed, "{algo}");
+            assert!(sol.stats.writes > 0, "{algo}");
+        }
+    }
+
+    #[test]
+    fn rytter_keeps_its_exact_fixpoint_stop_under_every_termination() {
+        // The stop is exact, and it is Rytter's legacy default — the
+        // façade must not silently trade it for full-schedule work.
+        for term in [
+            Termination::FixedSqrtN,
+            Termination::Fixpoint,
+            Termination::WStableTwice,
+        ] {
+            let opts = SolveOptions::default().termination(term);
+            assert!(opts.rytter_config().fixpoint_stop, "{term:?}");
+        }
+        assert_eq!(
+            SolveOptions::default().rytter_config().fixpoint_stop,
+            RytterConfig::default().fixpoint_stop,
+            "façade default must match the legacy Rytter default"
+        );
+    }
+}

@@ -15,18 +15,27 @@
 //! reference or the work-stealing thread pool); the PRAM costs are
 //! recorded separately by [`crate::pram_exec`].
 
-use crate::ops::{a_activate_dense_tracked, a_pebble_dense_scheduled, a_square_dense_scheduled};
+use crate::ops::{
+    a_activate_dense_tracked, a_pebble_dense_scheduled, a_square_dense_scheduled, OpStats,
+};
 use crate::problem::DpProblem;
+use crate::solver::Algorithm;
 use crate::tables::{DensePw, WTable};
 use crate::trace::{IterationRecord, SolveTrace, StopReason, Termination};
 use crate::weight::Weight;
 
 pub use crate::exec::ExecBackend;
 pub use crate::ops::SquareStrategy;
+pub use crate::solver::Solution;
 
-/// Execution mode for the data-parallel passes. Historical name for
-/// [`ExecBackend`]; `ExecMode::Sequential` and `ExecMode::Parallel`
-/// continue to work, and `ExecMode::Threads(k)` pins the worker count.
+/// Execution mode for the data-parallel passes — the historical name for
+/// [`ExecBackend`], kept only so downstream code compiles while it
+/// migrates. Same variants, same semantics; new code should name
+/// `ExecBackend` directly.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ExecBackend` (the alias predates the pluggable backend API)"
+)]
 pub type ExecMode = ExecBackend;
 
 /// Configuration of [`solve_sublinear`].
@@ -68,28 +77,13 @@ impl Default for SolverConfig {
     }
 }
 
-/// Result of a solver run: the full `w` table plus diagnostics.
-#[derive(Debug, Clone)]
-pub struct Solution<W> {
-    /// The computed `w'` table; `w.root()` is `c(0, n)`.
-    pub w: WTable<W>,
-    /// Run diagnostics.
-    pub trace: SolveTrace,
-}
-
-impl<W: Weight> Solution<W> {
-    /// The goal value `c(0, n)`.
-    pub fn value(&self) -> W {
-        self.w.root()
-    }
-}
-
 /// Solve recurrence (*) with the paper's sublinear algorithm (§2, dense
 /// `O(n^4)`-memory tables).
 pub fn solve_sublinear<W: Weight, P: DpProblem<W> + ?Sized>(
     problem: &P,
     config: &SolverConfig,
 ) -> Solution<W> {
+    let t0 = std::time::Instant::now();
     let n = problem.n();
     let exec = &config.exec;
     let schedule = 2 * pardp_pebble::ceil_sqrt(n as u64);
@@ -113,6 +107,7 @@ pub fn solve_sublinear<W: Weight, P: DpProblem<W> + ?Sized>(
         per_iteration: Vec::new(),
     };
     let mut w_stable_streak = 0u32;
+    let mut stats = OpStats::default();
 
     // Dirty-row scheduling state: which pw rows the previous square
     // changed, which pairs the previous pebble improved, and scratch
@@ -169,6 +164,7 @@ pub fn solve_sublinear<W: Weight, P: DpProblem<W> + ?Sized>(
 
         trace.iterations = iter;
         trace.total_candidates += act.candidates + sq.candidates + pb.candidates;
+        stats = stats.merge(act).merge(sq).merge(pb);
         if config.record_trace {
             trace.per_iteration.push(IterationRecord {
                 iteration: iter,
@@ -201,7 +197,13 @@ pub fn solve_sublinear<W: Weight, P: DpProblem<W> + ?Sized>(
         }
     }
 
-    Solution { w, trace }
+    Solution {
+        algorithm: Algorithm::Sublinear,
+        w,
+        trace,
+        stats,
+        wall: t0.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -219,7 +221,7 @@ mod tests {
 
     fn cfg(term: Termination) -> SolverConfig {
         SolverConfig {
-            exec: ExecMode::Sequential,
+            exec: ExecBackend::Sequential,
             termination: term,
             record_trace: true,
             square: SquareStrategy::Auto,
@@ -268,7 +270,7 @@ mod tests {
         let par = solve_sublinear(
             &p,
             &SolverConfig {
-                exec: ExecMode::Parallel,
+                exec: ExecBackend::Parallel,
                 termination: Termination::FixedSqrtN,
                 record_trace: false,
                 ..Default::default()
@@ -287,10 +289,10 @@ mod tests {
                 let p = chain(dims);
                 let base = solve_sublinear(&p, &cfg(term));
                 for (square, exec) in [
-                    (SquareStrategy::Auto, ExecMode::Sequential),
-                    (SquareStrategy::Naive, ExecMode::Sequential),
-                    (SquareStrategy::Tiled(5), ExecMode::Sequential),
-                    (SquareStrategy::Auto, ExecMode::Threads(4)),
+                    (SquareStrategy::Auto, ExecBackend::Sequential),
+                    (SquareStrategy::Naive, ExecBackend::Sequential),
+                    (SquareStrategy::Tiled(5), ExecBackend::Sequential),
+                    (SquareStrategy::Auto, ExecBackend::Threads(4)),
                 ] {
                     let skipping = solve_sublinear(
                         &p,

@@ -7,7 +7,7 @@
 //!   `(i,j)`, column `(p,q)`. Only *nested* cells (`i <= p < q <= j`) are
 //!   meaningful; all others stay `INFINITY` forever. This layout makes the
 //!   paper's `a-square` a (restricted) min-plus matrix product and
-//!   Rytter's square [8] a full min-plus matrix square over the same
+//!   Rytter's square \[8\] a full min-plus matrix square over the same
 //!   storage.
 //! * [`BandedPw`] holds only the §5 band `(j-i) - (q-p) <= B` with
 //!   `B = 2 ceil(sqrt(n))`: `O(n^3)` memory instead of `O(n^4)`, realizing

@@ -71,6 +71,10 @@ pub enum StopReason {
     Fixpoint,
     /// The §7 heuristic fired (`w'` unchanged two iterations in a row).
     WStable,
+    /// A non-iterative solver (sequential, Knuth, wavefront) ran to
+    /// completion — there is no iteration schedule to speak of. Used by
+    /// the empty-but-well-formed traces of [`SolveTrace::direct`].
+    Direct,
 }
 
 /// Aggregate of a full solver run.
@@ -92,6 +96,22 @@ pub struct SolveTrace {
 }
 
 impl SolveTrace {
+    /// The empty-but-well-formed trace of a non-iterative solver run
+    /// (sequential, Knuth, wavefront): zero iterations, zero schedule,
+    /// [`StopReason::Direct`], no per-iteration records. Lets the
+    /// uniform [`Solution`](crate::solver::Solution) carry one trace
+    /// type for the whole algorithm spectrum.
+    pub fn direct(n: usize) -> Self {
+        SolveTrace {
+            n,
+            iterations: 0,
+            schedule_bound: 0,
+            stop: StopReason::Direct,
+            total_candidates: 0,
+            per_iteration: Vec::new(),
+        }
+    }
+
     /// Work split per operation kind: `(activate, square, pebble)` summed
     /// over iterations. Only available when per-iteration records were
     /// kept.

@@ -1,4 +1,4 @@
-//! The anti-diagonal ("wavefront") parallel algorithm — reference [10].
+//! The anti-diagonal ("wavefront") parallel algorithm — reference \[10\].
 //!
 //! The paper cites two *work-optimal* parallel algorithms: `O(n^2)` time on
 //! `O(n)` processors and `O(n)` time on `O(n^2)` processors. Both process

@@ -1,0 +1,134 @@
+//! The `Solver` façade is a *pure re-routing* of the per-module entry
+//! points: for every [`Algorithm`] × [`ExecBackend`] the façade's table
+//! must be bit-identical to calling the direct function with the
+//! equivalent config — same cells, same iteration counts, same trace
+//! totals. Plus registry invariants: names round-trip, the listing is
+//! complete.
+
+use pardp_core::prelude::*;
+use proptest::prelude::*;
+
+fn chain(dims: &[u64]) -> impl DpProblem<u64> {
+    let dims = dims.to_vec();
+    let n = dims.len() - 1;
+    FnProblem::new(n, |_| 0u64, move |i, k, j| dims[i] * dims[k] * dims[j])
+}
+
+const BACKENDS: [ExecBackend; 3] = [
+    ExecBackend::Sequential,
+    ExecBackend::Parallel,
+    ExecBackend::Threads(3),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    // Façade output == direct entry point output, cell for cell, for
+    // every algorithm and backend. (Knuth's table may be *invalid* on a
+    // non-QI chain, but the façade must reproduce exactly the same
+    // restricted-search table the direct call computes.)
+    #[test]
+    fn facade_is_bit_identical_to_direct_entry_points(
+        dims in proptest::collection::vec(1u64..80, 2..16)
+    ) {
+        let p = chain(&dims);
+        for exec in BACKENDS {
+            let opts = SolveOptions::default()
+                .exec(exec)
+                .termination(Termination::Fixpoint)
+                .record_trace(true);
+
+            for algo in Algorithm::ALL {
+                let facade = Solver::new(algo).options(opts).solve(&p);
+                prop_assert_eq!(facade.algorithm, algo);
+                let direct = match algo {
+                    Algorithm::Sequential => solve_sequential(&p),
+                    Algorithm::Knuth => solve_knuth(&p),
+                    Algorithm::Wavefront => solve_wavefront(&p, &opts.wavefront_config()),
+                    Algorithm::Sublinear => {
+                        let sol = solve_sublinear(&p, &opts.sublinear_config());
+                        prop_assert_eq!(sol.trace.iterations, facade.trace.iterations);
+                        prop_assert_eq!(
+                            sol.trace.total_candidates,
+                            facade.trace.total_candidates
+                        );
+                        sol.w
+                    }
+                    Algorithm::Reduced => {
+                        let sol = solve_reduced(&p, &opts.reduced_config());
+                        prop_assert_eq!(sol.trace.iterations, facade.trace.iterations);
+                        prop_assert_eq!(
+                            sol.trace.total_candidates,
+                            facade.trace.total_candidates
+                        );
+                        sol.w
+                    }
+                    Algorithm::Rytter => {
+                        let sol = solve_rytter(&p, &opts.rytter_config());
+                        prop_assert_eq!(sol.trace.iterations, facade.trace.iterations);
+                        sol.w
+                    }
+                };
+                prop_assert!(
+                    facade.w.table_eq(&direct),
+                    "{algo} on {exec}: façade table differs from the direct entry point"
+                );
+            }
+        }
+    }
+
+    // The façade's uniform diagnostics are internally consistent for
+    // every algorithm: stats aggregate the trace, the wall clock ticks,
+    // and tree() reconstructs a tree of the right size.
+    #[test]
+    fn facade_solutions_are_uniformly_well_formed(
+        dims in proptest::collection::vec(1u64..80, 2..12)
+    ) {
+        let p = chain(&dims);
+        let n = dims.len() - 1;
+        for algo in Algorithm::ALL {
+            if algo == Algorithm::Knuth {
+                continue; // table may be invalid on a non-QI chain
+            }
+            let sol = Solver::new(algo)
+                .options(SolveOptions::default().exec(ExecBackend::Sequential).record_trace(true))
+                .solve(&p);
+            prop_assert_eq!(sol.trace.n, n, "{}", algo);
+            prop_assert_eq!(
+                sol.trace.per_iteration.len() as u64,
+                sol.trace.iterations,
+                "{}", algo
+            );
+            if algo.is_iterative() {
+                prop_assert_eq!(
+                    sol.stats.candidates, sol.trace.total_candidates,
+                    "{}", algo
+                );
+            } else {
+                prop_assert_eq!(sol.stats, OpStats::default(), "{}", algo);
+                prop_assert_eq!(sol.trace.stop, StopReason::Direct, "{}", algo);
+            }
+            let tree = sol.tree(&p).expect("solved table");
+            prop_assert_eq!(tree.n_leaves(), n, "{}", algo);
+        }
+    }
+}
+
+#[test]
+fn registry_round_trips_and_is_complete() {
+    for a in Algorithm::ALL {
+        assert_eq!(a.name().parse::<Algorithm>().unwrap(), a);
+        assert_eq!(a.to_string(), a.name());
+    }
+    // Canonical names are pairwise distinct.
+    let mut names: Vec<_> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), Algorithm::ALL.len());
+    // The listing mentions every name and description.
+    let listing = Algorithm::listing();
+    for a in Algorithm::ALL {
+        assert!(listing.contains(a.name()));
+        assert!(listing.contains(a.description()));
+    }
+}

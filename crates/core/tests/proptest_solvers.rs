@@ -34,15 +34,15 @@ proptest! {
     fn all_parallel_solvers_match_sequential(p in instance_strategy(9)) {
         let oracle = solve_sequential(&p);
         let cfg = SolverConfig {
-            exec: ExecMode::Sequential,
+            exec: ExecBackend::Sequential,
             termination: Termination::FixedSqrtN,
             record_trace: false,
             ..Default::default()
         };
         prop_assert!(solve_sublinear(&p, &cfg).w.table_eq(&oracle));
-        let rcfg = ReducedConfig { exec: ExecMode::Sequential, ..Default::default() };
+        let rcfg = ReducedConfig { exec: ExecBackend::Sequential, ..Default::default() };
         prop_assert!(solve_reduced(&p, &rcfg).w.table_eq(&oracle));
-        let ycfg = RytterConfig { exec: ExecMode::Sequential, ..Default::default() };
+        let ycfg = RytterConfig { exec: ExecBackend::Sequential, ..Default::default() };
         prop_assert!(solve_rytter(&p, &ycfg).w.table_eq(&oracle));
         prop_assert!(solve_wavefront_default(&p).table_eq(&oracle));
     }
@@ -115,14 +115,14 @@ proptest! {
     #[test]
     fn termination_policies_agree(p in instance_strategy(8)) {
         let fixed = solve_sublinear(&p, &SolverConfig {
-            exec: ExecMode::Sequential,
+            exec: ExecBackend::Sequential,
             termination: Termination::FixedSqrtN,
             record_trace: false,
             ..Default::default()
         });
         for term in [Termination::Fixpoint, Termination::WStableTwice] {
             let sol = solve_sublinear(&p, &SolverConfig {
-                exec: ExecMode::Sequential,
+                exec: ExecBackend::Sequential,
                 termination: term,
                 record_trace: false,
                 ..Default::default()

@@ -19,7 +19,7 @@ pub enum SquareRule {
     Modified,
     /// Rytter's original square: jump `cond(x) := cond(cond(x))`
     /// (full pointer doubling, mirroring composition through arbitrary
-    /// intermediate gaps — the O(n^6)-work algorithm of [8]).
+    /// intermediate gaps — the O(n^6)-work algorithm of \[8\]).
     PointerJump,
 }
 

@@ -11,7 +11,7 @@
 //!
 //! The paper's headline processor counts divide by `log n` because `p`
 //! processors can simulate a reduction layer by layer (Brent's theorem)
-//! without changing the asymptotic time; [`Metrics::brent_time`] computes
+//! without changing the asymptotic time; [`Pram::brent_time`](crate::Pram::brent_time) computes
 //! that schedule exactly from the recorded per-layer work.
 
 use serde::{Deserialize, Serialize};

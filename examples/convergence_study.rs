@@ -11,7 +11,7 @@ use sublinear_dp::prelude::*;
 
 fn iterations<P: DpProblem<u64> + ?Sized>(p: &P, term: Termination) -> (u64, u64) {
     let cfg = SolverConfig {
-        exec: ExecMode::Parallel,
+        exec: ExecBackend::Parallel,
         termination: term,
         record_trace: false,
         ..Default::default()

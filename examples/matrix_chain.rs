@@ -26,7 +26,7 @@ fn main() {
 
     // 3. The paper's sublinear algorithm with trace.
     let cfg = SolverConfig {
-        exec: ExecMode::Parallel,
+        exec: ExecBackend::Parallel,
         termination: Termination::Fixpoint,
         record_trace: true,
         ..Default::default()

@@ -21,13 +21,26 @@
 //!
 //! ## Quick start
 //!
+//! All six algorithms (sequential, Knuth, wavefront, the paper's §2 and
+//! §5, Rytter) run through one façade and return the same uniform
+//! `Solution`:
+//!
 //! ```
 //! use sublinear_dp::prelude::*;
 //!
 //! // The CLRS matrix-chain example.
 //! let chain = MatrixChain::new(vec![30, 35, 15, 5, 10, 20, 25]);
-//! let solution = solve_sublinear(&chain, &SolverConfig::default());
+//! let solution = Solver::new(Algorithm::Sublinear).solve(&chain);
 //! assert_eq!(solution.value(), 15125);
+//!
+//! // Same entry point, different point on the paper's spectrum, with
+//! // knobs in one options builder:
+//! let solution = Solver::new(Algorithm::Reduced)
+//!     .options(SolveOptions::default().exec(ExecBackend::Threads(2)))
+//!     .solve(&chain);
+//! assert_eq!(solution.value(), 15125);
+//! let order = solution.tree(&chain).unwrap();
+//! assert_eq!(chain.render(&order), "((A1 (A2 A3)) ((A4 A5) A6))");
 //!
 //! let (cost, order) = chain.optimal_order();
 //! assert_eq!(cost, 15125);

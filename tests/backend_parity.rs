@@ -4,73 +4,55 @@
 //! (`a-square`, `a-pebble`, wavefront diagonals) may not diverge from the
 //! textbook loops by a single cell.
 //!
+//! Every algorithm runs through the [`Solver`] façade: one loop over
+//! [`Algorithm::ALL`] replaces the per-algorithm config dispatch this
+//! test used to hand-roll.
+//!
 //! `Threads(4)` is used rather than `Parallel` so the pool is exercised
 //! even on single-core CI runners.
 
 use proptest::prelude::*;
-use sublinear_dp::core::reconstruct::reconstruct_root;
-use sublinear_dp::core::wavefront::solve_wavefront;
 use sublinear_dp::prelude::*;
 
 const POOL: ExecBackend = ExecBackend::Threads(4);
 
-/// Solve with both backends and assert table + witness parity.
-fn assert_parity<P: DpProblem<u64> + Sync + ?Sized>(
+/// Solve with both backends and assert table + witness parity, for every
+/// algorithm on the spectrum. Knuth is skipped: it is sequential-only
+/// *and* only valid on quadrangle-inequality instances.
+fn assert_parity<P: DpProblem<u64> + ?Sized>(
     p: &P,
     label: &str,
 ) -> Result<(), proptest::test_runner::TestCaseError> {
-    // Sublinear (§2).
-    let cfg = |exec| SolverConfig {
-        exec,
-        termination: Termination::FixedSqrtN,
-        record_trace: false,
-        ..Default::default()
-    };
-    let seq = solve_sublinear(p, &cfg(ExecBackend::Sequential));
-    let par = solve_sublinear(p, &cfg(POOL));
-    prop_assert!(seq.w.table_eq(&par.w), "{label}: sublinear tables diverge");
-    prop_assert_eq!(seq.value(), par.value());
+    // Grain 0 forces the wavefront's parallel path even on tiny
+    // diagonals; the other algorithms ignore it.
+    let opts = |exec| SolveOptions::default().exec(exec).wavefront_grain(0);
+    for algo in Algorithm::ALL {
+        if !algo.is_parallel() {
+            continue;
+        }
+        let seq = Solver::new(algo)
+            .options(opts(ExecBackend::Sequential))
+            .solve(p);
+        let par = Solver::new(algo).options(opts(POOL)).solve(p);
+        prop_assert!(
+            seq.w.table_eq(&par.w),
+            "{label}: {algo} tables diverge across backends"
+        );
+        prop_assert_eq!(seq.value(), par.value());
+        prop_assert_eq!(seq.trace.iterations, par.trace.iterations);
 
-    // Reduced (§5).
-    let rcfg = |exec| ReducedConfig {
-        exec,
-        ..Default::default()
-    };
-    let rseq = solve_reduced(p, &rcfg(ExecBackend::Sequential));
-    let rpar = solve_reduced(p, &rcfg(POOL));
-    prop_assert!(rseq.w.table_eq(&rpar.w), "{label}: reduced tables diverge");
-
-    // Rytter [8].
-    let ycfg = |exec| RytterConfig {
-        exec,
-        ..Default::default()
-    };
-    let yseq = solve_rytter(p, &ycfg(ExecBackend::Sequential));
-    let ypar = solve_rytter(p, &ycfg(POOL));
-    prop_assert!(yseq.w.table_eq(&ypar.w), "{label}: rytter tables diverge");
-
-    // Wavefront, parallel path forced via a zero threshold.
-    let wseq = solve_wavefront(
-        p,
-        &WavefrontConfig {
-            exec: ExecBackend::Sequential,
-            parallel_threshold: 0,
-        },
-    );
-    let wpar = solve_wavefront(
-        p,
-        &WavefrontConfig {
-            exec: POOL,
-            parallel_threshold: 0,
-        },
-    );
-    prop_assert!(wseq.table_eq(&wpar), "{label}: wavefront tables diverge");
-
-    // Reconstructed orders agree (re-derived argmin over equal tables must
-    // pick identical splits).
-    let t_seq = reconstruct_root(p, &seq.w).expect("solved table");
-    let t_par = reconstruct_root(p, &par.w).expect("solved table");
-    prop_assert_eq!(t_seq, t_par, "{}: reconstructed orders diverge", label);
+        // Reconstructed orders agree (re-derived argmin over equal tables
+        // must pick identical splits).
+        let t_seq = seq.tree(p).expect("solved table");
+        let t_par = par.tree(p).expect("solved table");
+        prop_assert_eq!(
+            t_seq,
+            t_par,
+            "{}: {} reconstructed orders diverge",
+            label,
+            algo
+        );
+    }
     Ok(())
 }
 
@@ -110,26 +92,25 @@ proptest! {
     ) {
         // The §5 solver's convergence-aware scheduling (banded square row
         // skipping + persistent pebble dirty bits) and its square kernels
-        // must not move a single w' cell, on any backend.
+        // must not move a single w' cell, on any backend — all driven
+        // through the façade's option builder.
         let windowed = windowed_sel == 1;
         let mc = MatrixChain::new(dims);
-        let base = solve_reduced(&mc, &ReducedConfig {
-            exec: ExecBackend::Sequential,
-            windowed_pebble: windowed,
-            square: SquareStrategy::Naive,
-            skip_clean_rows: false,
-            ..Default::default()
-        });
+        let reduced_opts = SolveOptions::default().windowed_pebble(windowed);
+        let base = Solver::new(Algorithm::Reduced)
+            .options(
+                reduced_opts
+                    .exec(ExecBackend::Sequential)
+                    .square(SquareStrategy::Naive)
+                    .skip_clean_rows(false),
+            )
+            .solve(&mc);
         for exec in [ExecBackend::Sequential, POOL] {
             for square in [SquareStrategy::Naive, SquareStrategy::Auto] {
                 for skip in [false, true] {
-                    let sol = solve_reduced(&mc, &ReducedConfig {
-                        exec,
-                        windowed_pebble: windowed,
-                        square,
-                        skip_clean_rows: skip,
-                        ..Default::default()
-                    });
+                    let sol = Solver::new(Algorithm::Reduced)
+                        .options(reduced_opts.exec(exec).square(square).skip_clean_rows(skip))
+                        .solve(&mc);
                     prop_assert!(
                         sol.w.table_eq(&base.w),
                         "reduced diverges: {exec} {square} skip={skip} windowed={windowed}"
@@ -148,23 +129,21 @@ proptest! {
 #[cfg(not(debug_assertions))]
 #[test]
 fn threads_backend_beats_sequential_on_large_chain() {
-    use std::time::Instant;
     use sublinear_dp::apps::generators;
 
     let n = 2048usize;
     let p = generators::random_chain(n, 100, 20260728);
     let time_with = |exec: ExecBackend| {
-        let cfg = WavefrontConfig {
-            exec,
-            ..Default::default()
-        };
-        // Best of two runs, to shave scheduler noise.
+        // Best of two runs, to shave scheduler noise. The façade's
+        // uniform Solution carries the wall time directly.
         let mut best = f64::INFINITY;
         let mut root = 0u64;
         for _ in 0..2 {
-            let start = Instant::now();
-            root = solve_wavefront(&p, &cfg).root();
-            best = best.min(start.elapsed().as_secs_f64());
+            let sol = Solver::new(Algorithm::Wavefront)
+                .options(SolveOptions::default().exec(exec))
+                .solve(&p);
+            root = sol.value();
+            best = best.min(sol.wall.as_secs_f64());
         }
         (root, best)
     };

@@ -11,7 +11,7 @@ use sublinear_dp::prelude::*;
 
 fn fixpoint_iterations<P: DpProblem<u64> + ?Sized>(p: &P) -> (u64, u64) {
     let cfg = SolverConfig {
-        exec: ExecMode::Parallel,
+        exec: ExecBackend::Parallel,
         termination: Termination::Fixpoint,
         record_trace: false,
         ..Default::default()

@@ -9,20 +9,13 @@ use sublinear_dp::prelude::*;
 
 fn solver_cross_check<P: DpProblem<u64> + ?Sized>(p: &P, label: &str) {
     let oracle = solve_sequential(p);
-    let cfg = SolverConfig {
-        exec: ExecMode::Parallel,
-        termination: Termination::FixedSqrtN,
-        record_trace: false,
-        ..Default::default()
-    };
-    let sub = solve_sublinear(p, &cfg);
-    assert!(sub.w.table_eq(&oracle), "{label}: sublinear");
-    let red = solve_reduced(p, &ReducedConfig::default());
-    assert!(red.w.table_eq(&oracle), "{label}: reduced");
-    let ryt = solve_rytter(p, &RytterConfig::default());
-    assert!(ryt.w.table_eq(&oracle), "{label}: rytter");
-    let wav = solve_wavefront_default(p);
-    assert!(wav.table_eq(&oracle), "{label}: wavefront");
+    for algo in Algorithm::ALL {
+        if !algo.is_parallel() {
+            continue; // the oracle itself / Knuth (QI-only)
+        }
+        let sol = Solver::new(algo).solve(p);
+        assert!(sol.w.table_eq(&oracle), "{label}: {algo}");
+    }
 }
 
 #[test]
@@ -70,16 +63,11 @@ fn facade_prelude_quickstart_compiles_and_runs() {
 fn float_polygon_through_all_solvers() {
     let poly = PointPolygon::regular(18);
     let oracle = solve_sequential(&poly);
-    let cfg = SolverConfig {
-        exec: ExecMode::Parallel,
-        termination: Termination::Fixpoint,
-        record_trace: false,
-        ..Default::default()
-    };
-    let sub = solve_sublinear(&poly, &cfg);
-    assert!(sub.w.table_eq(&oracle));
-    let red = solve_reduced(&poly, &ReducedConfig::default());
-    assert!(red.w.table_eq(&oracle));
+    let opts = SolveOptions::default().termination(Termination::Fixpoint);
+    for algo in [Algorithm::Sublinear, Algorithm::Reduced] {
+        let sol: Solution<f64> = Solver::new(algo).options(opts).solve(&poly);
+        assert!(sol.w.table_eq(&oracle), "{algo}");
+    }
 }
 
 #[test]
@@ -93,7 +81,7 @@ fn termination_policies_never_return_wrong_values() {
             Termination::WStableTwice,
         ] {
             let cfg = SolverConfig {
-                exec: ExecMode::Parallel,
+                exec: ExecBackend::Parallel,
                 termination: term,
                 record_trace: false,
                 ..Default::default()

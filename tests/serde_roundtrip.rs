@@ -11,7 +11,7 @@ use sublinear_dp::prelude::*;
 fn solve_trace_roundtrips_through_json() {
     let p = generators::random_chain(10, 50, 3);
     let cfg = SolverConfig {
-        exec: ExecMode::Sequential,
+        exec: ExecBackend::Sequential,
         termination: Termination::Fixpoint,
         record_trace: true,
         ..Default::default()
