@@ -38,6 +38,44 @@ pub enum Problem {
     Merge(Vec<u64>),
 }
 
+impl Problem {
+    /// Validated chain instance (shared by `solve` parsing and the
+    /// `batch` job reader, so the family rules live in one place).
+    pub fn chain(dims: Vec<u64>) -> Result<Self, CliError> {
+        if dims.len() < 2 {
+            return Err(CliError("chain needs at least two dimensions".into()));
+        }
+        Ok(Problem::Chain(dims))
+    }
+
+    /// Validated OBST instance (`q` must have one more entry than `p`).
+    pub fn obst(p: Vec<u64>, q: Vec<u64>) -> Result<Self, CliError> {
+        if q.len() != p.len() + 1 {
+            return Err(CliError(format!(
+                "q needs exactly {} entries (one more than the key frequencies)",
+                p.len() + 1
+            )));
+        }
+        Ok(Problem::Obst { p, q })
+    }
+
+    /// Validated polygon instance.
+    pub fn polygon(w: Vec<u64>) -> Result<Self, CliError> {
+        if w.len() < 3 {
+            return Err(CliError("polygon needs at least three vertices".into()));
+        }
+        Ok(Problem::Polygon(w))
+    }
+
+    /// Validated merge instance.
+    pub fn merge(l: Vec<u64>) -> Result<Self, CliError> {
+        if l.is_empty() {
+            return Err(CliError("merge needs at least one run length".into()));
+        }
+        Ok(Problem::Merge(l))
+    }
+}
+
 /// The tree shape of a `game` command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Shape {
@@ -70,6 +108,20 @@ pub enum Parsed {
         witness: bool,
         /// Print the per-iteration trace (iterative algorithms only).
         trace: bool,
+    },
+    /// `pardp batch <jobs.jsonl>`
+    Batch {
+        /// Path to the JSONL job file (one problem spec per line).
+        path: String,
+        /// Default algorithm for jobs without an `"algo"` field.
+        algo: Algorithm,
+        /// Backend the batch fans out over (`--backend`, default
+        /// parallel).
+        backend: Option<ExecBackend>,
+        /// Regime threshold override (`--large-cells`): jobs with more
+        /// `w`-table cells than this run on the parallel per-problem
+        /// path.
+        large_cells: Option<usize>,
     },
     /// `pardp game <shape> <n>`
     Game {
@@ -131,6 +183,7 @@ USAGE:
   pardp solve obst --p <p1,..> --q <q0,..> [--algo A] [--backend B] [--tile T] [--witness]
   pardp solve polygon <w0,w1,...>      [--algo A] [--backend B] [--tile T] [--witness]
   pardp solve merge <l0,l1,...>        [--algo A] [--backend B] [--tile T] [--witness]
+  pardp batch <jobs.jsonl>             [--algo A] [--backend B] [--large-cells C]
   pardp game <zigzag|complete|skewed|random> <n> [--rule jump] [--seed S]
   pardp model <n> [--processors P]
   pardp bound <n>
@@ -142,7 +195,18 @@ BACKENDS (--backend): seq | parallel (default) | threads:<k> | <k>
   Selects the execution backend of the parallel solvers ({parallel}):
   single-threaded reference, the work-stealing pool at host size, or the
   pool capped at k workers. A bare number is shorthand for threads:<k>
-  (0 = host size). Rejected for the purely sequential algorithms.
+  and must be at least 1 — write parallel to use every host core.
+  Rejected for the purely sequential algorithms.
+BATCH (pardp batch): solve many instances concurrently over one pool.
+  Each input line is one JSON job:
+    {{\"family\":\"chain\",\"values\":[30,35,15,5,10,20,25]}}
+    {{\"family\":\"obst\",\"values\":[15,10],\"q\":[5,10,5],\"algo\":\"reduced\"}}
+  family: chain | obst | polygon | merge; values: dims / key freqs /
+  vertex weights / run lengths; q: obst dummy frequencies; algo:
+  optional per-job override of --algo. Output is JSONL: one result line
+  per job (in input order) and a final summary line. Jobs with more
+  than --large-cells w-table cells (default {large_cells}) run one at a
+  time on the whole pool; the rest run whole-problem-per-worker.
 TILING (--tile): auto (default) | naive | <t>
   a-square kernel of the iterative solvers ({tile}):
   flat-slice blocked/streamed with an auto-picked or explicit tile edge
@@ -155,6 +219,7 @@ TILING (--tile): auto (default) | naive | <t>
         algos = Algorithm::listing(),
         parallel = parallel_algo_names(),
         tile = tile_algo_names(),
+        large_cells = pardp_core::batch::DEFAULT_LARGE_JOB_CELLS,
     )
 }
 
@@ -245,16 +310,10 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
             }
             let family = rest.remove(0);
             let problem = match family.as_str() {
-                "chain" => {
-                    let dims = parse_list(
-                        rest.first()
-                            .ok_or_else(|| CliError("chain needs dimensions".into()))?,
-                    )?;
-                    if dims.len() < 2 {
-                        return Err(CliError("chain needs at least two dimensions".into()));
-                    }
-                    Problem::Chain(dims)
-                }
+                "chain" => Problem::chain(parse_list(
+                    rest.first()
+                        .ok_or_else(|| CliError("chain needs dimensions".into()))?,
+                )?)?,
                 "obst" => {
                     let p = parse_list(
                         &take_value(&mut rest, "--p")?
@@ -264,31 +323,16 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                         &take_value(&mut rest, "--q")?
                             .ok_or_else(|| CliError("obst needs --q".into()))?,
                     )?;
-                    if q.len() != p.len() + 1 {
-                        return Err(CliError(format!(
-                            "--q needs exactly {} entries (one more than --p)",
-                            p.len() + 1
-                        )));
-                    }
-                    Problem::Obst { p, q }
+                    Problem::obst(p, q)?
                 }
-                "polygon" => {
-                    let w = parse_list(
-                        rest.first()
-                            .ok_or_else(|| CliError("polygon needs weights".into()))?,
-                    )?;
-                    if w.len() < 3 {
-                        return Err(CliError("polygon needs at least three vertices".into()));
-                    }
-                    Problem::Polygon(w)
-                }
-                "merge" => {
-                    let l = parse_list(
-                        rest.first()
-                            .ok_or_else(|| CliError("merge needs run lengths".into()))?,
-                    )?;
-                    Problem::Merge(l)
-                }
+                "polygon" => Problem::polygon(parse_list(
+                    rest.first()
+                        .ok_or_else(|| CliError("polygon needs weights".into()))?,
+                )?)?,
+                "merge" => Problem::merge(parse_list(
+                    rest.first()
+                        .ok_or_else(|| CliError("merge needs run lengths".into()))?,
+                )?)?,
                 other => return Err(CliError(format!("unknown problem family '{other}'"))),
             };
             Ok(Parsed::Solve {
@@ -298,6 +342,33 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 tile,
                 witness,
                 trace,
+            })
+        }
+        "batch" => {
+            let algo = match take_value(&mut rest, "--algo")? {
+                Some(s) => s.parse::<Algorithm>().map_err(CliError)?,
+                None => Algorithm::Sublinear,
+            };
+            let backend = match take_value(&mut rest, "--backend")? {
+                Some(s) => Some(s.parse::<ExecBackend>().map_err(CliError)?),
+                None => None,
+            };
+            let large_cells = match take_value(&mut rest, "--large-cells")? {
+                Some(s) => Some(s.parse::<usize>().map_err(|_| {
+                    CliError(format!("bad --large-cells '{s}' (expected a cell count)"))
+                })?),
+                None => None,
+            };
+            if rest.is_empty() {
+                return Err(CliError(
+                    "batch needs a JSONL job file (one problem per line)".into(),
+                ));
+            }
+            Ok(Parsed::Batch {
+                path: rest.remove(0),
+                algo,
+                backend,
+                large_cells,
             })
         }
         "game" => {
@@ -416,6 +487,46 @@ mod tests {
         assert!(err.0.contains("missing a worker count"), "{err}");
         let err = parse(&argv("solve --backend threads:lots chain 2,3,4")).unwrap_err();
         assert!(err.0.contains("bad worker count 'lots'"), "{err}");
+        // `--backend 0` / `threads:0` used to silently mean "all host
+        // cores"; they are rejected with a pointer at `parallel` now.
+        for spec in ["0", "threads:0"] {
+            let err = parse(&argv(&format!("solve --backend {spec} chain 2,3,4"))).unwrap_err();
+            assert!(err.0.contains("zero workers"), "{spec}: {err}");
+            assert!(err.0.contains("parallel"), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_batch_command() {
+        let p = parse(&argv("batch jobs.jsonl")).unwrap();
+        assert_eq!(
+            p,
+            Parsed::Batch {
+                path: "jobs.jsonl".into(),
+                algo: Algorithm::Sublinear,
+                backend: None,
+                large_cells: None,
+            }
+        );
+        let p = parse(&argv(
+            "batch --algo reduced --backend threads:2 --large-cells 50 jobs.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(
+            p,
+            Parsed::Batch {
+                path: "jobs.jsonl".into(),
+                algo: Algorithm::Reduced,
+                backend: Some(ExecBackend::Threads(2)),
+                large_cells: Some(50),
+            }
+        );
+        let err = parse(&argv("batch")).unwrap_err();
+        assert!(err.0.contains("JSONL"), "{err}");
+        let err = parse(&argv("batch --large-cells many jobs.jsonl")).unwrap_err();
+        assert!(err.0.contains("--large-cells"), "{err}");
+        let err = parse(&argv("batch --backend 0 jobs.jsonl")).unwrap_err();
+        assert!(err.0.contains("zero workers"), "{err}");
     }
 
     #[test]

@@ -18,6 +18,12 @@ use crate::args::{usage, CliError, Parsed, Problem, Shape};
 pub fn execute(parsed: &Parsed) -> Result<String, CliError> {
     match parsed {
         Parsed::Help => Ok(usage()),
+        Parsed::Batch {
+            path,
+            algo,
+            backend,
+            large_cells,
+        } => run_batch(path, *algo, *backend, *large_cells),
         Parsed::Bound { n } => {
             let b = pardp_core::schedule_bound(*n);
             Ok(format!(
@@ -161,6 +167,190 @@ fn run_solve(
             Ok(s)
         }
     }
+}
+
+/// One parsed line of a batch job file.
+struct JobSpec {
+    family: String,
+    values: Vec<u64>,
+    q: Option<Vec<u64>>,
+    algo: Option<String>,
+}
+
+impl serde::Deserialize for JobSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let opt = |name: &str| -> Result<Option<Vec<u64>>, serde::DeError> {
+            match v.get(name) {
+                None | Some(serde::Value::Null) => Ok(None),
+                Some(inner) => serde::Deserialize::from_value(inner).map(Some),
+            }
+        };
+        let opt_str = |name: &str| -> Result<Option<String>, serde::DeError> {
+            match v.get(name) {
+                None | Some(serde::Value::Null) => Ok(None),
+                Some(inner) => serde::Deserialize::from_value(inner).map(Some),
+            }
+        };
+        Ok(JobSpec {
+            family: serde::field(v, "family")?,
+            values: serde::field(v, "values")?,
+            q: opt("q")?,
+            algo: opt_str("algo")?,
+        })
+    }
+}
+
+/// One JSONL output line of `pardp batch` (emitted in job order).
+#[derive(serde::Serialize)]
+struct BatchRecord {
+    job: usize,
+    family: String,
+    n: usize,
+    algo: String,
+    value: u64,
+    iterations: u64,
+    regime: String,
+    wall_seconds: f64,
+}
+
+/// The trailing summary line of `pardp batch`.
+#[derive(serde::Serialize)]
+struct BatchSummary {
+    jobs: usize,
+    small_jobs: usize,
+    large_jobs: usize,
+    backend: String,
+    wall_seconds: f64,
+    throughput: f64,
+    candidates: u64,
+    writes: u64,
+}
+
+/// Resolve a job spec to a validated [`Problem`] through the same
+/// constructors the `solve` parser uses, so the family rules live in
+/// `args.rs` only.
+fn job_problem(spec: &JobSpec) -> Result<Problem, CliError> {
+    match spec.family.as_str() {
+        "chain" => Problem::chain(spec.values.clone()),
+        "obst" => {
+            let q = spec.q.clone().ok_or_else(|| {
+                CliError("obst needs a \"q\" field (dummy frequencies)".to_string())
+            })?;
+            Problem::obst(spec.values.clone(), q)
+        }
+        "polygon" => Problem::polygon(spec.values.clone()),
+        "merge" => Problem::merge(spec.values.clone()),
+        other => Err(CliError(format!(
+            "unknown problem family '{other}' (expected chain | obst | polygon | merge)"
+        ))),
+    }
+}
+
+/// Build the solvable instance of a validated [`Problem`].
+fn instantiate(problem: &Problem) -> Box<dyn DpProblem<u64>> {
+    match problem {
+        Problem::Chain(dims) => Box::new(MatrixChain::new(dims.clone())),
+        Problem::Obst { p, q } => Box::new(OptimalBst::new(p.clone(), q.clone())),
+        Problem::Polygon(w) => Box::new(WeightedPolygon::new(w.clone())),
+        Problem::Merge(l) => Box::new(MergeOrder::new(l.clone())),
+    }
+}
+
+/// `pardp batch`: read JSONL job specs, solve them concurrently through
+/// [`BatchSolver`], emit one JSONL result line per job plus a summary.
+fn run_batch(
+    path: &str,
+    default_algo: Algorithm,
+    backend: Option<ExecBackend>,
+    large_cells: Option<usize>,
+) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read job file '{path}': {e}")))?;
+    let mut specs: Vec<JobSpec> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let spec: JobSpec = serde_json::from_str(line)
+            .map_err(|e| CliError(format!("{path} line {}: {e}", lineno + 1)))?;
+        specs.push(spec);
+    }
+
+    let mut problems: Vec<Box<dyn DpProblem<u64>>> = Vec::with_capacity(specs.len());
+    let mut algos: Vec<Algorithm> = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let problem = job_problem(spec).map_err(|e| CliError(format!("{path} job {i}: {e}")))?;
+        problems.push(instantiate(&problem));
+        let algo = match &spec.algo {
+            Some(name) => name
+                .parse::<Algorithm>()
+                .map_err(|e| CliError(format!("{path} job {i}: {e}")))?,
+            None => default_algo,
+        };
+        algos.push(algo);
+    }
+
+    let opts = SolveOptions::default().termination(Termination::Fixpoint);
+    let jobs: Vec<BatchJob<'_, u64>> = problems
+        .iter()
+        .zip(&algos)
+        .map(|(p, &algo)| BatchJob::new(p.as_ref()).algorithm(algo).options(opts))
+        .collect();
+
+    let mut solver = BatchSolver::new();
+    if let Some(b) = backend {
+        solver = solver.exec(b);
+    }
+    if let Some(c) = large_cells {
+        solver = solver.large_job_cells(c);
+    }
+    let report = solver.solve_batch(&jobs);
+
+    // The Knuth-Yao speedup is only valid on quadrangle-inequality
+    // instances; guard batch users exactly like the `solve` path does.
+    for r in &report.results {
+        if r.solution.algorithm == Algorithm::Knuth
+            && !r
+                .solution
+                .w
+                .table_eq(&solve_sequential(problems[r.job].as_ref()))
+        {
+            return Err(CliError(format!(
+                "{path} job {}: knuth speedup disagrees with the full DP — \
+                 instance lacks the quadrangle inequality; use \"algo\":\"seq\"",
+                r.job
+            )));
+        }
+    }
+
+    let mut out = String::new();
+    for (r, spec) in report.results.iter().zip(&specs) {
+        let record = BatchRecord {
+            job: r.job,
+            family: spec.family.clone(),
+            n: r.solution.trace.n,
+            algo: r.solution.algorithm.name().to_string(),
+            value: r.solution.value(),
+            iterations: r.solution.trace.iterations,
+            regime: if r.large { "large" } else { "small" }.to_string(),
+            wall_seconds: r.wall().as_secs_f64(),
+        };
+        out.push_str(&serde_json::to_string(&record).map_err(|e| CliError(e.to_string()))?);
+        out.push('\n');
+    }
+    let summary = BatchSummary {
+        jobs: report.results.len(),
+        small_jobs: report.small_jobs,
+        large_jobs: report.large_jobs,
+        backend: solver.backend().to_string(),
+        wall_seconds: report.wall.as_secs_f64(),
+        throughput: report.throughput,
+        candidates: report.stats.candidates,
+        writes: report.stats.writes,
+    };
+    out.push_str(&serde_json::to_string(&summary).map_err(|e| CliError(e.to_string()))?);
+    out.push('\n');
+    Ok(out)
 }
 
 /// Append the per-iteration op counters of a solve trace (used by the
@@ -347,5 +537,120 @@ mod tests {
     fn help_contains_usage() {
         let out = run_line("help").unwrap();
         assert!(out.contains("USAGE"));
+        assert!(out.contains("pardp batch"));
+        assert!(out.contains("--large-cells"));
+    }
+
+    /// Write a temp JSONL job file and return its path.
+    fn temp_jobs(name: &str, lines: &str) -> String {
+        let path = std::env::temp_dir().join(format!(
+            "pardp-cli-test-{name}-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::write(&path, lines).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn batch_solves_jsonl_jobs_and_emits_jsonl() {
+        let path = temp_jobs(
+            "mixed",
+            "{\"family\":\"chain\",\"values\":[30,35,15,5,10,20,25]}\n\
+             \n\
+             {\"family\":\"obst\",\"values\":[15,10,5,10,20],\"q\":[5,10,5,5,5,10],\"algo\":\"reduced\"}\n\
+             {\"family\":\"merge\",\"values\":[10,20,30],\"algo\":\"wavefront\"}\n",
+        );
+        let out = run_line(&format!("batch {path}")).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "3 jobs + summary: {out}");
+        assert!(lines[0].contains("\"value\":15125"), "{out}");
+        assert!(lines[0].contains("\"algo\":\"sublinear\""), "{out}");
+        assert!(lines[1].contains("\"value\":275"), "{out}");
+        assert!(lines[1].contains("\"algo\":\"reduced\""), "{out}");
+        assert!(lines[2].contains("\"value\":90"), "{out}");
+        assert!(lines[3].contains("\"jobs\":3"), "{out}");
+        assert!(lines[3].contains("\"throughput\""), "{out}");
+    }
+
+    #[test]
+    fn batch_matches_solve_per_job_on_every_backend() {
+        let path = temp_jobs(
+            "backends",
+            "{\"family\":\"chain\",\"values\":[30,35,15,5,10,20,25]}\n\
+             {\"family\":\"polygon\",\"values\":[1,10,1,10]}\n",
+        );
+        for backend in ["seq", "parallel", "threads:2"] {
+            let out = run_line(&format!("batch --backend {backend} {path}")).unwrap();
+            assert!(out.contains("\"value\":15125"), "{backend}: {out}");
+            assert!(out.contains("\"value\":20"), "{backend}: {out}");
+        }
+        // Forcing the parallel per-problem regime changes no value.
+        let out = run_line(&format!("batch --large-cells 0 {path}")).unwrap();
+        assert!(out.contains("\"regime\":\"large\""), "{out}");
+        assert!(out.contains("\"value\":15125"), "{out}");
+        assert!(out.contains("\"large_jobs\":2"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batch_errors_name_the_offending_line() {
+        let path = temp_jobs("bad-json", "{\"family\":\"chain\"\n");
+        let err = run_line(&format!("batch {path}")).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.0.contains("line 1"), "{err}");
+
+        let path = temp_jobs("bad-family", "{\"family\":\"knapsack\",\"values\":[1,2]}\n");
+        let err = run_line(&format!("batch {path}")).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.0.contains("unknown problem family"), "{err}");
+
+        let path = temp_jobs("bad-obst", "{\"family\":\"obst\",\"values\":[1,2]}\n");
+        let err = run_line(&format!("batch {path}")).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.0.contains("\"q\" field"), "{err}");
+
+        let path = temp_jobs(
+            "bad-obst-arity",
+            "{\"family\":\"obst\",\"values\":[1,2],\"q\":[1,2]}\n",
+        );
+        let err = run_line(&format!("batch {path}")).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.0.contains("q needs exactly 3"), "{err}");
+
+        let err = run_line("batch /nonexistent/jobs.jsonl").unwrap_err();
+        assert!(err.0.contains("cannot read job file"), "{err}");
+
+        // A bad per-job algo override names the file and job, like every
+        // other per-job error.
+        let path = temp_jobs(
+            "bad-algo",
+            "{\"family\":\"chain\",\"values\":[2,3,4]}\n\
+             {\"family\":\"chain\",\"values\":[2,3,4],\"algo\":\"reducedd\"}\n",
+        );
+        let err = run_line(&format!("batch {path}")).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.0.contains("job 1"), "{err}");
+        assert!(err.0.contains("unknown algorithm"), "{err}");
+    }
+
+    #[test]
+    fn batch_guards_knuth_like_the_solve_path() {
+        // This crafted chain provably lacks the quadrangle inequality
+        // (same instance as the solve-path guard test); batch must not
+        // silently emit Knuth's wrong value for it.
+        let path = temp_jobs(
+            "knuth",
+            "{\"family\":\"chain\",\"values\":[10,1,10,1,10,1,10],\"algo\":\"knuth\"}\n",
+        );
+        let r = run_line(&format!("batch {path}"));
+        std::fs::remove_file(&path).ok();
+        match r {
+            Ok(out) => assert!(out.contains("\"algo\":\"knuth\""), "{out}"),
+            Err(e) => {
+                assert!(e.0.contains("quadrangle"), "{e}");
+                assert!(e.0.contains("job 0"), "{e}");
+            }
+        }
     }
 }

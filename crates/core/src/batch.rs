@@ -1,0 +1,438 @@
+//! Batch solving: many recurrence-(*) instances over one shared pool.
+//!
+//! PR 4 unified the whole algorithm spectrum behind the [`Solver`]
+//! façade; this module adds the throughput layer on top of it. A
+//! [`BatchSolver`] takes a set of jobs — heterogeneous problem sizes,
+//! one [`Algorithm`] + [`SolveOptions`] per job or a shared default —
+//! and solves them concurrently over the existing work-stealing pool,
+//! returning one [`BatchResult`] per job (in submission order) plus
+//! aggregate statistics and throughput in a [`BatchReport`].
+//!
+//! ## The two scheduling regimes
+//!
+//! Batch (inter-problem) and solver (intra-problem) parallelism compose
+//! multiplicatively if applied naively: `k` workers each running a
+//! solver that itself fans out over `k` workers wants `k²` threads. The
+//! batch scheduler instead classifies every job by its `w`-table cell
+//! count `n(n+1)/2` against [`BatchSolver::large_job_cells`]:
+//!
+//! * **Small jobs** (cells ≤ threshold) run *whole-problem-per-worker*:
+//!   the job list is fanned out over the pool and each job is solved
+//!   with its intra-problem backend forced to
+//!   [`ExecBackend::Sequential`]. All parallelism is across problems —
+//!   the pipelined-instance regime, where per-problem latency is traded
+//!   for batch throughput.
+//! * **Large jobs** (cells > threshold) fall back to the *parallel
+//!   per-problem* path: they run one at a time on the submitting
+//!   thread, each keeping its configured intra-problem backend (capped
+//!   at the batch pool width), so the whole pool accelerates one big
+//!   table at a time.
+//!
+//! **Oversubscription rule:** the two regimes never overlap in time,
+//! and neither multiplies inner × outer parallelism — the large-job
+//! phase runs one full-pool solve at a time, the small-job phase runs
+//! at most one sequential solve per worker — so the batch never has
+//! more than `exec.effective_threads()` runnable solver threads.
+//!
+//! Every solver is deterministic across backends (property-tested in
+//! `tests/backend_parity.rs`), so forcing a small job's backend to
+//! `Sequential` cannot change its result: batch output is bit-identical
+//! to a sequential loop of [`Solver::solve`] with the same per-job
+//! options (property-tested in `crates/core/tests/proptest_batch.rs`).
+//!
+//! ```
+//! use pardp_core::prelude::*;
+//!
+//! let chains: Vec<Vec<u64>> = vec![
+//!     vec![30, 35, 15, 5, 10, 20, 25],
+//!     vec![5, 10, 3, 12, 5],
+//! ];
+//! let problems: Vec<_> = chains
+//!     .into_iter()
+//!     .map(|dims| {
+//!         let n = dims.len() - 1;
+//!         FnProblem::new(n, |_| 0u64, move |i, k, j| dims[i] * dims[k] * dims[j])
+//!     })
+//!     .collect();
+//! let jobs: Vec<BatchJob<'_, u64>> = problems
+//!     .iter()
+//!     .map(|p| BatchJob::new(p).algorithm(Algorithm::Sublinear))
+//!     .collect();
+//! let report = BatchSolver::new().solve_batch(&jobs);
+//! assert_eq!(report.results.len(), 2);
+//! assert_eq!(report.results[0].solution.value(), 15125);
+//! assert!(report.throughput > 0.0);
+//! ```
+
+use std::time::{Duration, Instant};
+
+use crate::exec::ExecBackend;
+use crate::ops::OpStats;
+use crate::problem::DpProblem;
+use crate::solver::{Algorithm, Solution, SolveOptions, Solver};
+use crate::weight::Weight;
+
+/// One problem in a batch: the instance plus the algorithm and options
+/// to solve it with. Jobs borrow their problems, so one problem can
+/// back several jobs (e.g. an algorithm sweep) without copies.
+#[derive(Clone, Copy)]
+pub struct BatchJob<'p, W> {
+    /// The instance to solve.
+    pub problem: &'p dyn DpProblem<W>,
+    /// The algorithm for this job.
+    pub algorithm: Algorithm,
+    /// The solve options for this job. `options.exec` is the job's
+    /// *intra-problem* backend preference; the batch scheduler may
+    /// override it per the regime rules (see the module docs).
+    pub options: SolveOptions,
+}
+
+impl<'p, W: Weight> BatchJob<'p, W> {
+    /// A job for `problem` with the default algorithm
+    /// ([`Algorithm::Sublinear`]) and [`SolveOptions::default`].
+    pub fn new(problem: &'p dyn DpProblem<W>) -> Self {
+        BatchJob {
+            problem,
+            algorithm: Algorithm::Sublinear,
+            options: SolveOptions::default(),
+        }
+    }
+
+    /// Set the algorithm (builder style).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Set the options (builder style).
+    pub fn options(mut self, options: SolveOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The job's `w`-table cell count `n(n+1)/2` — the size measure the
+    /// scheduler classifies jobs by.
+    pub fn cells(&self) -> usize {
+        let n = self.problem.n();
+        n * (n + 1) / 2
+    }
+}
+
+impl<W> std::fmt::Debug for BatchJob<'_, W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchJob")
+            .field("algorithm", &self.algorithm)
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The outcome of one job of a batch.
+#[derive(Debug, Clone)]
+pub struct BatchResult<W> {
+    /// Index of the job in the submitted batch (results are returned in
+    /// submission order, so this equals the result's position; it is
+    /// carried explicitly so results stay self-describing when filtered
+    /// or re-sorted downstream).
+    pub job: usize,
+    /// The full uniform solution, exactly as [`Solver::solve`] returns.
+    pub solution: Solution<W>,
+    /// Whether the job ran under the parallel per-problem regime
+    /// (`true`) or whole-problem-per-worker (`false`).
+    pub large: bool,
+}
+
+impl<W> BatchResult<W> {
+    /// Wall-clock time of this job alone — the façade-measured
+    /// [`Solution::wall`], stamped on whichever worker ran the job.
+    /// Under the small-job regime jobs run concurrently, so these do
+    /// **not** sum to the batch wall time.
+    pub fn wall(&self) -> Duration {
+        self.solution.wall
+    }
+}
+
+/// The outcome of a whole batch: per-job results in submission order
+/// plus aggregate diagnostics.
+#[derive(Debug, Clone)]
+pub struct BatchReport<W> {
+    /// One result per job, in submission order.
+    pub results: Vec<BatchResult<W>>,
+    /// Wall-clock time of the whole batch (both phases).
+    pub wall: Duration,
+    /// Aggregate operation statistics over every job (zero contribution
+    /// from the direct algorithms, which do not instrument their loops).
+    pub stats: OpStats,
+    /// Jobs solved per second of batch wall time (`0.0` for an empty
+    /// batch).
+    pub throughput: f64,
+    /// How many jobs ran whole-problem-per-worker.
+    pub small_jobs: usize,
+    /// How many jobs ran on the parallel per-problem path.
+    pub large_jobs: usize,
+}
+
+/// Solve many problems concurrently over the shared work-stealing pool.
+///
+/// See the module docs for the scheduling regimes. The builder knobs:
+///
+/// * [`exec`](Self::exec) — the pool the batch fans out over
+///   ([`ExecBackend::Parallel`] by default). `Sequential` degrades to a
+///   plain loop (still respecting the per-job regime classification).
+/// * [`large_job_cells`](Self::large_job_cells) — the cell-count
+///   threshold separating the regimes. `usize::MAX` forces everything
+///   through the pipelined small-job path; `0` forces everything
+///   through the parallel per-problem path.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSolver {
+    exec: ExecBackend,
+    large_job_cells: usize,
+}
+
+/// Default regime threshold: jobs with more `w`-table cells than this
+/// (n ≳ 128) get the whole pool to themselves. Below it, a problem's
+/// parallel passes are too short to amortise fan-out overhead, and
+/// running whole problems per worker wins.
+pub const DEFAULT_LARGE_JOB_CELLS: usize = 128 * 129 / 2;
+
+impl Default for BatchSolver {
+    fn default() -> Self {
+        BatchSolver {
+            exec: ExecBackend::Parallel,
+            large_job_cells: DEFAULT_LARGE_JOB_CELLS,
+        }
+    }
+}
+
+impl BatchSolver {
+    /// A batch solver over the host-sized pool with the default regime
+    /// threshold ([`DEFAULT_LARGE_JOB_CELLS`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the backend the batch fans out over.
+    pub fn exec(mut self, exec: ExecBackend) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Set the cell-count threshold above which a job runs on the
+    /// parallel per-problem path.
+    pub fn large_job_cells(mut self, cells: usize) -> Self {
+        self.large_job_cells = cells;
+        self
+    }
+
+    /// The backend the batch fans out over (for reporting — front ends
+    /// should not restate the default).
+    pub fn backend(&self) -> ExecBackend {
+        self.exec
+    }
+
+    /// The configured regime threshold in `w`-table cells.
+    pub fn threshold(&self) -> usize {
+        self.large_job_cells
+    }
+
+    /// Solve every job, returning per-job results in submission order
+    /// plus aggregate statistics. Output is bit-identical to a
+    /// sequential loop of [`Solver::solve`] over the same jobs.
+    pub fn solve_batch<W: Weight>(&self, jobs: &[BatchJob<'_, W>]) -> BatchReport<W> {
+        let t0 = Instant::now();
+        let workers = self.exec.effective_threads();
+        let large: Vec<usize> = (0..jobs.len())
+            .filter(|&i| jobs[i].cells() > self.large_job_cells)
+            .collect();
+        let small: Vec<usize> = (0..jobs.len())
+            .filter(|&i| jobs[i].cells() <= self.large_job_cells)
+            .collect();
+
+        let mut slots: Vec<Option<BatchResult<W>>> = (0..jobs.len()).map(|_| None).collect();
+
+        // Phase 1 — parallel per-problem: each large job gets the whole
+        // pool, one at a time, with its own backend capped at the
+        // batch's width.
+        for &i in &large {
+            let job = &jobs[i];
+            let opts = job.options.exec(job.options.exec.capped(workers));
+            let solution = Solver::new(job.algorithm).options(opts).solve(job.problem);
+            slots[i] = Some(BatchResult {
+                job: i,
+                solution,
+                large: true,
+            });
+        }
+
+        // Phase 2 — whole-problem-per-worker: fan the small jobs over
+        // the pool, each solved single-threaded so inner × outer
+        // parallelism never multiplies.
+        let small_results = self.exec.map_collect(small.len(), |s| {
+            let i = small[s];
+            let job = &jobs[i];
+            let opts = job.options.exec(ExecBackend::Sequential);
+            let solution = Solver::new(job.algorithm).options(opts).solve(job.problem);
+            BatchResult {
+                job: i,
+                solution,
+                large: false,
+            }
+        });
+        for r in small_results {
+            let job = r.job;
+            slots[job] = Some(r);
+        }
+
+        let results: Vec<BatchResult<W>> = slots
+            .into_iter()
+            .map(|r| r.expect("every job is classified into exactly one regime"))
+            .collect();
+        let stats = results
+            .iter()
+            .fold(OpStats::default(), |acc, r| acc.merge(r.solution.stats));
+        let wall = t0.elapsed();
+        let throughput = if results.is_empty() {
+            0.0
+        } else {
+            results.len() as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE)
+        };
+        BatchReport {
+            results,
+            wall,
+            stats,
+            throughput,
+            small_jobs: small.len(),
+            large_jobs: large.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnProblem;
+
+    fn chain(dims: Vec<u64>) -> impl DpProblem<u64> {
+        let n = dims.len() - 1;
+        FnProblem::new(n, |_| 0u64, move |i, k, j| dims[i] * dims[k] * dims[j])
+    }
+
+    fn chains() -> Vec<Box<dyn DpProblem<u64>>> {
+        vec![
+            Box::new(chain(vec![30, 35, 15, 5, 10, 20, 25])),
+            Box::new(chain(vec![5, 10, 3])),
+            Box::new(chain(vec![2, 7, 3, 9, 4, 8, 5, 6])),
+        ]
+    }
+
+    #[test]
+    fn batch_matches_sequential_loop() {
+        let problems = chains();
+        let jobs: Vec<BatchJob<'_, u64>> = problems
+            .iter()
+            .zip([
+                Algorithm::Sublinear,
+                Algorithm::Sequential,
+                Algorithm::Reduced,
+            ])
+            .map(|(p, a)| BatchJob::new(p.as_ref()).algorithm(a))
+            .collect();
+        for exec in [
+            ExecBackend::Sequential,
+            ExecBackend::Parallel,
+            ExecBackend::Threads(2),
+        ] {
+            let report = BatchSolver::new().exec(exec).solve_batch(&jobs);
+            assert_eq!(report.results.len(), jobs.len());
+            assert_eq!(report.small_jobs, 3);
+            assert_eq!(report.large_jobs, 0);
+            for (i, (r, job)) in report.results.iter().zip(&jobs).enumerate() {
+                assert_eq!(r.job, i);
+                assert!(!r.large);
+                let loop_sol = Solver::new(job.algorithm)
+                    .options(job.options)
+                    .solve(job.problem);
+                assert_eq!(r.solution.value(), loop_sol.value(), "{exec} job {i}");
+                assert!(r.solution.w.table_eq(&loop_sol.w), "{exec} job {i}");
+                assert_eq!(
+                    r.solution.trace.iterations, loop_sol.trace.iterations,
+                    "{exec} job {i}"
+                );
+                assert_eq!(r.solution.stats, loop_sol.stats, "{exec} job {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_routes_jobs_between_regimes() {
+        let problems = chains(); // n = 6, 2, 7 → cells = 21, 3, 28
+        let jobs: Vec<BatchJob<'_, u64>> =
+            problems.iter().map(|p| BatchJob::new(p.as_ref())).collect();
+        let report = BatchSolver::new().large_job_cells(21).solve_batch(&jobs);
+        assert_eq!(report.small_jobs, 2);
+        assert_eq!(report.large_jobs, 1);
+        assert!(report.results[2].large);
+        assert!(!report.results[0].large && !report.results[1].large);
+        // Regime routing cannot change any value.
+        let all_large = BatchSolver::new().large_job_cells(0).solve_batch(&jobs);
+        let all_small = BatchSolver::new()
+            .large_job_cells(usize::MAX)
+            .solve_batch(&jobs);
+        assert_eq!(all_large.small_jobs, 0);
+        assert_eq!(all_small.large_jobs, 0);
+        for i in 0..jobs.len() {
+            assert_eq!(
+                report.results[i].solution.value(),
+                all_large.results[i].solution.value()
+            );
+            assert!(report.results[i]
+                .solution
+                .w
+                .table_eq(&all_small.results[i].solution.w));
+        }
+    }
+
+    #[test]
+    fn aggregate_stats_sum_per_job_stats() {
+        let problems = chains();
+        let jobs: Vec<BatchJob<'_, u64>> =
+            problems.iter().map(|p| BatchJob::new(p.as_ref())).collect();
+        let report = BatchSolver::new().solve_batch(&jobs);
+        let summed = report
+            .results
+            .iter()
+            .fold(OpStats::default(), |acc, r| acc.merge(r.solution.stats));
+        assert_eq!(report.stats, summed);
+        assert!(report.stats.candidates > 0);
+        assert!(report.throughput > 0.0);
+        assert!(report.wall > Duration::ZERO);
+        for r in &report.results {
+            assert!(r.wall() > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_well_formed() {
+        let jobs: Vec<BatchJob<'_, u64>> = Vec::new();
+        let report = BatchSolver::new().solve_batch(&jobs);
+        assert!(report.results.is_empty());
+        assert_eq!(report.throughput, 0.0);
+        assert_eq!(report.stats, OpStats::default());
+        assert_eq!((report.small_jobs, report.large_jobs), (0, 0));
+    }
+
+    #[test]
+    fn mixed_algorithms_per_job_are_honoured() {
+        let p = chain(vec![30, 35, 15, 5, 10, 20, 25]);
+        let jobs: Vec<BatchJob<'_, u64>> = Algorithm::ALL
+            .iter()
+            .filter(|&&a| a != Algorithm::Knuth) // chains lack the QI
+            .map(|&a| BatchJob::new(&p).algorithm(a))
+            .collect();
+        let report = BatchSolver::new().solve_batch(&jobs);
+        for (r, job) in report.results.iter().zip(&jobs) {
+            assert_eq!(r.solution.algorithm, job.algorithm);
+            assert_eq!(r.solution.value(), 15125, "{}", job.algorithm);
+        }
+    }
+}

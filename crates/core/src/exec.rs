@@ -57,11 +57,30 @@ impl fmt::Display for ExecBackend {
 
 /// Parse a backend name: `seq`/`sequential`, `parallel`/`auto`/`threads`,
 /// `threads:<k>`, or a bare thread count (`8` is shorthand for
-/// `threads:8`).
+/// `threads:8`). Worker counts must be at least 1 — `parallel` is the
+/// spelling for "use every host core". (The programmatic
+/// `ExecBackend::Threads(0)` still means host size; only the textual
+/// forms reject `0`, because a user writing `--backend 0` almost
+/// certainly did not mean "all cores".)
 impl std::str::FromStr for ExecBackend {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, String> {
+        let positive_count = |spec: &str, whole: &str| {
+            let k = spec.parse::<usize>().map_err(|_| {
+                format!(
+                    "bad worker count '{spec}' in backend '{whole}' \
+                     (expected a positive integer, e.g. threads:4)"
+                )
+            })?;
+            if k == 0 {
+                return Err(format!(
+                    "backend '{whole}' requests zero workers; a worker count \
+                     must be at least 1 — write 'parallel' to use every host core"
+                ));
+            }
+            Ok(ExecBackend::Threads(k))
+        };
         match s {
             "seq" | "sequential" => Ok(ExecBackend::Sequential),
             "parallel" | "auto" | "threads" | "rayon" => Ok(ExecBackend::Parallel),
@@ -70,27 +89,17 @@ impl std::str::FromStr for ExecBackend {
                     if spec.is_empty() {
                         return Err("backend 'threads:' is missing a worker count \
                              (write threads:<k>, e.g. threads:4, or a bare \
-                             count like 4; 0 means host size)"
+                             count like 4)"
                             .to_string());
                     }
-                    spec.parse::<usize>()
-                        .map(ExecBackend::Threads)
-                        .map_err(|_| {
-                            format!(
-                                "bad worker count '{spec}' in backend '{other}' \
-                             (expected a non-negative integer, e.g. threads:4)"
-                            )
-                        })
+                    positive_count(spec, other)
+                } else if other.chars().all(|c| c.is_ascii_digit()) {
+                    positive_count(other, other)
                 } else {
-                    other
-                        .parse::<usize>()
-                        .map(ExecBackend::Threads)
-                        .map_err(|_| {
-                            format!(
-                                "unknown backend '{other}' \
-                             (expected seq | parallel | threads:<k> | <k>)"
-                            )
-                        })
+                    Err(format!(
+                        "unknown backend '{other}' \
+                         (expected seq | parallel | threads:<k> | <k>)"
+                    ))
                 }
             }
         }
@@ -116,6 +125,20 @@ impl ExecBackend {
     /// Whether this backend executes with more than one worker.
     pub fn is_parallel(&self) -> bool {
         self.effective_threads() > 1
+    }
+
+    /// This backend with its worker count capped at `k` (at least 1):
+    /// `Sequential` for an effective width of 1, otherwise `Threads` at
+    /// the capped width. The batch scheduler uses this to keep
+    /// inter-problem × intra-problem parallelism from multiplying past
+    /// the pool size.
+    pub fn capped(&self, k: usize) -> ExecBackend {
+        let eff = self.effective_threads().min(k.max(1));
+        if eff <= 1 {
+            ExecBackend::Sequential
+        } else {
+            ExecBackend::Threads(eff)
+        }
     }
 
     /// Map-reduce over disjoint rows of a mutable buffer.
@@ -834,8 +857,38 @@ mod tests {
         assert!(bad.contains("bad worker count 'four'"), "{bad}");
         let unknown = "bogus".parse::<ExecBackend>().unwrap_err();
         assert!(unknown.contains("unknown backend"), "{unknown}");
-        // A bare count is valid shorthand, including 0 (= host size).
-        assert_eq!("0".parse::<ExecBackend>().unwrap(), ExecBackend::Threads(0));
+    }
+
+    #[test]
+    fn backend_parse_rejects_zero_workers() {
+        // `Threads(0)` programmatically means host size, but the textual
+        // forms must not let `--backend 0` silently grab every core —
+        // the error points at the `parallel` spelling instead.
+        for spec in ["0", "threads:0"] {
+            let err = spec.parse::<ExecBackend>().unwrap_err();
+            assert!(err.contains("zero workers"), "{spec}: {err}");
+            assert!(err.contains("parallel"), "{spec}: {err}");
+        }
+        // The programmatic meaning is unchanged.
+        assert_eq!(
+            ExecBackend::Threads(0).effective_threads(),
+            ExecBackend::Parallel.effective_threads()
+        );
+    }
+
+    #[test]
+    fn capped_never_exceeds_the_cap_and_floors_at_sequential() {
+        assert_eq!(ExecBackend::Sequential.capped(8), ExecBackend::Sequential);
+        assert_eq!(ExecBackend::Threads(4).capped(2), ExecBackend::Threads(2));
+        assert_eq!(ExecBackend::Threads(4).capped(1), ExecBackend::Sequential);
+        assert_eq!(ExecBackend::Threads(4).capped(0), ExecBackend::Sequential);
+        let host = ExecBackend::Parallel.effective_threads();
+        assert!(ExecBackend::Parallel.capped(host).effective_threads() <= host);
+        for backend in [ExecBackend::Parallel, ExecBackend::Threads(6)] {
+            for cap in [1usize, 2, 3, 100] {
+                assert!(backend.capped(cap).effective_threads() <= cap.max(1));
+            }
+        }
     }
 
     #[test]

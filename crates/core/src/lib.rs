@@ -43,6 +43,12 @@
 //! thread pool), and all agree exactly with the sequential oracle —
 //! property-tested across problem families.
 //!
+//! Many instances solve concurrently over the same pool through
+//! [`batch::BatchSolver`] — whole-problem-per-worker for small jobs,
+//! the parallel per-problem path for large ones (see the [`batch`]
+//! module docs for the scheduling regimes and the oversubscription
+//! rule).
+//!
 //! ## Verification and accounting
 //!
 //! * [`verify::verify_coupled`] executes the paper's §4 correctness
@@ -83,6 +89,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod exec;
 pub mod ops;
 pub mod pram_exec;
@@ -101,6 +108,7 @@ pub mod weight;
 
 /// One-stop imports for typical use.
 pub mod prelude {
+    pub use crate::batch::{BatchJob, BatchReport, BatchResult, BatchSolver};
     pub use crate::exec::ExecBackend;
     pub use crate::ops::{OpStats, SquareStrategy};
     pub use crate::problem::{DpProblem, FnProblem, TabulatedProblem};
@@ -109,8 +117,15 @@ pub mod prelude {
     pub use crate::rytter::{solve_rytter, RytterConfig};
     pub use crate::seq::{solve_knuth, solve_sequential};
     pub use crate::solver::{Algorithm, Solution, SolveOptions, Solver};
-    #[allow(deprecated)]
-    pub use crate::sublinear::ExecMode;
+    /// Deprecated historical name for [`ExecBackend`]. This prelude
+    /// alias carries its own `#[deprecated]` (re-exporting the
+    /// deprecated alias in `sublinear` would not warn downstream users);
+    /// see the release note in [`crate::sublinear`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ExecBackend` (the alias predates the pluggable backend API)"
+    )]
+    pub type ExecMode = crate::exec::ExecBackend;
     pub use crate::sublinear::{solve_sublinear, SolverConfig};
     pub use crate::tables::WTable;
     pub use crate::trace::{StopReason, Termination};

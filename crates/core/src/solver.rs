@@ -429,15 +429,16 @@ impl<W: Weight> Solution<W> {
     }
 
     /// Wrap a bare table from a non-iterative solver in the uniform
-    /// result shape.
-    pub(crate) fn direct(algorithm: Algorithm, w: WTable<W>, wall: Duration) -> Self {
+    /// result shape. `wall` starts at zero — [`Solver::solve`] stamps
+    /// the façade-measured duration onto every solution after dispatch.
+    pub(crate) fn direct(algorithm: Algorithm, w: WTable<W>) -> Self {
         let n = w.n();
         Solution {
             algorithm,
             w,
             trace: SolveTrace::direct(n),
             stats: OpStats::default(),
-            wall,
+            wall: Duration::ZERO,
         }
     }
 }
@@ -493,28 +494,34 @@ impl Solver {
     /// Run the selected algorithm on `problem`. Dispatches to the
     /// per-module entry points, so results are bit-identical to calling
     /// them directly with the equivalent config.
+    ///
+    /// [`Solution::wall`] is measured here, around the whole dispatch,
+    /// so its scope is uniform across the spectrum: solve plus
+    /// diagnostics assembly, for direct and iterative algorithms alike.
+    /// (The direct entry points keep their own narrower measurement
+    /// when called directly.)
     pub fn solve<W: Weight, P: DpProblem<W> + ?Sized>(&self, problem: &P) -> Solution<W> {
         let opts = &self.options;
-        match self.algorithm {
+        let t0 = Instant::now();
+        let mut solution = match self.algorithm {
             Algorithm::Sequential => {
-                let t0 = Instant::now();
                 let w = solve_sequential(problem);
-                Solution::direct(Algorithm::Sequential, w, t0.elapsed())
+                Solution::direct(Algorithm::Sequential, w)
             }
             Algorithm::Knuth => {
-                let t0 = Instant::now();
                 let w = solve_knuth(problem);
-                Solution::direct(Algorithm::Knuth, w, t0.elapsed())
+                Solution::direct(Algorithm::Knuth, w)
             }
             Algorithm::Wavefront => {
-                let t0 = Instant::now();
                 let w = solve_wavefront(problem, &opts.wavefront_config());
-                Solution::direct(Algorithm::Wavefront, w, t0.elapsed())
+                Solution::direct(Algorithm::Wavefront, w)
             }
             Algorithm::Sublinear => solve_sublinear(problem, &opts.sublinear_config()),
             Algorithm::Reduced => solve_reduced(problem, &opts.reduced_config()),
             Algorithm::Rytter => solve_rytter(problem, &opts.rytter_config()),
-        }
+        };
+        solution.wall = t0.elapsed();
+        solution
     }
 }
 

@@ -14,6 +14,12 @@
 //! data-parallel pass on the configured [`ExecBackend`] (sequential
 //! reference or the work-stealing thread pool); the PRAM costs are
 //! recorded separately by [`crate::pram_exec`].
+//!
+//! **Release note:** the historical `ExecMode` name is deprecated — both
+//! this module's alias and its prelude re-export now carry
+//! `#[deprecated]` of their own, so downstream builds warn; name
+//! [`ExecBackend`] directly. The alias will be removed in a future
+//! release.
 
 use crate::ops::{
     a_activate_dense_tracked, a_pebble_dense_scheduled, a_square_dense_scheduled, OpStats,

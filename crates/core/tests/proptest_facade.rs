@@ -108,9 +108,28 @@ proptest! {
                 prop_assert_eq!(sol.stats, OpStats::default(), "{}", algo);
                 prop_assert_eq!(sol.trace.stop, StopReason::Direct, "{}", algo);
             }
+            prop_assert!(
+                sol.wall > std::time::Duration::ZERO,
+                "{} wall must cover solve + diagnostics assembly", algo
+            );
             let tree = sol.tree(&p).expect("solved table");
             prop_assert_eq!(tree.n_leaves(), n, "{}", algo);
         }
+    }
+}
+
+// `Solution.wall` is measured in the façade, around the whole dispatch,
+// for **every** algorithm (the direct paths used to be measured in the
+// façade but the iterative ones inside their modules) — so it is never
+// zero, Knuth included.
+#[test]
+fn wall_time_is_positive_for_every_algorithm() {
+    let p = chain(&[30, 35, 15, 5, 10, 20, 25]);
+    for algo in Algorithm::ALL {
+        let sol = Solver::new(algo)
+            .options(SolveOptions::default().exec(ExecBackend::Sequential))
+            .solve(&p);
+        assert!(sol.wall > std::time::Duration::ZERO, "{algo}");
     }
 }
 

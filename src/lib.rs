@@ -12,7 +12,9 @@
 //! * [`core`] (`pardp-core`) — the paper's `O(sqrt(n) log n)`-time CREW
 //!   PRAM algorithm (§2), its §5 reduced-processor variant, Rytter's
 //!   baseline, sequential/wavefront/Knuth baselines, optimal-tree
-//!   reconstruction, the §4 coupled verification and PRAM accounting;
+//!   reconstruction, the §4 coupled verification, PRAM accounting, and
+//!   batch solving (`BatchSolver`: many instances concurrently over one
+//!   pool);
 //! * [`pebble`] (`pardp-pebble`) — the §3 pebbling game, Fig. 2 tree
 //!   shapes, Lemma 3.3 invariants and the §6 average-case analysis;
 //! * [`pram`] (`pardp-pram`) — the CREW PRAM cost-model simulator;
