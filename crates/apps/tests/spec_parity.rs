@@ -1,0 +1,98 @@
+//! The wire families in `pardp_core::spec` replicate this crate's
+//! instance definitions. If either side drifts — a prefix-sum off by
+//! one, a different `init` — batch/serve answers would diverge from
+//! `pardp solve` on the same instance. Pin them together: identical
+//! `init`/`f` on every triple and identical solved tables.
+
+use pardp_apps::{MatrixChain, MergeOrder, OptimalBst, WeightedPolygon};
+use pardp_core::prelude::*;
+
+fn assert_same_problem(apps: &dyn DpProblem<u64>, spec: &ProblemSpec) {
+    let wire = spec.build();
+    assert_eq!(apps.n(), wire.n(), "n");
+    assert_eq!(apps.name(), wire.name(), "name");
+    let n = apps.n();
+    for i in 0..n {
+        assert_eq!(apps.init(i), wire.init(i), "init({i})");
+    }
+    for i in 0..n {
+        for j in (i + 2)..=n {
+            for k in (i + 1)..j {
+                assert_eq!(apps.f(i, k, j), wire.f(i, k, j), "f({i},{k},{j})");
+            }
+        }
+    }
+    let wa = solve_sequential(apps);
+    let wb = solve_sequential(&wire);
+    assert!(
+        wa.table_eq(&wb),
+        "solved tables diverge for {}",
+        apps.name()
+    );
+}
+
+#[test]
+fn chain_matches_matrix_chain() {
+    for dims in [
+        vec![30u64, 35, 15, 5, 10, 20, 25],
+        vec![7, 3],
+        vec![2, 9, 4, 1, 8, 6, 3, 5, 2],
+    ] {
+        let apps = MatrixChain::new(dims.clone());
+        let spec = ProblemSpec::chain(dims).unwrap();
+        assert_same_problem(&apps, &spec);
+    }
+}
+
+#[test]
+fn obst_matches_optimal_bst() {
+    // The CLRS instance plus asymmetric shapes that would expose a
+    // prefix-sum off-by-one.
+    for (p, q) in [
+        (vec![15u64, 10, 5, 10, 20], vec![5u64, 10, 5, 5, 5, 10]),
+        (vec![1], vec![0, 0]),
+        (vec![3, 1, 4, 1, 5, 9, 2], vec![6, 5, 3, 5, 8, 9, 7, 9]),
+    ] {
+        let apps = OptimalBst::new(p.clone(), q.clone());
+        let spec = ProblemSpec::obst(p, q).unwrap();
+        assert_same_problem(&apps, &spec);
+    }
+}
+
+#[test]
+fn polygon_matches_weighted_polygon() {
+    for w in [vec![1u64, 10, 1, 10], vec![3, 7, 4, 5, 2, 6], vec![2, 2, 2]] {
+        let apps = WeightedPolygon::new(w.clone());
+        let spec = ProblemSpec::polygon(w).unwrap();
+        assert_same_problem(&apps, &spec);
+    }
+}
+
+#[test]
+fn merge_matches_merge_order() {
+    for l in [vec![10u64, 20, 30], vec![5], vec![8, 1, 1, 1, 8, 2, 4]] {
+        let apps = MergeOrder::new(l.clone());
+        let spec = ProblemSpec::merge(l).unwrap();
+        assert_same_problem(&apps, &spec);
+    }
+}
+
+#[test]
+fn every_family_solves_to_the_apps_value_through_the_wire() {
+    // End to end: JSONL text -> resolve -> build -> solve agrees with
+    // the apps type under every algorithm that applies.
+    let lines = r#"{"family":"chain","values":[30,35,15,5,10,20,25]}
+{"family":"obst","values":[15,10,5,10,20],"q":[5,10,5,5,5,10]}
+{"family":"polygon","values":[1,10,1,10]}
+{"family":"merge","values":[10,20,30]}
+"#;
+    let expect = [15125u64, 275, 20, 90];
+    for (spec, want) in parse_jobs(lines).unwrap().iter().zip(expect) {
+        let resolved = spec
+            .resolve(Algorithm::Sequential, SolveOptions::default())
+            .unwrap();
+        let problem = resolved.problem.build();
+        let solution = Solver::new(resolved.algorithm).solve(&problem);
+        assert_eq!(solution.value(), want, "{}", resolved.problem.family());
+    }
+}

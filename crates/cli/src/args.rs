@@ -6,7 +6,9 @@
 
 use std::fmt;
 
-use pardp_core::prelude::{Algorithm, ExecBackend, SquareStrategy};
+use pardp_core::prelude::{
+    Algorithm, ExecBackend, ProblemSpec, SolveKnob, SolveOptions, SpecError, SquareStrategy,
+};
 
 /// A parsing or execution error with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,61 +22,17 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-/// The problem family of a `solve` command.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Problem {
-    /// Matrix chain from a dimension list.
-    Chain(Vec<u64>),
-    /// Optimal BST from key and dummy frequencies.
-    Obst {
-        /// Key frequencies.
-        p: Vec<u64>,
-        /// Dummy frequencies (one more than keys).
-        q: Vec<u64>,
-    },
-    /// Weighted polygon triangulation.
-    Polygon(Vec<u64>),
-    /// Optimal adjacent merge order.
-    Merge(Vec<u64>),
-}
-
-impl Problem {
-    /// Validated chain instance (shared by `solve` parsing and the
-    /// `batch` job reader, so the family rules live in one place).
-    pub fn chain(dims: Vec<u64>) -> Result<Self, CliError> {
-        if dims.len() < 2 {
-            return Err(CliError("chain needs at least two dimensions".into()));
-        }
-        Ok(Problem::Chain(dims))
-    }
-
-    /// Validated OBST instance (`q` must have one more entry than `p`).
-    pub fn obst(p: Vec<u64>, q: Vec<u64>) -> Result<Self, CliError> {
-        if q.len() != p.len() + 1 {
-            return Err(CliError(format!(
-                "q needs exactly {} entries (one more than the key frequencies)",
-                p.len() + 1
-            )));
-        }
-        Ok(Problem::Obst { p, q })
-    }
-
-    /// Validated polygon instance.
-    pub fn polygon(w: Vec<u64>) -> Result<Self, CliError> {
-        if w.len() < 3 {
-            return Err(CliError("polygon needs at least three vertices".into()));
-        }
-        Ok(Problem::Polygon(w))
-    }
-
-    /// Validated merge instance.
-    pub fn merge(l: Vec<u64>) -> Result<Self, CliError> {
-        if l.is_empty() {
-            return Err(CliError("merge needs at least one run length".into()));
-        }
-        Ok(Problem::Merge(l))
+impl From<SpecError> for CliError {
+    fn from(e: SpecError) -> Self {
+        CliError(e.0)
     }
 }
+
+/// The problem family of a `solve` command is the shared wire type
+/// [`ProblemSpec`] — the family rules (arities, positivity) live in
+/// `pardp_core::spec` only, so the `solve` parser, the `batch` job
+/// reader, and the `serve` daemon agree on what a valid instance is.
+pub type Problem = ProblemSpec;
 
 /// The tree shape of a `game` command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +80,22 @@ pub enum Parsed {
         /// `w`-table cells than this run on the parallel per-problem
         /// path.
         large_cells: Option<usize>,
+    },
+    /// `pardp serve (--addr <host:port> | --pipe)`
+    Serve {
+        /// TCP listen address (e.g. `127.0.0.1:7070`; port 0 picks one).
+        addr: Option<String>,
+        /// Serve one session over stdin/stdout instead of TCP.
+        pipe: bool,
+        /// Default algorithm for jobs without an `"algo"` field.
+        algo: Algorithm,
+        /// Worker pool the daemon drains jobs over (`--backend`).
+        backend: Option<ExecBackend>,
+        /// Regime threshold override (`--large-cells`), as in `batch`.
+        large_cells: Option<usize>,
+        /// Queue bound override (`--queue`); beyond it jobs are rejected
+        /// with `overloaded`.
+        queue: Option<usize>,
     },
     /// `pardp game <shape> <n>`
     Game {
@@ -184,6 +158,7 @@ USAGE:
   pardp solve polygon <w0,w1,...>      [--algo A] [--backend B] [--tile T] [--witness]
   pardp solve merge <l0,l1,...>        [--algo A] [--backend B] [--tile T] [--witness]
   pardp batch <jobs.jsonl>             [--algo A] [--backend B] [--large-cells C]
+  pardp serve (--addr <host:port> | --pipe) [--algo A] [--backend B] [--large-cells C] [--queue N]
   pardp game <zigzag|complete|skewed|random> <n> [--rule jump] [--seed S]
   pardp model <n> [--processors P]
   pardp bound <n>
@@ -207,6 +182,15 @@ BATCH (pardp batch): solve many instances concurrently over one pool.
   per job (in input order) and a final summary line. Jobs with more
   than --large-cells w-table cells (default {large_cells}) run one at a
   time on the whole pool; the rest run whole-problem-per-worker.
+SERVE (pardp serve): a persistent solving daemon over the same JSONL
+  job schema as batch — one response line per request, in request
+  order, bit-identical to a batch run apart from wall_seconds. TCP
+  (--addr, thread per connection) or a single stdin/stdout session
+  (--pipe). Extra request lines: {{\"cmd\":\"stats\"}} (counters and
+  per-regime throughput) and {{\"cmd\":\"shutdown\"}} (stop admitting,
+  drain every accepted job, exit; ctrl-C does the same). When the
+  bounded queue (--queue, default {queue}) is full, a job is rejected
+  immediately with {{\"job\":i,\"error\":\"overloaded\"}}.
 TILING (--tile): auto (default) | naive | <t>
   a-square kernel of the iterative solvers ({tile}):
   flat-slice blocked/streamed with an auto-picked or explicit tile edge
@@ -220,6 +204,7 @@ TILING (--tile): auto (default) | naive | <t>
         parallel = parallel_algo_names(),
         tile = tile_algo_names(),
         large_cells = pardp_core::batch::DEFAULT_LARGE_JOB_CELLS,
+        queue = pardp_core::serve::DEFAULT_QUEUE_CAPACITY,
     )
 }
 
@@ -280,37 +265,37 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
             let witness = take_flag(&mut rest, "--witness");
             let trace = take_flag(&mut rest, "--trace");
             // Flags a non-capable algorithm would silently ignore are
-            // rejected with pointed errors instead.
-            if backend.is_some() && !algo.is_parallel() {
-                return Err(CliError(format!(
-                    "--backend has no effect on '{algo}' ({}): it runs no \
-                     data-parallel passes; drop --backend or pick one of: {}",
-                    algo.description(),
-                    parallel_algo_names()
-                )));
-            }
-            if tile.is_some() && !algo.supports_tile() {
-                return Err(CliError(format!(
-                    "--tile has no effect on '{algo}' ({}): it has no a-square \
-                     kernel; drop --tile or pick one of: {}",
-                    algo.description(),
-                    tile_algo_names()
-                )));
-            }
-            if trace && !algo.is_iterative() {
-                return Err(CliError(format!(
-                    "--trace has no effect on '{algo}' ({}): it does not iterate \
-                     (activate, square, pebble); drop --trace or pick one of: {}",
-                    algo.description(),
-                    tile_algo_names()
-                )));
-            }
+            // rejected with pointed errors. The applicability rules are
+            // `SolveOptions::validate_knob` — the same check the batch
+            // reader and the serve daemon apply to per-job overrides —
+            // so a flag and its JSONL field can never drift apart.
+            let flag_check = |given: bool, opts: SolveOptions, knob: SolveKnob, flag: &str| {
+                if !given {
+                    return Ok(());
+                }
+                opts.validate_knob(algo, knob)
+                    .map_err(|e| CliError(format!("{flag} {}", e.message)))
+            };
+            let d = SolveOptions::default();
+            flag_check(backend.is_some(), d, SolveKnob::Exec, "--backend")?;
+            flag_check(
+                tile.is_some(),
+                tile.map_or(d, |t| d.square(t)),
+                SolveKnob::Square,
+                "--tile",
+            )?;
+            flag_check(
+                trace,
+                d.record_trace(trace),
+                SolveKnob::RecordTrace,
+                "--trace",
+            )?;
             if rest.is_empty() {
                 return Err(CliError("solve needs a problem family".into()));
             }
             let family = rest.remove(0);
             let problem = match family.as_str() {
-                "chain" => Problem::chain(parse_list(
+                "chain" => ProblemSpec::chain(parse_list(
                     rest.first()
                         .ok_or_else(|| CliError("chain needs dimensions".into()))?,
                 )?)?,
@@ -323,17 +308,22 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                         &take_value(&mut rest, "--q")?
                             .ok_or_else(|| CliError("obst needs --q".into()))?,
                     )?;
-                    Problem::obst(p, q)?
+                    ProblemSpec::obst(p, q)?
                 }
-                "polygon" => Problem::polygon(parse_list(
+                "polygon" => ProblemSpec::polygon(parse_list(
                     rest.first()
                         .ok_or_else(|| CliError("polygon needs weights".into()))?,
                 )?)?,
-                "merge" => Problem::merge(parse_list(
+                "merge" => ProblemSpec::merge(parse_list(
                     rest.first()
                         .ok_or_else(|| CliError("merge needs run lengths".into()))?,
                 )?)?,
-                other => return Err(CliError(format!("unknown problem family '{other}'"))),
+                other => {
+                    return Err(CliError(format!(
+                        "unknown problem family '{other}' (expected chain | obst | \
+                         polygon | merge)"
+                    )))
+                }
             };
             Ok(Parsed::Solve {
                 problem,
@@ -369,6 +359,55 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 algo,
                 backend,
                 large_cells,
+            })
+        }
+        "serve" => {
+            let algo = match take_value(&mut rest, "--algo")? {
+                Some(s) => s.parse::<Algorithm>().map_err(CliError)?,
+                None => Algorithm::Sublinear,
+            };
+            let backend = match take_value(&mut rest, "--backend")? {
+                Some(s) => Some(s.parse::<ExecBackend>().map_err(CliError)?),
+                None => None,
+            };
+            let large_cells = match take_value(&mut rest, "--large-cells")? {
+                Some(s) => Some(s.parse::<usize>().map_err(|_| {
+                    CliError(format!("bad --large-cells '{s}' (expected a cell count)"))
+                })?),
+                None => None,
+            };
+            let queue = match take_value(&mut rest, "--queue")? {
+                Some(s) => {
+                    let q: usize = s.parse().map_err(|_| {
+                        CliError(format!("bad --queue '{s}' (expected a job count)"))
+                    })?;
+                    if q == 0 {
+                        return Err(CliError(
+                            "--queue 0 would reject every job as overloaded; give a \
+                             positive bound (or drop the flag for the default)"
+                                .into(),
+                        ));
+                    }
+                    Some(q)
+                }
+                None => None,
+            };
+            let addr = take_value(&mut rest, "--addr")?;
+            let pipe = take_flag(&mut rest, "--pipe");
+            if addr.is_some() == pipe {
+                return Err(CliError(
+                    "serve needs exactly one of --addr <host:port> (TCP daemon) or \
+                     --pipe (one session over stdin/stdout)"
+                        .into(),
+                ));
+            }
+            Ok(Parsed::Serve {
+                addr,
+                pipe,
+                algo,
+                backend,
+                large_cells,
+                queue,
             })
         }
         "game" => {
@@ -449,7 +488,9 @@ mod tests {
         assert_eq!(
             p,
             Parsed::Solve {
-                problem: Problem::Chain(vec![30, 35, 15]),
+                problem: ProblemSpec::Chain {
+                    dims: vec![30, 35, 15]
+                },
                 algo: Algorithm::Sublinear,
                 backend: None,
                 tile: None,
@@ -526,6 +567,48 @@ mod tests {
         let err = parse(&argv("batch --large-cells many jobs.jsonl")).unwrap_err();
         assert!(err.0.contains("--large-cells"), "{err}");
         let err = parse(&argv("batch --backend 0 jobs.jsonl")).unwrap_err();
+        assert!(err.0.contains("zero workers"), "{err}");
+    }
+
+    #[test]
+    fn parse_serve_command() {
+        let p = parse(&argv("serve --pipe")).unwrap();
+        assert_eq!(
+            p,
+            Parsed::Serve {
+                addr: None,
+                pipe: true,
+                algo: Algorithm::Sublinear,
+                backend: None,
+                large_cells: None,
+                queue: None,
+            }
+        );
+        let p = parse(&argv(
+            "serve --addr 127.0.0.1:0 --algo reduced --backend threads:2 \
+             --large-cells 50 --queue 8",
+        ))
+        .unwrap();
+        assert_eq!(
+            p,
+            Parsed::Serve {
+                addr: Some("127.0.0.1:0".into()),
+                pipe: false,
+                algo: Algorithm::Reduced,
+                backend: Some(ExecBackend::Threads(2)),
+                large_cells: Some(50),
+                queue: Some(8),
+            }
+        );
+        // Exactly one transport: neither and both are rejected.
+        let err = parse(&argv("serve")).unwrap_err();
+        assert!(err.0.contains("exactly one"), "{err}");
+        let err = parse(&argv("serve --addr 127.0.0.1:0 --pipe")).unwrap_err();
+        assert!(err.0.contains("exactly one"), "{err}");
+        // A zero queue bound can never admit a job.
+        let err = parse(&argv("serve --pipe --queue 0")).unwrap_err();
+        assert!(err.0.contains("overloaded"), "{err}");
+        let err = parse(&argv("serve --pipe --backend 0")).unwrap_err();
         assert!(err.0.contains("zero workers"), "{err}");
     }
 

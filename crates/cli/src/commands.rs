@@ -24,6 +24,21 @@ pub fn execute(parsed: &Parsed) -> Result<String, CliError> {
             backend,
             large_cells,
         } => run_batch(path, *algo, *backend, *large_cells),
+        Parsed::Serve {
+            addr,
+            pipe,
+            algo,
+            backend,
+            large_cells,
+            queue,
+        } => run_serve(
+            addr.as_deref(),
+            *pipe,
+            *algo,
+            *backend,
+            *large_cells,
+            *queue,
+        ),
         Parsed::Bound { n } => {
             let b = pardp_core::schedule_bound(*n);
             Ok(format!(
@@ -111,7 +126,7 @@ fn run_solve(
     trace: bool,
 ) -> Result<String, CliError> {
     match problem {
-        Problem::Chain(dims) => {
+        Problem::Chain { dims } => {
             let mc = MatrixChain::new(dims.clone());
             let (out, w) = solve_with(&mc, algo, backend, tile, trace)?;
             let mut s = format!("matrix chain, n = {}\n{out}", mc.n_matrices());
@@ -140,7 +155,7 @@ fn run_solve(
             }
             Ok(s)
         }
-        Problem::Polygon(weights) => {
+        Problem::Polygon { weights } => {
             let poly = WeightedPolygon::new(weights.clone());
             let (out, w) = solve_with(&poly, algo, backend, tile, trace)?;
             let mut s = format!(
@@ -155,7 +170,7 @@ fn run_solve(
             }
             Ok(s)
         }
-        Problem::Merge(lengths) => {
+        Problem::Merge { lengths } => {
             let m = MergeOrder::new(lengths.clone());
             let (out, w) = solve_with(&m, algo, backend, tile, trace)?;
             let mut s = format!("merge order, {} runs\n{out}", m.lengths().len());
@@ -169,95 +184,12 @@ fn run_solve(
     }
 }
 
-/// One parsed line of a batch job file.
-struct JobSpec {
-    family: String,
-    values: Vec<u64>,
-    q: Option<Vec<u64>>,
-    algo: Option<String>,
-}
-
-impl serde::Deserialize for JobSpec {
-    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
-        let opt = |name: &str| -> Result<Option<Vec<u64>>, serde::DeError> {
-            match v.get(name) {
-                None | Some(serde::Value::Null) => Ok(None),
-                Some(inner) => serde::Deserialize::from_value(inner).map(Some),
-            }
-        };
-        let opt_str = |name: &str| -> Result<Option<String>, serde::DeError> {
-            match v.get(name) {
-                None | Some(serde::Value::Null) => Ok(None),
-                Some(inner) => serde::Deserialize::from_value(inner).map(Some),
-            }
-        };
-        Ok(JobSpec {
-            family: serde::field(v, "family")?,
-            values: serde::field(v, "values")?,
-            q: opt("q")?,
-            algo: opt_str("algo")?,
-        })
-    }
-}
-
-/// One JSONL output line of `pardp batch` (emitted in job order).
-#[derive(serde::Serialize)]
-struct BatchRecord {
-    job: usize,
-    family: String,
-    n: usize,
-    algo: String,
-    value: u64,
-    iterations: u64,
-    regime: String,
-    wall_seconds: f64,
-}
-
-/// The trailing summary line of `pardp batch`.
-#[derive(serde::Serialize)]
-struct BatchSummary {
-    jobs: usize,
-    small_jobs: usize,
-    large_jobs: usize,
-    backend: String,
-    wall_seconds: f64,
-    throughput: f64,
-    candidates: u64,
-    writes: u64,
-}
-
-/// Resolve a job spec to a validated [`Problem`] through the same
-/// constructors the `solve` parser uses, so the family rules live in
-/// `args.rs` only.
-fn job_problem(spec: &JobSpec) -> Result<Problem, CliError> {
-    match spec.family.as_str() {
-        "chain" => Problem::chain(spec.values.clone()),
-        "obst" => {
-            let q = spec.q.clone().ok_or_else(|| {
-                CliError("obst needs a \"q\" field (dummy frequencies)".to_string())
-            })?;
-            Problem::obst(spec.values.clone(), q)
-        }
-        "polygon" => Problem::polygon(spec.values.clone()),
-        "merge" => Problem::merge(spec.values.clone()),
-        other => Err(CliError(format!(
-            "unknown problem family '{other}' (expected chain | obst | polygon | merge)"
-        ))),
-    }
-}
-
-/// Build the solvable instance of a validated [`Problem`].
-fn instantiate(problem: &Problem) -> Box<dyn DpProblem<u64>> {
-    match problem {
-        Problem::Chain(dims) => Box::new(MatrixChain::new(dims.clone())),
-        Problem::Obst { p, q } => Box::new(OptimalBst::new(p.clone(), q.clone())),
-        Problem::Polygon(w) => Box::new(WeightedPolygon::new(w.clone())),
-        Problem::Merge(l) => Box::new(MergeOrder::new(l.clone())),
-    }
-}
-
 /// `pardp batch`: read JSONL job specs, solve them concurrently through
 /// [`BatchSolver`], emit one JSONL result line per job plus a summary.
+///
+/// The wire types (job schema, result records, the summary trailer) are
+/// `pardp_core::spec` — shared verbatim with `pardp serve`, so the two
+/// front ends accept the same jobs and answer with identical records.
 fn run_batch(
     path: &str,
     default_algo: Algorithm,
@@ -266,35 +198,21 @@ fn run_batch(
 ) -> Result<String, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError(format!("cannot read job file '{path}': {e}")))?;
-    let mut specs: Vec<JobSpec> = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let spec: JobSpec = serde_json::from_str(line)
-            .map_err(|e| CliError(format!("{path} line {}: {e}", lineno + 1)))?;
-        specs.push(spec);
-    }
+    let specs = parse_jobs(&text).map_err(|e| CliError(format!("{path} {}", e.0)))?;
 
-    let mut problems: Vec<Box<dyn DpProblem<u64>>> = Vec::with_capacity(specs.len());
-    let mut algos: Vec<Algorithm> = Vec::with_capacity(specs.len());
+    let base = SolveOptions::default().termination(Termination::Fixpoint);
+    let mut resolved: Vec<ResolvedJob> = Vec::with_capacity(specs.len());
     for (i, spec) in specs.iter().enumerate() {
-        let problem = job_problem(spec).map_err(|e| CliError(format!("{path} job {i}: {e}")))?;
-        problems.push(instantiate(&problem));
-        let algo = match &spec.algo {
-            Some(name) => name
-                .parse::<Algorithm>()
-                .map_err(|e| CliError(format!("{path} job {i}: {e}")))?,
-            None => default_algo,
-        };
-        algos.push(algo);
+        resolved.push(
+            spec.resolve(default_algo, base)
+                .map_err(|e| CliError(format!("{path} job {i}: {}", e.0)))?,
+        );
     }
-
-    let opts = SolveOptions::default().termination(Termination::Fixpoint);
+    let problems: Vec<SpecProblem> = resolved.iter().map(|r| r.problem.build()).collect();
     let jobs: Vec<BatchJob<'_, u64>> = problems
         .iter()
-        .zip(&algos)
-        .map(|(p, &algo)| BatchJob::new(p.as_ref()).algorithm(algo).options(opts))
+        .zip(&resolved)
+        .map(|(p, r)| BatchJob::new(p).algorithm(r.algorithm).options(r.options))
         .collect();
 
     let mut solver = BatchSolver::new();
@@ -309,48 +227,106 @@ fn run_batch(
     // The Knuth-Yao speedup is only valid on quadrangle-inequality
     // instances; guard batch users exactly like the `solve` path does.
     for r in &report.results {
-        if r.solution.algorithm == Algorithm::Knuth
-            && !r
-                .solution
-                .w
-                .table_eq(&solve_sequential(problems[r.job].as_ref()))
-        {
-            return Err(CliError(format!(
-                "{path} job {}: knuth speedup disagrees with the full DP — \
-                 instance lacks the quadrangle inequality; use \"algo\":\"seq\"",
-                r.job
-            )));
-        }
+        verify_knuth(&problems[r.job], &r.solution)
+            .map_err(|e| CliError(format!("{path} job {}: {}", r.job, e.0)))?;
     }
 
     let mut out = String::new();
-    for (r, spec) in report.results.iter().zip(&specs) {
-        let record = BatchRecord {
-            job: r.job,
-            family: spec.family.clone(),
-            n: r.solution.trace.n,
-            algo: r.solution.algorithm.name().to_string(),
-            value: r.solution.value(),
-            iterations: r.solution.trace.iterations,
-            regime: if r.large { "large" } else { "small" }.to_string(),
-            wall_seconds: r.wall().as_secs_f64(),
-        };
+    for r in &report.results {
+        let record = JobRecord::new(resolved[r.job].problem.family(), r);
         out.push_str(&serde_json::to_string(&record).map_err(|e| CliError(e.to_string()))?);
         out.push('\n');
     }
-    let summary = BatchSummary {
-        jobs: report.results.len(),
-        small_jobs: report.small_jobs,
-        large_jobs: report.large_jobs,
-        backend: solver.backend().to_string(),
-        wall_seconds: report.wall.as_secs_f64(),
-        throughput: report.throughput,
-        candidates: report.stats.candidates,
-        writes: report.stats.writes,
-    };
+    let summary = BatchSummary::new(&report, solver.backend());
     out.push_str(&serde_json::to_string(&summary).map_err(|e| CliError(e.to_string()))?);
     out.push('\n');
     Ok(out)
+}
+
+/// The SIGINT flag of `pardp serve --addr`: installed once, set from the
+/// signal handler, polled by the serve loop so ctrl-C becomes a graceful
+/// drain instead of a hard kill.
+#[cfg(unix)]
+fn install_sigint() -> &'static std::sync::atomic::AtomicBool {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static FLAG: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_sigint(_signum: i32) {
+        FLAG.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+    &FLAG
+}
+
+#[cfg(not(unix))]
+fn install_sigint() -> &'static std::sync::atomic::AtomicBool {
+    static FLAG: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    &FLAG
+}
+
+/// `pardp serve`: run the persistent daemon (`pardp_core::serve`) in
+/// pipe mode (one stdin/stdout session) or as a TCP listener until
+/// shutdown, then report the drained counters on stderr.
+fn run_serve(
+    addr: Option<&str>,
+    pipe: bool,
+    algo: Algorithm,
+    backend: Option<ExecBackend>,
+    large_cells: Option<usize>,
+    queue: Option<usize>,
+) -> Result<String, CliError> {
+    let mut config = pardp_core::serve::ServeConfig {
+        default_algo: algo,
+        ..Default::default()
+    };
+    if let Some(b) = backend {
+        config.exec = b;
+    }
+    if let Some(c) = large_cells {
+        config.large_job_cells = c;
+    }
+    if let Some(q) = queue {
+        config.queue_capacity = q;
+    }
+
+    let stats = if pipe {
+        // Responses go to stdout (they are the protocol); everything
+        // human-facing goes to stderr.
+        let stdin = std::io::stdin();
+        pardp_core::serve::serve_pipe(stdin.lock(), std::io::stdout(), &config)
+    } else {
+        let addr = addr.expect("the parser requires --addr without --pipe");
+        let server = pardp_core::serve::Server::bind(addr, &config)
+            .map_err(|e| CliError(format!("cannot bind '{addr}': {e}")))?;
+        eprintln!(
+            "pardp serve: listening on {} ({} worker{}, queue {})",
+            server.addr(),
+            server.stats().workers,
+            if server.stats().workers == 1 { "" } else { "s" },
+            config.queue_capacity,
+        );
+        let sigint = install_sigint();
+        while !server.shutdown_requested() && !sigint.load(std::sync::atomic::Ordering::SeqCst) {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        server.join()
+    };
+    eprintln!(
+        "pardp serve: drained — accepted {} rejected {} invalid {} \
+         completed {} (small {} / large {})",
+        stats.accepted,
+        stats.rejected,
+        stats.invalid,
+        stats.completed,
+        stats.completed_small,
+        stats.completed_large,
+    );
+    Ok(String::new())
 }
 
 /// Append the per-iteration op counters of a solve trace (used by the

@@ -98,7 +98,9 @@ pub mod reconstruct;
 pub mod reduced;
 pub mod rytter;
 pub mod seq;
+pub mod serve;
 pub mod solver;
+pub mod spec;
 pub mod sublinear;
 pub mod tables;
 pub mod trace;
@@ -116,16 +118,15 @@ pub mod prelude {
     pub use crate::reduced::{solve_reduced, ReducedConfig};
     pub use crate::rytter::{solve_rytter, RytterConfig};
     pub use crate::seq::{solve_knuth, solve_sequential};
-    pub use crate::solver::{Algorithm, Solution, SolveOptions, Solver};
-    /// Deprecated historical name for [`ExecBackend`]. This prelude
-    /// alias carries its own `#[deprecated]` (re-exporting the
-    /// deprecated alias in `sublinear` would not warn downstream users);
-    /// see the release note in [`crate::sublinear`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ExecBackend` (the alias predates the pluggable backend API)"
-    )]
-    pub type ExecMode = crate::exec::ExecBackend;
+    pub use crate::serve::{ServeConfig, ServeStats, Server};
+    pub use crate::solver::{Algorithm, OptionsError, Solution, SolveKnob, SolveOptions, Solver};
+    pub use crate::spec::{
+        parse_jobs, table_hash, verify_knuth, BatchSummary, JobRecord, JobSpec, ProblemSpec,
+        ResolvedJob, SpecError, SpecProblem,
+    };
+    // The deprecated `ExecMode` prelude alias was removed in this
+    // release; see the release note in [`crate::sublinear`] for the
+    // remaining module-level alias and its removal timeline.
     pub use crate::sublinear::{solve_sublinear, SolverConfig};
     pub use crate::tables::WTable;
     pub use crate::trace::{StopReason, Termination};

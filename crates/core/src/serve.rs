@@ -1,0 +1,797 @@
+//! `pardp serve`: a persistent solving daemon over the JSONL wire API.
+//!
+//! The batch subsystem (PR 5) amortises scheduling across one job file;
+//! this module amortises *process startup* across an entire session — a
+//! long-running ingress loop for the ROADMAP's many-users north star.
+//! It is std-only (threads, channels, condvars; no async runtime): a
+//! thread-per-connection accept loop feeds a bounded MPMC job queue,
+//! which a fixed pool of workers drains through the [`Solver`] façade.
+//!
+//! ## Protocol (newline-delimited JSON, request order preserved)
+//!
+//! Requests are [`JobSpec`] lines — the exact schema `pardp batch`
+//! reads — plus two commands:
+//!
+//! ```json
+//! {"family":"chain","values":[30,35,15,5,10,20,25]}
+//! {"cmd":"stats"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! Responses come back **in request order**, one line per request: a
+//! [`JobRecord`] for a solved job, `{"job":i,"error":"..."}` for a
+//! rejected or failed one, `{"stats":{...}}` ([`ServeStats`]) for
+//! `stats`, and `{"ok":"shutdown"}` for `shutdown`. Responses are
+//! bit-identical to `pardp batch` on the same job lines, except the
+//! nondeterministic `wall_seconds` field (see
+//! [`JobRecord::deterministic`]).
+//!
+//! ## Backpressure and admission
+//!
+//! The queue is bounded ([`ServeConfig::queue_capacity`]): when it is
+//! full, a job is rejected *immediately* with
+//! `{"job":i,"error":"overloaded"}` rather than buffered without bound —
+//! a loaded daemon stays responsive and honest. Jobs above
+//! [`ServeConfig::max_cells`] (or [`ServeConfig::max_dense_cells`] for
+//! the dense-table algorithms, whose `pw` table is quadratic in the cell
+//! count) are rejected at admission, before they can wedge the pool.
+//!
+//! ## The regime gate
+//!
+//! Workers classify each job by the batch subsystem's small/large
+//! `w`-table-cell split ([`ServeConfig::large_job_cells`]) and hold a
+//! readers-writer gate while solving: small jobs (readers) run
+//! concurrently, one sequential solve per worker; a large job (writer)
+//! runs alone with the pool backend capped at the worker count. Inner ×
+//! outer parallelism therefore never multiplies — the daemon never has
+//! more runnable solver threads than workers, the same oversubscription
+//! rule [`BatchSolver`](crate::batch::BatchSolver) enforces by phasing.
+//!
+//! ## Shutdown
+//!
+//! `{"cmd":"shutdown"}` (or [`Server::shutdown`], which the CLI wires to
+//! SIGINT) stops admission — new jobs get `{"job":i,"error":"shutting
+//! down..."}` — and **drains**: every accepted job is still solved and
+//! its response written before workers exit.
+//!
+//! ## Migration note for batch users
+//!
+//! The job schema is [`crate::spec`], shared verbatim: a `jobs.jsonl`
+//! that works with `pardp batch` streams unchanged through
+//! `pardp serve --pipe`, and the result lines differ only in
+//! `wall_seconds`. Library users construct [`JobSpec`] values (or
+//! [`ProblemSpec`](crate::spec::ProblemSpec)s) instead of private CLI
+//! types.
+//!
+//! ```
+//! use pardp_core::serve::{serve_pipe, ServeConfig};
+//!
+//! let input = "{\"family\":\"chain\",\"values\":[30,35,15,5,10,20,25]}\n\
+//!              {\"cmd\":\"stats\"}\n";
+//! let mut out = Vec::new();
+//! let stats = serve_pipe(input.as_bytes(), &mut out, &ServeConfig::default());
+//! let text = String::from_utf8(out).unwrap();
+//! assert!(text.lines().next().unwrap().contains("\"value\":15125"));
+//! assert_eq!(stats.completed, 1);
+//! ```
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::batch::DEFAULT_LARGE_JOB_CELLS;
+use crate::exec::ExecBackend;
+use crate::solver::{Algorithm, SolveOptions, Solver};
+use crate::spec::{verify_knuth, JobRecord, JobSpec, SpecProblem};
+use crate::trace::Termination;
+
+/// Default bound of the job queue: submissions beyond this many waiting
+/// jobs are rejected with `overloaded`.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// Default admission cap in `w`-table cells (`n(n+1)/2`; n = 512). Jobs
+/// above it are rejected — a daemon must bound per-job memory, unlike a
+/// one-shot batch run.
+pub const DEFAULT_MAX_CELLS: usize = 512 * 513 / 2;
+
+/// Default admission cap for the dense-table algorithms (sublinear §2,
+/// Rytter), whose `pw` table is *quadratic* in the cell count (n = 96 ⇒
+/// ~4.7k cells ⇒ ~22M `pw` entries). Larger instances should use the
+/// banded §5 solver or a sequential baseline.
+pub const DEFAULT_MAX_DENSE_CELLS: usize = 96 * 97 / 2;
+
+/// Configuration of the daemon. The defaults match `pardp batch`
+/// (parallel pool, sublinear default algorithm, fixpoint stop, the batch
+/// regime threshold), so responses agree bit-for-bit with a batch run of
+/// the same lines.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// The worker pool the daemon drains jobs over; the worker count is
+    /// `exec.effective_threads()`.
+    pub exec: ExecBackend,
+    /// Algorithm for jobs without an `"algo"` field.
+    pub default_algo: Algorithm,
+    /// Base options every job starts from (per-job fields override).
+    pub options: SolveOptions,
+    /// Bound of the job queue (≥ 1; see [`DEFAULT_QUEUE_CAPACITY`]).
+    pub queue_capacity: usize,
+    /// The small/large regime threshold in `w`-table cells.
+    pub large_job_cells: usize,
+    /// Admission cap in `w`-table cells for every algorithm.
+    pub max_cells: usize,
+    /// Admission cap for the dense-table algorithms (sublinear, rytter).
+    pub max_dense_cells: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            exec: ExecBackend::Parallel,
+            default_algo: Algorithm::Sublinear,
+            options: SolveOptions::default().termination(Termination::Fixpoint),
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            large_job_cells: DEFAULT_LARGE_JOB_CELLS,
+            max_cells: DEFAULT_MAX_CELLS,
+            max_dense_cells: DEFAULT_MAX_DENSE_CELLS,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the daemon's counters — the response body
+/// of `{"cmd":"stats"}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Jobs admitted to the queue.
+    pub accepted: u64,
+    /// Jobs rejected (queue full, admission caps, shutdown).
+    pub rejected: u64,
+    /// Request lines that were not valid jobs (bad JSON, bad spec).
+    pub invalid: u64,
+    /// Jobs solved and answered.
+    pub completed: u64,
+    /// Completed jobs that ran whole-problem-per-worker.
+    pub completed_small: u64,
+    /// Completed jobs that ran on the parallel per-problem path.
+    pub completed_large: u64,
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: usize,
+    /// The configured queue bound.
+    pub queue_capacity: usize,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Seconds since the daemon started.
+    pub uptime_seconds: f64,
+    /// Small-regime jobs completed per second of uptime.
+    pub small_per_second: f64,
+    /// Large-regime jobs completed per second of uptime.
+    pub large_per_second: f64,
+}
+
+/// Atomic counters, incremented lock-free from every thread.
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    invalid: AtomicU64,
+    completed: AtomicU64,
+    completed_small: AtomicU64,
+    completed_large: AtomicU64,
+}
+
+/// One queued job: a resolved, admitted request plus its reply slot.
+struct Job {
+    index: usize,
+    family: &'static str,
+    problem: SpecProblem,
+    algorithm: Algorithm,
+    options: SolveOptions,
+    large: bool,
+    reply: mpsc::Sender<String>,
+}
+
+/// State shared by the accept loop, connections, and workers.
+struct Shared {
+    config: ServeConfig,
+    workers: usize,
+    queue: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+    shutdown: AtomicBool,
+    counters: Counters,
+    /// The oversubscription gate: small jobs hold it shared, large jobs
+    /// exclusively (see the module docs).
+    regime: RwLock<()>,
+    started: Instant,
+}
+
+/// Recover a lock even if a worker panicked while holding it: the
+/// protected data (a queue of jobs, a unit gate) has no invariant a
+/// panic can break mid-update.
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+impl Shared {
+    fn new(config: ServeConfig) -> Self {
+        Shared {
+            workers: config.exec.effective_threads(),
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            regime: RwLock::new(()),
+            started: Instant::now(),
+        }
+    }
+
+    /// Stop admission and wake every worker so the queue drains.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Take the queue lock so no worker misses the flag between its
+        // empty-check and its condvar wait.
+        let _q = relock(self.queue.lock());
+        self.not_empty.notify_all();
+    }
+
+    /// Try to enqueue a job; the error is the wire error message.
+    fn submit(&self, job: Job) -> Result<(), String> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err("shutting down: new jobs are rejected while the queue drains".into());
+        }
+        let mut q = relock(self.queue.lock());
+        if q.len() >= self.config.queue_capacity {
+            return Err("overloaded".into());
+        }
+        q.push_back(job);
+        drop(q);
+        self.not_empty.notify_one();
+        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn stats(&self) -> ServeStats {
+        let c = &self.counters;
+        let completed_small = c.completed_small.load(Ordering::Relaxed);
+        let completed_large = c.completed_large.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+        ServeStats {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            invalid: c.invalid.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            completed_small,
+            completed_large,
+            queue_depth: relock(self.queue.lock()).len(),
+            queue_capacity: self.config.queue_capacity,
+            workers: self.workers,
+            uptime_seconds: uptime,
+            small_per_second: completed_small as f64 / uptime,
+            large_per_second: completed_large as f64 / uptime,
+        }
+    }
+}
+
+/// Worker: pop jobs until shutdown is flagged *and* the queue is empty —
+/// the drain guarantee.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = relock(shared.queue.lock());
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break Some(j);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = relock(shared.not_empty.wait(q));
+            }
+        };
+        match job {
+            Some(j) => run_job(shared, j),
+            None => return,
+        }
+    }
+}
+
+/// Solve one job under its regime and write its response line into the
+/// reply slot.
+fn run_job(shared: &Shared, job: Job) {
+    // The two regimes mirror `BatchSolver::solve_batch` exactly — same
+    // backend overrides, so the solved tables are bit-identical.
+    let solution = if job.large {
+        let _gate = shared.regime.write().unwrap_or_else(|e| e.into_inner());
+        let opts = job.options.exec(job.options.exec.capped(shared.workers));
+        Solver::new(job.algorithm).options(opts).solve(&job.problem)
+    } else {
+        let _gate = shared.regime.read().unwrap_or_else(|e| e.into_inner());
+        let opts = job.options.exec(ExecBackend::Sequential);
+        Solver::new(job.algorithm).options(opts).solve(&job.problem)
+    };
+    let line = match verify_knuth(&job.problem, &solution) {
+        Ok(()) => {
+            let record = JobRecord::of_solution(job.index, job.family, &solution, job.large);
+            serde_json::to_string(&record).expect("record serializes")
+        }
+        Err(e) => error_line(job.index, &e.0),
+    };
+    let c = &shared.counters;
+    c.completed.fetch_add(1, Ordering::Relaxed);
+    if job.large {
+        c.completed_large.fetch_add(1, Ordering::Relaxed);
+    } else {
+        c.completed_small.fetch_add(1, Ordering::Relaxed);
+    }
+    // The connection may already be gone; the job still counts as
+    // completed (it was solved).
+    job.reply.send(line).ok();
+}
+
+/// `{"job":i,"error":"..."}`.
+#[derive(Serialize)]
+struct ErrorLine {
+    job: usize,
+    error: String,
+}
+
+/// `{"error":"..."}` — command-level errors with no job index.
+#[derive(Serialize)]
+struct CmdError {
+    error: String,
+}
+
+/// `{"stats":{...}}`.
+#[derive(Serialize)]
+struct StatsLine {
+    stats: ServeStats,
+}
+
+/// `{"ok":"shutdown"}`.
+#[derive(Serialize)]
+struct ShutdownAck {
+    ok: String,
+}
+
+fn error_line(job: usize, error: &str) -> String {
+    serde_json::to_string(&ErrorLine {
+        job,
+        error: error.to_string(),
+    })
+    .expect("error line serializes")
+}
+
+/// A response slot, queued in request order: a line that is ready now,
+/// the receiver a worker will deliver one into, or a deferred stats
+/// snapshot. `Stats` is taken when the writer *reaches* the slot, so a
+/// stats response deterministically covers every request answered
+/// before it on the same connection.
+enum Slot {
+    Line(String),
+    Pending(mpsc::Receiver<String>),
+    Stats,
+}
+
+/// Check a resolved job against the admission caps; the error is the
+/// wire message.
+fn admit(shared: &Shared, algorithm: Algorithm, cells: usize) -> Result<(), String> {
+    let cfg = &shared.config;
+    if cells > cfg.max_cells {
+        return Err(format!(
+            "job too large: {cells} w-table cells exceeds the admission cap {}",
+            cfg.max_cells
+        ));
+    }
+    if matches!(algorithm, Algorithm::Sublinear | Algorithm::Rytter) && cells > cfg.max_dense_cells
+    {
+        return Err(format!(
+            "job too large for the dense-table '{algorithm}' solver: {cells} \
+             w-table cells exceeds the dense admission cap {} (its pw table is \
+             quadratic in the cell count); use the banded reduced solver or a \
+             sequential baseline",
+            cfg.max_dense_cells
+        ));
+    }
+    Ok(())
+}
+
+/// Serve one connection: read JSONL requests, answer each in request
+/// order. Jobs are pipelined — the reader keeps admitting while earlier
+/// jobs solve — and a writer thread drains the response slots so order
+/// is preserved without blocking admission.
+///
+/// Returns when the input ends, the connection drops, or a `shutdown`
+/// command arrives (which also stops the whole daemon).
+fn handle_connection<R: BufRead, W: Write + Send>(shared: &Shared, reader: R, writer: W) {
+    let (tx, rx) = mpsc::channel::<Slot>();
+    thread::scope(|scope| {
+        scope.spawn(move || {
+            let mut w = writer;
+            for slot in rx {
+                let line = match slot {
+                    Slot::Line(s) => s,
+                    Slot::Pending(reply) => reply.recv().unwrap_or_else(|_| {
+                        serde_json::to_string(&CmdError {
+                            error: "internal: worker dropped the reply".into(),
+                        })
+                        .expect("error serializes")
+                    }),
+                    Slot::Stats => serde_json::to_string(&StatsLine {
+                        stats: shared.stats(),
+                    })
+                    .expect("stats serialize"),
+                };
+                if writeln!(w, "{line}").is_err() || w.flush().is_err() {
+                    // Client gone: stop writing. Dropping the remaining
+                    // receivers is safe — workers ignore dead replies.
+                    return;
+                }
+            }
+        });
+
+        let mut job_index = 0usize;
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value = match serde_json::parse_value(&line) {
+                Ok(v) => v,
+                Err(e) => {
+                    // A malformed line consumes a job index (the client
+                    // meant *something* here) but never kills the loop.
+                    shared.counters.invalid.fetch_add(1, Ordering::Relaxed);
+                    let msg = error_line(job_index, &format!("line is not a JSON job: {e}"));
+                    job_index += 1;
+                    if tx.send(Slot::Line(msg)).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+            };
+            if let Some(serde::Value::Str(cmd)) = value.get("cmd") {
+                let response = match cmd.as_str() {
+                    "stats" => Slot::Stats,
+                    "shutdown" => {
+                        shared.begin_shutdown();
+                        let ack = serde_json::to_string(&ShutdownAck {
+                            ok: "shutdown".into(),
+                        })
+                        .expect("ack serializes");
+                        tx.send(Slot::Line(ack)).ok();
+                        break;
+                    }
+                    other => Slot::Line(
+                        serde_json::to_string(&CmdError {
+                            error: format!("unknown cmd '{other}' (expected stats | shutdown)"),
+                        })
+                        .expect("error serializes"),
+                    ),
+                };
+                if tx.send(response).is_err() {
+                    break;
+                }
+                continue;
+            }
+
+            let index = job_index;
+            job_index += 1;
+            let slot = match JobSpec::from_value(&value)
+                .map_err(|e| e.0)
+                .and_then(|spec| {
+                    spec.resolve(shared.config.default_algo, shared.config.options)
+                        .map_err(|e| e.0)
+                }) {
+                Err(e) => {
+                    shared.counters.invalid.fetch_add(1, Ordering::Relaxed);
+                    Slot::Line(error_line(index, &e))
+                }
+                Ok(resolved) => {
+                    let cells = resolved.problem.cells();
+                    match admit(shared, resolved.algorithm, cells) {
+                        Err(e) => {
+                            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                            Slot::Line(error_line(index, &e))
+                        }
+                        Ok(()) => {
+                            let (reply_tx, reply_rx) = mpsc::channel();
+                            let job = Job {
+                                index,
+                                family: resolved.problem.family(),
+                                problem: resolved.problem.build(),
+                                algorithm: resolved.algorithm,
+                                options: resolved.options,
+                                large: cells > shared.config.large_job_cells,
+                                reply: reply_tx,
+                            };
+                            match shared.submit(job) {
+                                Ok(()) => Slot::Pending(reply_rx),
+                                Err(e) => {
+                                    shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                                    Slot::Line(error_line(index, &e))
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            if tx.send(slot).is_err() {
+                break;
+            }
+        }
+        drop(tx); // writer drains the remaining slots, then exits
+    });
+}
+
+/// Run the daemon over an in-process reader/writer pair — stdin/stdout
+/// pipe mode (`pardp serve --pipe`), CI harnesses, and tests. Spawns the
+/// worker pool, serves the single connection to EOF (or `shutdown`),
+/// drains every accepted job, and returns the final stats.
+pub fn serve_pipe<R: BufRead, W: Write + Send>(
+    reader: R,
+    writer: W,
+    config: &ServeConfig,
+) -> ServeStats {
+    let shared = Shared::new(*config);
+    thread::scope(|scope| {
+        for _ in 0..shared.workers {
+            scope.spawn(|| worker_loop(&shared));
+        }
+        handle_connection(&shared, reader, writer);
+        shared.begin_shutdown();
+    });
+    shared.stats()
+}
+
+/// A running TCP daemon (`pardp serve --addr`): an accept loop, a worker
+/// pool, and one thread per connection, all draining through the shared
+/// bounded queue.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0`) and start accepting. The daemon
+    /// runs until [`Server::shutdown`] / a client's `{"cmd":"shutdown"}`,
+    /// then [`Server::join`] drains and collects it.
+    pub fn bind(addr: &str, config: &ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared::new(*config));
+
+        let workers = (0..shared.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::spawn(move || {
+            // Connection threads and a read-half handle to kick each
+            // blocked reader loose at shutdown.
+            let mut conns: Vec<(TcpStream, thread::JoinHandle<()>)> = Vec::new();
+            while !accept_shared.shutdown.load(Ordering::SeqCst) {
+                // Reap finished connections: joining drops the last clone
+                // of the socket, so the client sees EOF as soon as its
+                // session is done — a read-until-EOF client must not wait
+                // for daemon shutdown — and a long-lived daemon does not
+                // accumulate one fd per connection ever served.
+                let mut i = 0;
+                while i < conns.len() {
+                    if conns[i].1.is_finished() {
+                        let (kick, handle) = conns.swap_remove(i);
+                        handle.join().ok();
+                        drop(kick);
+                    } else {
+                        i += 1;
+                    }
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        stream.set_nodelay(true).ok();
+                        let Ok(read_half) = stream.try_clone() else {
+                            continue;
+                        };
+                        let Ok(kick) = stream.try_clone() else {
+                            continue;
+                        };
+                        let conn_shared = Arc::clone(&accept_shared);
+                        let handle = thread::spawn(move || {
+                            handle_connection(&conn_shared, BufReader::new(read_half), stream);
+                        });
+                        conns.push((kick, handle));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Unblock readers stuck in a socket read, then wait for each
+            // connection to flush its remaining responses.
+            for (kick, _) in &conns {
+                kick.shutdown(Shutdown::Read).ok();
+            }
+            for (_, handle) in conns {
+                handle.join().ok();
+            }
+        });
+
+        Ok(Server {
+            shared,
+            addr: local,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+
+    /// Begin graceful shutdown: stop admitting, drain the queue. Join
+    /// with [`Server::join`].
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Whether shutdown has begun (via [`Server::shutdown`] or a
+    /// client's `{"cmd":"shutdown"}`).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Shut down (if not already begun), drain every accepted job, join
+    /// all threads, and return the final stats.
+    pub fn join(mut self) -> ServeStats {
+        self.shared.begin_shutdown();
+        if let Some(accept) = self.accept.take() {
+            accept.join().ok();
+        }
+        for w in self.workers.drain(..) {
+            w.join().ok();
+        }
+        self.shared.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipe(input: &str, config: &ServeConfig) -> (Vec<String>, ServeStats) {
+        let mut out = Vec::new();
+        let stats = serve_pipe(input.as_bytes(), &mut out, config);
+        let text = String::from_utf8(out).unwrap();
+        (text.lines().map(|l| l.to_string()).collect(), stats)
+    }
+
+    #[test]
+    fn solves_jobs_and_reports_stats_in_request_order() {
+        let input = "{\"family\":\"chain\",\"values\":[30,35,15,5,10,20,25]}\n\
+                     {\"family\":\"merge\",\"values\":[10,20,30],\"algo\":\"wavefront\"}\n\
+                     {\"cmd\":\"stats\"}\n";
+        let (lines, stats) = pipe(input, &ServeConfig::default());
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines[0].contains("\"job\":0"), "{}", lines[0]);
+        assert!(lines[0].contains("\"value\":15125"), "{}", lines[0]);
+        assert!(lines[1].contains("\"job\":1"), "{}", lines[1]);
+        assert!(lines[1].contains("\"value\":90"), "{}", lines[1]);
+        assert!(lines[2].contains("\"stats\":{"), "{}", lines[2]);
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.queue_depth, 0, "drained");
+        // The stats line parses back into the snapshot type.
+        let v = serde_json::parse_value(&lines[2]).unwrap();
+        let snap = ServeStats::from_value(v.get("stats").unwrap()).unwrap();
+        // The snapshot is taken when the writer reaches the slot, so it
+        // covers both already-answered jobs deterministically.
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.workers, stats.workers);
+    }
+
+    #[test]
+    fn malformed_and_invalid_lines_answer_without_killing_the_loop() {
+        let input = "this is not json\n\
+                     {\"family\":\"knapsack\",\"values\":[1]}\n\
+                     {\"family\":\"obst\",\"values\":[1,2]}\n\
+                     {\"family\":\"chain\",\"values\":[2,3,4],\"band\":64}\n\
+                     {\"cmd\":\"frobnicate\"}\n\
+                     {\"family\":\"chain\",\"values\":[2,3,4]}\n";
+        let (lines, stats) = pipe(input, &ServeConfig::default());
+        assert_eq!(lines.len(), 6, "{lines:?}");
+        assert!(lines[0].contains("\"job\":0") && lines[0].contains("not a JSON job"));
+        assert!(lines[1].contains("unknown problem family"), "{}", lines[1]);
+        assert!(lines[2].contains(r#"\"q\" field"#), "{}", lines[2]);
+        assert!(
+            lines[3].contains(r#"\"band\" has no effect"#),
+            "{}",
+            lines[3]
+        );
+        assert!(lines[4].contains("unknown cmd"), "{}", lines[4]);
+        assert!(lines[5].contains("\"value\":24"), "{}", lines[5]);
+        assert_eq!(stats.invalid, 4);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn shutdown_command_acks_and_rejects_the_rest() {
+        let input = "{\"family\":\"chain\",\"values\":[2,3,4]}\n\
+                     {\"cmd\":\"shutdown\"}\n\
+                     {\"family\":\"chain\",\"values\":[4,5,6]}\n";
+        let (lines, stats) = pipe(input, &ServeConfig::default());
+        // The reader stops at the shutdown command; the trailing job is
+        // never read, but the accepted job is drained first.
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains("\"value\":24"), "{}", lines[0]);
+        assert!(lines[1].contains("\"ok\":\"shutdown\""), "{}", lines[1]);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn admission_caps_reject_oversized_jobs() {
+        let cfg = ServeConfig {
+            max_cells: 10,
+            ..ServeConfig::default()
+        };
+        let input = "{\"family\":\"merge\",\"values\":[1,1,1,1,1,1,1,1]}\n";
+        let (lines, stats) = pipe(input, &cfg);
+        assert!(lines[0].contains("job too large"), "{}", lines[0]);
+        assert!(lines[0].contains("\"job\":0"), "{}", lines[0]);
+        assert_eq!(stats.rejected, 1);
+        // Dense cap: sublinear rejected where reduced is admitted.
+        let cfg = ServeConfig {
+            max_dense_cells: 10,
+            ..ServeConfig::default()
+        };
+        let dims: Vec<String> = (0..9).map(|_| "2".to_string()).collect();
+        let line = format!("{{\"family\":\"chain\",\"values\":[{}]}}", dims.join(","));
+        let (lines, _) = pipe(&line, &cfg);
+        assert!(lines[0].contains("dense"), "{}", lines[0]);
+        assert!(lines[0].contains("reduced"), "{}", lines[0]);
+        let reduced = format!(
+            "{{\"family\":\"chain\",\"values\":[{}],\"algo\":\"reduced\"}}",
+            dims.join(",")
+        );
+        let (lines, _) = pipe(&reduced, &cfg);
+        assert!(lines[0].contains("\"value\":"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn tcp_server_round_trips_and_drains_on_join() {
+        use std::io::Write as _;
+        let server = Server::bind("127.0.0.1:0", &ServeConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"{\"family\":\"polygon\",\"values\":[1,10,1,10]}\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"value\":20"), "{line}");
+        drop(reader);
+        drop(stream);
+        let stats = server.join();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.queue_depth, 0);
+    }
+}

@@ -223,6 +223,95 @@ impl fmt::Display for Algorithm {
     }
 }
 
+/// The names of all algorithms satisfying `pred`, `" | "`-separated —
+/// the "pick one of" tail of capability errors.
+fn names_where(pred: impl Fn(Algorithm) -> bool) -> String {
+    Algorithm::ALL
+        .iter()
+        .copied()
+        .filter(|&a| pred(a))
+        .map(|a| a.name())
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+/// A named [`SolveOptions`] knob — the unit of targeted validation.
+///
+/// Front ends map these to their own flag names (the CLI maps
+/// [`SolveKnob::Exec`] to `--backend`, the JSONL job spec maps
+/// [`SolveKnob::Band`] to `"band"`, …) and route every capability
+/// rejection through [`SolveOptions::validate_knob`], so the rules live
+/// once behind the façade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveKnob {
+    /// [`SolveOptions::exec`] — the execution backend.
+    Exec,
+    /// [`SolveOptions::square`] — the `a-square` kernel.
+    Square,
+    /// [`SolveOptions::termination`] — the stopping rule.
+    Termination,
+    /// [`SolveOptions::record_trace`] — per-iteration trace records.
+    RecordTrace,
+    /// [`SolveOptions::skip_clean_rows`] — convergence-aware scheduling.
+    SkipCleanRows,
+    /// [`SolveOptions::band`] — the §5 band-width override.
+    Band,
+    /// [`SolveOptions::windowed_pebble`] — the §5 windowed pebble.
+    WindowedPebble,
+    /// [`SolveOptions::wavefront_grain`] — the wavefront fork-join grain.
+    WavefrontGrain,
+}
+
+impl SolveKnob {
+    /// Every knob, in [`SolveOptions`] field order.
+    pub const ALL: [SolveKnob; 8] = [
+        SolveKnob::Exec,
+        SolveKnob::Square,
+        SolveKnob::Termination,
+        SolveKnob::RecordTrace,
+        SolveKnob::SkipCleanRows,
+        SolveKnob::Band,
+        SolveKnob::WindowedPebble,
+        SolveKnob::WavefrontGrain,
+    ];
+
+    /// The [`SolveOptions`] field name this knob denotes.
+    pub fn field(&self) -> &'static str {
+        match self {
+            SolveKnob::Exec => "exec",
+            SolveKnob::Square => "square",
+            SolveKnob::Termination => "termination",
+            SolveKnob::RecordTrace => "record_trace",
+            SolveKnob::SkipCleanRows => "skip_clean_rows",
+            SolveKnob::Band => "band",
+            SolveKnob::WindowedPebble => "windowed_pebble",
+            SolveKnob::WavefrontGrain => "wavefront_grain",
+        }
+    }
+}
+
+/// A rejected [`SolveOptions`] knob: which knob, and a pointed message.
+///
+/// [`OptionsError::message`] deliberately starts mid-sentence ("has no
+/// effect on 'knuth' …") so front ends can prefix their own name for the
+/// knob: the CLI renders `--backend {message}`, the job spec renders
+/// `"band" {message}`, and [`fmt::Display`] renders the core field name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptionsError {
+    /// The offending knob.
+    pub knob: SolveKnob,
+    /// The message body (no leading knob name; see the type docs).
+    pub message: String,
+}
+
+impl fmt::Display for OptionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}` {}", self.knob.field(), self.message)
+    }
+}
+
+impl std::error::Error for OptionsError {}
+
 impl std::str::FromStr for Algorithm {
     type Err = String;
 
@@ -336,6 +425,155 @@ impl SolveOptions {
     pub fn wavefront_grain(mut self, grain: usize) -> Self {
         self.wavefront_grain = grain;
         self
+    }
+
+    /// Check one named knob against `algorithm`'s capability flags,
+    /// regardless of the knob's current value — the gate for knobs a
+    /// user set *explicitly* (a CLI flag, a JSONL job-spec field), where
+    /// even restating the default on an incapable algorithm deserves a
+    /// pointed rejection rather than silence.
+    ///
+    /// Value validity is checked too where it exists (the degenerate
+    /// zero-edge [`SquareStrategy::Tiled`] tile).
+    pub fn validate_knob(&self, algorithm: Algorithm, knob: SolveKnob) -> Result<(), OptionsError> {
+        let err = |message: String| Err(OptionsError { knob, message });
+        let no_effect = |why: &str, pick: String| {
+            err(format!(
+                "has no effect on '{algorithm}' ({}): {why}; drop it or pick one of: {pick}",
+                algorithm.description()
+            ))
+        };
+        match knob {
+            SolveKnob::Exec => {
+                if !algorithm.is_parallel() {
+                    return no_effect(
+                        "it runs no data-parallel passes",
+                        names_where(|a| a.is_parallel()),
+                    );
+                }
+            }
+            SolveKnob::Square => {
+                if self.square == SquareStrategy::Tiled(0) {
+                    return err("requests the degenerate tile edge 0; write auto for the \
+                         built-in choice, or any positive edge"
+                        .into());
+                }
+                if !algorithm.supports_tile() {
+                    return no_effect(
+                        "it has no a-square kernel",
+                        names_where(|a| a.supports_tile()),
+                    );
+                }
+            }
+            SolveKnob::Termination => {
+                if !algorithm.supports_termination() {
+                    return no_effect(
+                        "it does not read a stopping rule (the §5 solver needs its \
+                         fixed schedule; the direct algorithms do not iterate)",
+                        names_where(|a| a.supports_termination()),
+                    );
+                }
+            }
+            SolveKnob::RecordTrace => {
+                if !algorithm.is_iterative() {
+                    return no_effect(
+                        "it does not iterate (activate, square, pebble)",
+                        names_where(|a| a.is_iterative()),
+                    );
+                }
+            }
+            SolveKnob::SkipCleanRows => {
+                if !algorithm.supports_skip() {
+                    return no_effect(
+                        "convergence-aware scheduling applies to the §2/§5 solvers only",
+                        names_where(|a| a.supports_skip()),
+                    );
+                }
+            }
+            SolveKnob::Band => {
+                if let Some(0) = self.band {
+                    return err("requests a zero band width; drop it for the paper's \
+                         2*ceil(sqrt(n)) or give a positive width"
+                        .into());
+                }
+                if !algorithm.supports_band() {
+                    return no_effect(
+                        "only the banded §5 solver reads a band width",
+                        names_where(|a| a.supports_band()),
+                    );
+                }
+            }
+            SolveKnob::WindowedPebble => {
+                if !algorithm.supports_band() {
+                    return no_effect(
+                        "only the §5 solver has a windowed pebble",
+                        names_where(|a| a.supports_band()),
+                    );
+                }
+            }
+            SolveKnob::WavefrontGrain => {
+                if !algorithm.supports_grain() {
+                    return no_effect(
+                        "only the wavefront solver reads a fork-join grain",
+                        names_where(|a| a.supports_grain()),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate the whole option set against `algorithm`: every knob
+    /// that deviates from [`SolveOptions::default`] must be one the
+    /// algorithm actually reads (per the [`Algorithm`] capability
+    /// flags), and value validity (zero tile edge, zero band) is checked
+    /// unconditionally.
+    ///
+    /// [`ExecBackend::Sequential`] is always accepted: it is the
+    /// meaning-free baseline every algorithm can honour (and the batch
+    /// scheduler's own forced choice for small jobs). To reject *any*
+    /// explicit backend on a sequential algorithm — the CLI's behaviour
+    /// for `--backend` — use [`SolveOptions::validate_knob`] with
+    /// [`SolveKnob::Exec`] instead.
+    ///
+    /// This is deliberately strict: options an algorithm would silently
+    /// ignore are *errors* here, so admission gates (the serve daemon,
+    /// programmatic front ends) reject misconfigured jobs instead of
+    /// running them under different knobs than the caller believes.
+    pub fn validate(&self, algorithm: Algorithm) -> Result<(), OptionsError> {
+        let d = SolveOptions::default();
+        // Value validity first, independent of defaults.
+        if self.square == SquareStrategy::Tiled(0) {
+            self.validate_knob(algorithm, SolveKnob::Square)?;
+        }
+        if self.band == Some(0) {
+            self.validate_knob(algorithm, SolveKnob::Band)?;
+        }
+        if self.exec != d.exec && self.exec != ExecBackend::Sequential {
+            self.validate_knob(algorithm, SolveKnob::Exec)?;
+        }
+        if self.square != d.square {
+            self.validate_knob(algorithm, SolveKnob::Square)?;
+        }
+        if self.termination != d.termination {
+            self.validate_knob(algorithm, SolveKnob::Termination)?;
+        }
+        if self.record_trace != d.record_trace {
+            self.validate_knob(algorithm, SolveKnob::RecordTrace)?;
+        }
+        if self.skip_clean_rows != d.skip_clean_rows {
+            self.validate_knob(algorithm, SolveKnob::SkipCleanRows)?;
+        }
+        if self.band.is_some() {
+            self.validate_knob(algorithm, SolveKnob::Band)?;
+        }
+        if self.windowed_pebble != d.windowed_pebble {
+            self.validate_knob(algorithm, SolveKnob::WindowedPebble)?;
+        }
+        if self.wavefront_grain != d.wavefront_grain {
+            self.validate_knob(algorithm, SolveKnob::WavefrontGrain)?;
+        }
+        Ok(())
     }
 
     /// The [`SolverConfig`] these options denote for the §2 solver.
@@ -624,6 +862,130 @@ mod tests {
             assert_eq!(sol.stats.candidates, sol.trace.total_candidates, "{algo}");
             assert!(sol.stats.changed, "{algo}");
             assert!(sol.stats.writes > 0, "{algo}");
+        }
+    }
+
+    #[test]
+    fn default_options_validate_for_every_algorithm() {
+        for a in Algorithm::ALL {
+            assert_eq!(SolveOptions::default().validate(a), Ok(()), "{a}");
+            // The sequential baseline backend is always acceptable.
+            assert_eq!(
+                SolveOptions::default()
+                    .exec(ExecBackend::Sequential)
+                    .validate(a),
+                Ok(()),
+                "{a}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_each_incapable_knob_deviation() {
+        let cases: [(SolveOptions, SolveKnob, Algorithm); 7] = [
+            (
+                SolveOptions::default().exec(ExecBackend::Threads(2)),
+                SolveKnob::Exec,
+                Algorithm::Knuth,
+            ),
+            (
+                SolveOptions::default().square(SquareStrategy::Naive),
+                SolveKnob::Square,
+                Algorithm::Wavefront,
+            ),
+            (
+                SolveOptions::default().termination(Termination::Fixpoint),
+                SolveKnob::Termination,
+                Algorithm::Reduced,
+            ),
+            (
+                SolveOptions::default().record_trace(true),
+                SolveKnob::RecordTrace,
+                Algorithm::Sequential,
+            ),
+            (
+                SolveOptions::default().skip_clean_rows(false),
+                SolveKnob::SkipCleanRows,
+                Algorithm::Rytter,
+            ),
+            (
+                SolveOptions::default().band(Some(8)),
+                SolveKnob::Band,
+                Algorithm::Sublinear,
+            ),
+            (
+                SolveOptions::default().wavefront_grain(1),
+                SolveKnob::WavefrontGrain,
+                Algorithm::Reduced,
+            ),
+        ];
+        for (opts, knob, algo) in cases {
+            let err = opts.validate(algo).unwrap_err();
+            assert_eq!(err.knob, knob, "{algo}");
+            assert!(err.message.contains("has no effect"), "{knob:?}: {err}");
+            assert!(err.message.contains(algo.name()), "{knob:?}: {err}");
+            assert!(err.to_string().contains(knob.field()), "{knob:?}: {err}");
+            // The same deviation on a capable algorithm passes.
+            let capable = Algorithm::ALL
+                .iter()
+                .copied()
+                .find(|&a| opts.validate(a).is_ok());
+            assert!(capable.is_some(), "{knob:?} rejected everywhere");
+        }
+        // windowed_pebble deviates by turning *off* the default.
+        let err = SolveOptions::default()
+            .windowed_pebble(false)
+            .validate(Algorithm::Sublinear)
+            .unwrap_err();
+        assert_eq!(err.knob, SolveKnob::WindowedPebble, "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_values_everywhere() {
+        for a in Algorithm::ALL {
+            let err = SolveOptions::default()
+                .square(SquareStrategy::Tiled(0))
+                .validate(a)
+                .unwrap_err();
+            assert_eq!(err.knob, SolveKnob::Square, "{a}");
+            assert!(err.message.contains("degenerate"), "{a}: {err}");
+            assert!(err.message.contains("auto"), "{a}: {err}");
+            let err = SolveOptions::default()
+                .band(Some(0))
+                .validate(a)
+                .unwrap_err();
+            assert_eq!(err.knob, SolveKnob::Band, "{a}");
+            assert!(err.message.contains("zero band"), "{a}: {err}");
+        }
+    }
+
+    #[test]
+    fn validate_knob_is_unconditional_on_capability() {
+        // Even the *default* backend is rejected when named explicitly
+        // on a sequential algorithm — the CLI's `--backend` contract.
+        let opts = SolveOptions::default();
+        let err = opts
+            .validate_knob(Algorithm::Sequential, SolveKnob::Exec)
+            .unwrap_err();
+        assert!(err.message.contains("no data-parallel passes"), "{err}");
+        for a in Algorithm::ALL.iter().copied().filter(|a| a.is_parallel()) {
+            assert_eq!(opts.validate_knob(a, SolveKnob::Exec), Ok(()), "{a}");
+        }
+        // Each knob agrees with the registry capability flags.
+        for a in Algorithm::ALL {
+            for knob in SolveKnob::ALL {
+                let ok = opts.validate_knob(a, knob).is_ok();
+                let expect = match knob {
+                    SolveKnob::Exec => a.is_parallel(),
+                    SolveKnob::Square => a.supports_tile(),
+                    SolveKnob::Termination => a.supports_termination(),
+                    SolveKnob::RecordTrace => a.is_iterative(),
+                    SolveKnob::SkipCleanRows => a.supports_skip(),
+                    SolveKnob::Band | SolveKnob::WindowedPebble => a.supports_band(),
+                    SolveKnob::WavefrontGrain => a.supports_grain(),
+                };
+                assert_eq!(ok, expect, "{a} {knob:?}");
+            }
         }
     }
 

@@ -15,11 +15,12 @@
 //! reference or the work-stealing thread pool); the PRAM costs are
 //! recorded separately by [`crate::pram_exec`].
 //!
-//! **Release note:** the historical `ExecMode` name is deprecated — both
-//! this module's alias and its prelude re-export now carry
-//! `#[deprecated]` of their own, so downstream builds warn; name
-//! [`ExecBackend`] directly. The alias will be removed in a future
-//! release.
+//! **Release note:** the historical `ExecMode` name is deprecated; name
+//! [`ExecBackend`] directly. Removal timeline: the prelude re-export was
+//! removed in this release (it had carried `#[deprecated]` for one
+//! release), and this module's [`ExecMode`] alias — `#[deprecated]`
+//! since 0.1.0 — is removed in the next minor release. Migrate with a
+//! textual rename; the variants and semantics are identical.
 
 use crate::ops::{
     a_activate_dense_tracked, a_pebble_dense_scheduled, a_square_dense_scheduled, OpStats,

@@ -25,7 +25,7 @@ pub enum Termination {
 }
 
 /// Per-iteration record of one solver run.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct IterationRecord {
     /// 1-based iteration number.
     pub iteration: u64,
@@ -40,7 +40,7 @@ pub struct IterationRecord {
 }
 
 /// Serializable mirror of [`OpStats`].
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct OpRecord {
     /// Composition candidates examined.
     pub candidates: u64,
@@ -78,7 +78,7 @@ pub enum StopReason {
 }
 
 /// Aggregate of a full solver run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SolveTrace {
     /// Problem size `n`.
     pub n: usize,
