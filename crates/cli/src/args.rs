@@ -34,6 +34,16 @@ impl From<SpecError> for CliError {
 /// reader, and the `serve` daemon agree on what a valid instance is.
 pub type Problem = ProblemSpec;
 
+/// The action of a `pardp cache <action> <dir>` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAction {
+    /// Print record counts, file size, and per-family/per-algorithm
+    /// breakdowns of a persistent store directory.
+    Stat,
+    /// Delete every cached record (the directory itself stays).
+    Clear,
+}
+
 /// The tree shape of a `game` command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Shape {
@@ -66,6 +76,9 @@ pub enum Parsed {
         witness: bool,
         /// Print the per-iteration trace (iterative algorithms only).
         trace: bool,
+        /// Persistent solution-store directory (`--cache <dir>`); `None`
+        /// solves cold (the default, or explicit `--no-cache`).
+        cache: Option<String>,
     },
     /// `pardp batch <jobs.jsonl>`
     Batch {
@@ -80,6 +93,9 @@ pub enum Parsed {
         /// `w`-table cells than this run on the parallel per-problem
         /// path.
         large_cells: Option<usize>,
+        /// Persistent solution-store directory (`--cache <dir>`); `None`
+        /// solves cold (the default, or explicit `--no-cache`).
+        cache: Option<String>,
     },
     /// `pardp serve (--addr <host:port> | --pipe)`
     Serve {
@@ -96,6 +112,16 @@ pub enum Parsed {
         /// Queue bound override (`--queue`); beyond it jobs are rejected
         /// with `overloaded`.
         queue: Option<usize>,
+        /// Persistent solution-store directory (`--cache <dir>`); `None`
+        /// serves cold (the default, or explicit `--no-cache`).
+        cache: Option<String>,
+    },
+    /// `pardp cache (stat | clear) <dir>`
+    Cache {
+        /// What to do with the store.
+        action: CacheAction,
+        /// The persistent store directory.
+        dir: String,
     },
     /// `pardp game <shape> <n>`
     Game {
@@ -153,12 +179,13 @@ pub fn usage() -> String {
 pardp — sublinear parallel dynamic programming (Huang–Liu–Viswanathan 1990/1992)
 
 USAGE:
-  pardp solve chain <d0,d1,...>        [--algo A] [--backend B] [--tile T] [--witness] [--trace]
+  pardp solve chain <d0,d1,...>        [--algo A] [--backend B] [--tile T] [--witness] [--trace] [--cache DIR]
   pardp solve obst --p <p1,..> --q <q0,..> [--algo A] [--backend B] [--tile T] [--witness]
   pardp solve polygon <w0,w1,...>      [--algo A] [--backend B] [--tile T] [--witness]
   pardp solve merge <l0,l1,...>        [--algo A] [--backend B] [--tile T] [--witness]
-  pardp batch <jobs.jsonl>             [--algo A] [--backend B] [--large-cells C]
-  pardp serve (--addr <host:port> | --pipe) [--algo A] [--backend B] [--large-cells C] [--queue N]
+  pardp batch <jobs.jsonl>             [--algo A] [--backend B] [--large-cells C] [--cache DIR]
+  pardp serve (--addr <host:port> | --pipe) [--algo A] [--backend B] [--large-cells C] [--queue N] [--cache DIR]
+  pardp cache (stat | clear) <dir>
   pardp game <zigzag|complete|skewed|random> <n> [--rule jump] [--seed S]
   pardp model <n> [--processors P]
   pardp bound <n>
@@ -191,6 +218,13 @@ SERVE (pardp serve): a persistent solving daemon over the same JSONL
   drain every accepted job, exit; ctrl-C does the same). When the
   bounded queue (--queue, default {queue}) is full, a job is rejected
   immediately with {{\"job\":i,\"error\":\"overloaded\"}}.
+CACHING (--cache DIR | --no-cache): persistent solution store.
+  With --cache DIR, solve/batch/serve reuse solutions stored under DIR
+  (created on first use): repeats are served from the store
+  bit-identically, and chain jobs that extend a cached prefix warm-start
+  from it. --no-cache forces cold solves (the default). `pardp cache
+  stat <dir>` prints record counts and sizes; `pardp cache clear <dir>`
+  deletes the records. Knuth and --trace runs always solve cold.
 TILING (--tile): auto (default) | naive | <t>
   a-square kernel of the iterative solvers ({tile}):
   flat-slice blocked/streamed with an auto-picked or explicit tile edge
@@ -240,6 +274,30 @@ fn take_value(rest: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliE
     }
 }
 
+/// Take the shared `--cache <dir>` / `--no-cache` pair of `solve`,
+/// `batch`, and `serve`. Solving cold is already the default, so
+/// `--no-cache` mostly serves scripts that want to force it explicitly —
+/// but combining it with a directory is contradictory and rejected.
+fn take_cache(rest: &mut Vec<String>) -> Result<Option<String>, CliError> {
+    let dir = take_value(rest, "--cache")?;
+    let off = take_flag(rest, "--no-cache");
+    if off && dir.is_some() {
+        return Err(CliError(
+            "give one of --cache <dir> (reuse solutions across runs) or \
+             --no-cache (solve everything cold), not both"
+                .into(),
+        ));
+    }
+    if let Some(d) = &dir {
+        if d.is_empty() {
+            return Err(CliError(
+                "--cache needs a directory path; use --no-cache to solve cold".into(),
+            ));
+        }
+    }
+    Ok(dir)
+}
+
 /// Parse `argv` (without the program name).
 pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
     let mut rest: Vec<String> = argv.to_vec();
@@ -264,6 +322,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
             };
             let witness = take_flag(&mut rest, "--witness");
             let trace = take_flag(&mut rest, "--trace");
+            let cache = take_cache(&mut rest)?;
             // Flags a non-capable algorithm would silently ignore are
             // rejected with pointed errors. The applicability rules are
             // `SolveOptions::validate_knob` — the same check the batch
@@ -332,6 +391,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 tile,
                 witness,
                 trace,
+                cache,
             })
         }
         "batch" => {
@@ -349,6 +409,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 })?),
                 None => None,
             };
+            let cache = take_cache(&mut rest)?;
             if rest.is_empty() {
                 return Err(CliError(
                     "batch needs a JSONL job file (one problem per line)".into(),
@@ -359,6 +420,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 algo,
                 backend,
                 large_cells,
+                cache,
             })
         }
         "serve" => {
@@ -392,6 +454,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 }
                 None => None,
             };
+            let cache = take_cache(&mut rest)?;
             let addr = take_value(&mut rest, "--addr")?;
             let pipe = take_flag(&mut rest, "--pipe");
             if addr.is_some() == pipe {
@@ -408,6 +471,34 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 backend,
                 large_cells,
                 queue,
+                cache,
+            })
+        }
+        "cache" => {
+            if rest.is_empty() {
+                return Err(CliError(
+                    "cache needs an action: cache stat <dir> | cache clear <dir>".into(),
+                ));
+            }
+            let action = match rest.remove(0).as_str() {
+                "stat" => CacheAction::Stat,
+                "clear" => CacheAction::Clear,
+                other => {
+                    return Err(CliError(format!(
+                        "unknown cache action '{other}' (expected stat | clear)"
+                    )))
+                }
+            };
+            if rest.is_empty() {
+                return Err(CliError(
+                    "cache needs the store directory (the --cache <dir> of a \
+                     previous solve/batch/serve run)"
+                        .into(),
+                ));
+            }
+            Ok(Parsed::Cache {
+                action,
+                dir: rest.remove(0),
             })
         }
         "game" => {
@@ -496,6 +587,7 @@ mod tests {
                 tile: None,
                 witness: false,
                 trace: false,
+                cache: None,
             }
         );
     }
@@ -547,6 +639,7 @@ mod tests {
                 algo: Algorithm::Sublinear,
                 backend: None,
                 large_cells: None,
+                cache: None,
             }
         );
         let p = parse(&argv(
@@ -560,6 +653,7 @@ mod tests {
                 algo: Algorithm::Reduced,
                 backend: Some(ExecBackend::Threads(2)),
                 large_cells: Some(50),
+                cache: None,
             }
         );
         let err = parse(&argv("batch")).unwrap_err();
@@ -582,6 +676,7 @@ mod tests {
                 backend: None,
                 large_cells: None,
                 queue: None,
+                cache: None,
             }
         );
         let p = parse(&argv(
@@ -598,6 +693,7 @@ mod tests {
                 backend: Some(ExecBackend::Threads(2)),
                 large_cells: Some(50),
                 queue: Some(8),
+                cache: None,
             }
         );
         // Exactly one transport: neither and both are rejected.
@@ -610,6 +706,68 @@ mod tests {
         assert!(err.0.contains("overloaded"), "{err}");
         let err = parse(&argv("serve --pipe --backend 0")).unwrap_err();
         assert!(err.0.contains("zero workers"), "{err}");
+    }
+
+    #[test]
+    fn parse_cache_flags_on_solve_batch_serve() {
+        // --cache parses on all three commands.
+        match parse(&argv("solve --cache /tmp/store chain 2,3,4")).unwrap() {
+            Parsed::Solve { cache, .. } => assert_eq!(cache.as_deref(), Some("/tmp/store")),
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("batch --cache /tmp/store jobs.jsonl")).unwrap() {
+            Parsed::Batch { cache, .. } => assert_eq!(cache.as_deref(), Some("/tmp/store")),
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("serve --pipe --cache /tmp/store")).unwrap() {
+            Parsed::Serve { cache, .. } => assert_eq!(cache.as_deref(), Some("/tmp/store")),
+            other => panic!("{other:?}"),
+        }
+        // --no-cache is an accepted explicit default.
+        match parse(&argv("batch --no-cache jobs.jsonl")).unwrap() {
+            Parsed::Batch { cache, .. } => assert_eq!(cache, None),
+            other => panic!("{other:?}"),
+        }
+        // The contradictory combination is rejected with both spellings
+        // named, on every command that takes the pair.
+        for cmd in [
+            "solve --cache /tmp/s --no-cache chain 2,3,4",
+            "batch --no-cache --cache /tmp/s jobs.jsonl",
+            "serve --pipe --cache /tmp/s --no-cache",
+        ] {
+            let err = parse(&argv(cmd)).unwrap_err();
+            assert!(err.0.contains("--cache"), "{cmd}: {err}");
+            assert!(err.0.contains("--no-cache"), "{cmd}: {err}");
+            assert!(err.0.contains("not both"), "{cmd}: {err}");
+        }
+        // --cache without a path.
+        let err = parse(&argv("solve --cache")).unwrap_err();
+        assert!(err.0.contains("--cache needs a value"), "{err}");
+    }
+
+    #[test]
+    fn parse_cache_subcommand() {
+        assert_eq!(
+            parse(&argv("cache stat /tmp/store")).unwrap(),
+            Parsed::Cache {
+                action: CacheAction::Stat,
+                dir: "/tmp/store".into(),
+            }
+        );
+        assert_eq!(
+            parse(&argv("cache clear /tmp/store")).unwrap(),
+            Parsed::Cache {
+                action: CacheAction::Clear,
+                dir: "/tmp/store".into(),
+            }
+        );
+        let err = parse(&argv("cache")).unwrap_err();
+        assert!(err.0.contains("stat"), "{err}");
+        assert!(err.0.contains("clear"), "{err}");
+        let err = parse(&argv("cache vacuum /tmp/store")).unwrap_err();
+        assert!(err.0.contains("unknown cache action 'vacuum'"), "{err}");
+        let err = parse(&argv("cache stat")).unwrap_err();
+        assert!(err.0.contains("store directory"), "{err}");
     }
 
     #[test]

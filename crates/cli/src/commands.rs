@@ -12,7 +12,13 @@ use pardp_pram::Timeline;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::args::{usage, CliError, Parsed, Problem, Shape};
+use crate::args::{usage, CacheAction, CliError, Parsed, Problem, Shape};
+
+/// Open the persistent store behind `--cache <dir>` (creating the
+/// directory on first use).
+fn open_cache(dir: &str) -> Result<FileStore, CliError> {
+    FileStore::open(dir).map_err(|e| CliError(e.0))
+}
 
 /// Execute a parsed command, producing the output text.
 pub fn execute(parsed: &Parsed) -> Result<String, CliError> {
@@ -23,7 +29,8 @@ pub fn execute(parsed: &Parsed) -> Result<String, CliError> {
             algo,
             backend,
             large_cells,
-        } => run_batch(path, *algo, *backend, *large_cells),
+            cache,
+        } => run_batch(path, *algo, *backend, *large_cells, cache.as_deref()),
         Parsed::Serve {
             addr,
             pipe,
@@ -31,6 +38,7 @@ pub fn execute(parsed: &Parsed) -> Result<String, CliError> {
             backend,
             large_cells,
             queue,
+            cache,
         } => run_serve(
             addr.as_deref(),
             *pipe,
@@ -38,7 +46,9 @@ pub fn execute(parsed: &Parsed) -> Result<String, CliError> {
             *backend,
             *large_cells,
             *queue,
+            cache.as_deref(),
         ),
+        Parsed::Cache { action, dir } => run_cache(*action, dir),
         Parsed::Bound { n } => {
             let b = pardp_core::schedule_bound(*n);
             Ok(format!(
@@ -61,7 +71,41 @@ pub fn execute(parsed: &Parsed) -> Result<String, CliError> {
             tile,
             witness,
             trace,
-        } => run_solve(problem, *algo, *backend, *tile, *witness, *trace),
+            cache,
+        } => run_solve(
+            problem,
+            *algo,
+            *backend,
+            *tile,
+            *witness,
+            *trace,
+            cache.as_deref(),
+        ),
+    }
+}
+
+/// `pardp cache stat|clear <dir>`: inspect or empty a persistent store.
+fn run_cache(action: CacheAction, dir: &str) -> Result<String, CliError> {
+    let store = FileStore::open_existing(dir).map_err(|e| CliError(e.0))?;
+    match action {
+        CacheAction::Stat => {
+            let st = store.stat().map_err(|e| CliError(e.0))?;
+            let mut s = format!(
+                "store {dir}: {} record(s), {} bytes on disk, {} invalid byte(s) skipped\n",
+                st.records, st.file_bytes, st.skipped_bytes
+            );
+            for (family, count) in &st.families {
+                s.push_str(&format!("  family {family}: {count}\n"));
+            }
+            for (algo, count) in &st.algorithms {
+                s.push_str(&format!("  algo {algo}: {count}\n"));
+            }
+            Ok(s)
+        }
+        CacheAction::Clear => {
+            let removed = store.wipe().map_err(|e| CliError(e.0))?;
+            Ok(format!("store {dir}: cleared {removed} record(s)\n",))
+        }
     }
 }
 
@@ -124,11 +168,14 @@ fn run_solve(
     tile: Option<SquareStrategy>,
     witness: bool,
     trace: bool,
+    cache_dir: Option<&str>,
 ) -> Result<String, CliError> {
+    let cache = cache_dir.map(open_cache).transpose()?;
+    let cache = cache.as_ref();
     match problem {
         Problem::Chain { dims } => {
             let mc = MatrixChain::new(dims.clone());
-            let (out, w) = solve_with(&mc, algo, backend, tile, trace)?;
+            let (out, w) = solve_with(&mc, problem, algo, backend, tile, trace, cache)?;
             let mut s = format!("matrix chain, n = {}\n{out}", mc.n_matrices());
             if witness {
                 let tree = reconstruct_root(&mc, &w)
@@ -139,7 +186,7 @@ fn run_solve(
         }
         Problem::Obst { p, q } => {
             let bst = OptimalBst::new(p.clone(), q.clone());
-            let (out, w) = solve_with(&bst, algo, backend, tile, trace)?;
+            let (out, w) = solve_with(&bst, problem, algo, backend, tile, trace, cache)?;
             let mut s = format!("optimal BST, {} keys\n{out}", bst.n_keys());
             if witness {
                 let tree = reconstruct_root(&bst, &w)
@@ -157,7 +204,7 @@ fn run_solve(
         }
         Problem::Polygon { weights } => {
             let poly = WeightedPolygon::new(weights.clone());
-            let (out, w) = solve_with(&poly, algo, backend, tile, trace)?;
+            let (out, w) = solve_with(&poly, problem, algo, backend, tile, trace, cache)?;
             let mut s = format!(
                 "polygon triangulation, {} vertices\n{out}",
                 poly.n_vertices()
@@ -172,7 +219,7 @@ fn run_solve(
         }
         Problem::Merge { lengths } => {
             let m = MergeOrder::new(lengths.clone());
-            let (out, w) = solve_with(&m, algo, backend, tile, trace)?;
+            let (out, w) = solve_with(&m, problem, algo, backend, tile, trace, cache)?;
             let mut s = format!("merge order, {} runs\n{out}", m.lengths().len());
             if witness {
                 let tree = reconstruct_root(&m, &w)
@@ -195,6 +242,7 @@ fn run_batch(
     default_algo: Algorithm,
     backend: Option<ExecBackend>,
     large_cells: Option<usize>,
+    cache_dir: Option<&str>,
 ) -> Result<String, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError(format!("cannot read job file '{path}': {e}")))?;
@@ -208,12 +256,6 @@ fn run_batch(
                 .map_err(|e| CliError(format!("{path} job {i}: {}", e.0)))?,
         );
     }
-    let problems: Vec<SpecProblem> = resolved.iter().map(|r| r.problem.build()).collect();
-    let jobs: Vec<BatchJob<'_, u64>> = problems
-        .iter()
-        .zip(&resolved)
-        .map(|(p, r)| BatchJob::new(p).algorithm(r.algorithm).options(r.options))
-        .collect();
 
     let mut solver = BatchSolver::new();
     if let Some(b) = backend {
@@ -222,12 +264,17 @@ fn run_batch(
     if let Some(c) = large_cells {
         solver = solver.large_job_cells(c);
     }
-    let report = solver.solve_batch(&jobs);
+    // The cache-aware path is the only path: without --cache it still
+    // dedups identical jobs within the batch (`cache: None` below).
+    let store = cache_dir.map(open_cache).transpose()?;
+    let report = solver.solve_resolved(&resolved, store.as_ref().map(|s| s as &dyn SolutionCache));
 
     // The Knuth-Yao speedup is only valid on quadrangle-inequality
     // instances; guard batch users exactly like the `solve` path does.
+    // Knuth jobs are never cached or deduped, so every Knuth solution
+    // here came from a real solve on this instance.
     for r in &report.results {
-        verify_knuth(&problems[r.job], &r.solution)
+        verify_knuth(&resolved[r.job].problem.build(), &r.solution)
             .map_err(|e| CliError(format!("{path} job {}: {}", r.job, e.0)))?;
     }
 
@@ -237,7 +284,16 @@ fn run_batch(
         out.push_str(&serde_json::to_string(&record).map_err(|e| CliError(e.to_string()))?);
         out.push('\n');
     }
-    let summary = BatchSummary::new(&report, solver.backend());
+    // Cache traffic gets its own line (only when a store is attached),
+    // so the trailing summary stays wire-identical to a cache-less run.
+    if store.is_some() {
+        let c = report.cache;
+        out.push_str(&format!(
+            "{{\"cache_hits\":{},\"cache_misses\":{},\"warm_starts\":{},\"deduped\":{}}}\n",
+            c.hits, c.misses, c.warm_starts, c.deduped
+        ));
+    }
+    let summary = report.summary(solver.backend());
     out.push_str(&serde_json::to_string(&summary).map_err(|e| CliError(e.to_string()))?);
     out.push('\n');
     Ok(out)
@@ -279,6 +335,7 @@ fn run_serve(
     backend: Option<ExecBackend>,
     large_cells: Option<usize>,
     queue: Option<usize>,
+    cache_dir: Option<&str>,
 ) -> Result<String, CliError> {
     let mut config = pardp_core::serve::ServeConfig {
         default_algo: algo,
@@ -292,6 +349,10 @@ fn run_serve(
     }
     if let Some(q) = queue {
         config.queue_capacity = q;
+    }
+    let cached = cache_dir.is_some();
+    if let Some(dir) = cache_dir {
+        config.cache = Some(std::sync::Arc::new(open_cache(dir)?));
     }
 
     let stats = if pipe {
@@ -316,9 +377,17 @@ fn run_serve(
         }
         server.join()
     };
+    let cache_note = if cached {
+        format!(
+            " cache (hits {} / misses {} / warm starts {})",
+            stats.cache_hits, stats.cache_misses, stats.warm_starts,
+        )
+    } else {
+        String::new()
+    };
     eprintln!(
         "pardp serve: drained — accepted {} rejected {} invalid {} \
-         completed {} (small {} / large {})",
+         completed {} (small {} / large {}){cache_note}",
         stats.accepted,
         stats.rejected,
         stats.invalid,
@@ -353,10 +422,12 @@ fn push_iteration_trace(s: &mut String, trace: &pardp_core::trace::SolveTrace) {
 /// the whole spectrum.
 fn solve_with<P: DpProblem<u64> + ?Sized>(
     p: &P,
+    spec: &ProblemSpec,
     algo: Algorithm,
     backend: Option<ExecBackend>,
     tile: Option<SquareStrategy>,
     trace: bool,
+    cache: Option<&FileStore>,
 ) -> Result<(String, WTable<u64>), CliError> {
     let n = p.n();
     let mut opts = SolveOptions::default()
@@ -368,7 +439,17 @@ fn solve_with<P: DpProblem<u64> + ?Sized>(
     if let Some(t) = tile {
         opts = opts.square(t);
     }
-    let sol = Solver::new(algo).options(opts).solve(p);
+    // With a cache attached the solve runs key → lookup → solve-miss →
+    // insert on the canonical spec instance; cached tables are
+    // bit-identical to this cold path, so the witness and the Knuth
+    // guard below see the same `w` either way.
+    let (sol, outcome) = match cache {
+        Some(c) => cached_solve(c, spec, algo, &opts),
+        None => (
+            Solver::new(algo).options(opts).solve(p),
+            CacheOutcome::Bypass,
+        ),
+    };
 
     // The Knuth-Yao speedup is only valid on quadrangle-inequality
     // instances; the CLI guards the user by cross-checking the full DP.
@@ -388,6 +469,16 @@ fn solve_with<P: DpProblem<u64> + ?Sized>(
     );
     if algo.is_parallel() {
         s.push_str(&format!("backend: {}\n", opts.exec));
+    }
+    if cache.is_some() {
+        s.push_str(&match outcome {
+            CacheOutcome::Hit => "cache: hit\n".to_string(),
+            CacheOutcome::Warm { seed_n } => {
+                format!("cache: warm start from cached n = {seed_n} prefix\n")
+            }
+            CacheOutcome::Miss => "cache: miss (stored for next time)\n".to_string(),
+            CacheOutcome::Bypass => "cache: bypassed\n".to_string(),
+        });
     }
     s.push_str(&format!("c(0,{n}) = {}\n", sol.value()));
     if algo.is_iterative() {
@@ -608,6 +699,129 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert!(err.0.contains("job 1"), "{err}");
         assert!(err.0.contains("unknown algorithm"), "{err}");
+    }
+
+    /// A fresh temp store directory path (removed before use).
+    fn temp_store(name: &str) -> String {
+        let dir =
+            std::env::temp_dir().join(format!("pardp-cli-cache-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn solve_cache_misses_then_hits_bit_identically() {
+        let dir = temp_store("solve");
+        let cmd = format!("solve --cache {dir} chain 30,35,15,5,10,20,25");
+        let cold = run_line(&cmd).unwrap();
+        assert!(cold.contains("cache: miss"), "{cold}");
+        assert!(cold.contains("= 15125"), "{cold}");
+        let hit = run_line(&cmd).unwrap();
+        assert!(hit.contains("cache: hit"), "{hit}");
+        // Apart from the outcome line the two outputs agree exactly.
+        assert_eq!(
+            cold.replace("cache: miss (stored for next time)", "X"),
+            hit.replace("cache: hit", "X"),
+        );
+        // The witness reconstructs identically from a cached table.
+        let wit = run_line(&format!("{cmd} --witness")).unwrap();
+        assert!(wit.contains("((A1 (A2 A3)) ((A4 A5) A6))"), "{wit}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn solve_cache_warm_starts_a_longer_chain() {
+        let dir = temp_store("warm");
+        let cold = run_line(&format!("solve --cache {dir} chain 30,35,15,5,10")).unwrap();
+        assert!(cold.contains("cache: miss"), "{cold}");
+        let warm = run_line(&format!("solve --cache {dir} chain 30,35,15,5,10,20,25")).unwrap();
+        assert!(
+            warm.contains("cache: warm start from cached n = 4"),
+            "{warm}"
+        );
+        assert!(warm.contains("= 15125"), "{warm}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_cache_reports_traffic_and_dedups() {
+        let dir = temp_store("batch");
+        let path = temp_jobs(
+            "cached",
+            "{\"family\":\"chain\",\"values\":[30,35,15,5,10,20,25]}\n\
+             {\"family\":\"chain\",\"values\":[30,35,15,5,10,20,25]}\n\
+             {\"family\":\"merge\",\"values\":[10,20,30]}\n",
+        );
+        let out = run_line(&format!("batch --cache {dir} {path}")).unwrap();
+        assert!(
+            out.contains("\"cache_hits\":0,\"cache_misses\":2,\"warm_starts\":0,\"deduped\":1"),
+            "{out}"
+        );
+        assert_eq!(out.lines().count(), 5, "3 jobs + cache + summary: {out}");
+        let again = run_line(&format!("batch --cache {dir} {path}")).unwrap();
+        assert!(again.contains("\"cache_hits\":2"), "{again}");
+        // Job records and the summary are bit-identical apart from wall
+        // time — compare the deterministic value/hash fields.
+        for (a, b) in out.lines().zip(again.lines()).take(3) {
+            let va = a.split("\"wall_seconds\"").next().unwrap();
+            let vb = b.split("\"wall_seconds\"").next().unwrap();
+            assert_eq!(va, vb);
+        }
+        // Without --cache the same duplicate batch still works (dedup is
+        // internal; output shape is the cache-less 4 lines).
+        let plain = run_line(&format!("batch {path}")).unwrap();
+        assert_eq!(plain.lines().count(), 4, "{plain}");
+        assert!(!plain.contains("cache_hits"), "{plain}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_stat_and_clear_round_trip() {
+        let dir = temp_store("statclear");
+        // Populate with two records via solve.
+        run_line(&format!("solve --cache {dir} chain 2,3,4")).unwrap();
+        run_line(&format!("solve --cache {dir} merge 10,20,30")).unwrap();
+        let out = run_line(&format!("cache stat {dir}")).unwrap();
+        assert!(out.contains("2 record(s)"), "{out}");
+        assert!(out.contains("family chain: 1"), "{out}");
+        assert!(out.contains("family merge: 1"), "{out}");
+        assert!(out.contains("algo sublinear: 2"), "{out}");
+        let out = run_line(&format!("cache clear {dir}")).unwrap();
+        assert!(out.contains("cleared 2 record(s)"), "{out}");
+        let out = run_line(&format!("cache stat {dir}")).unwrap();
+        assert!(out.contains("0 record(s)"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_commands_reject_missing_and_report_corrupt_stores() {
+        // Missing directory: pointed error, no directory created.
+        let dir = temp_store("missing");
+        for action in ["stat", "clear"] {
+            let err = run_line(&format!("cache {action} {dir}")).unwrap_err();
+            assert!(err.0.contains("does not exist"), "{action}: {err}");
+        }
+        assert!(!std::path::Path::new(&dir).exists());
+
+        // A corrupt store file: stat opens it, counts zero retrievable
+        // records, and reports every byte as skipped.
+        let dir = temp_store("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            std::path::Path::new(&dir).join("store.dat"),
+            b"this is not a pardp store",
+        )
+        .unwrap();
+        let out = run_line(&format!("cache stat {dir}")).unwrap();
+        assert!(out.contains("0 record(s)"), "{out}");
+        assert!(out.contains("25 invalid byte(s) skipped"), "{out}");
+        // Solving over the corrupt store overwrites the junk tail.
+        run_line(&format!("solve --cache {dir} chain 2,3,4")).unwrap();
+        let out = run_line(&format!("cache stat {dir}")).unwrap();
+        assert!(out.contains("1 record(s)"), "{out}");
+        assert!(out.contains("0 invalid byte(s) skipped"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

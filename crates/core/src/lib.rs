@@ -101,6 +101,7 @@ pub mod seq;
 pub mod serve;
 pub mod solver;
 pub mod spec;
+pub mod store;
 pub mod sublinear;
 pub mod tables;
 pub mod trace;
@@ -123,6 +124,10 @@ pub mod prelude {
     pub use crate::spec::{
         parse_jobs, table_hash, verify_knuth, BatchSummary, JobRecord, JobSpec, ProblemSpec,
         ResolvedJob, SpecError, SpecProblem,
+    };
+    pub use crate::store::{
+        cached_solve, CacheCounters, CacheOutcome, CachedBatchReport, CachedSolution, CachedSolver,
+        FileStore, MemoryCache, ProblemKey, SolutionCache, StoreError, StoreStat,
     };
     // The deprecated `ExecMode` prelude alias was removed in this
     // release; see the release note in [`crate::sublinear`] for the

@@ -88,6 +88,30 @@ pub fn solve_reduced<W: Weight, P: DpProblem<W> + ?Sized>(
     problem: &P,
     config: &ReducedConfig,
 ) -> Solution<W> {
+    solve_seeded(problem, config, None)
+}
+
+/// Warm-started §5 solve for the solution store: pairs `(i,j)` with
+/// `j <= seed_m` start at the cached optimal prefix values and are
+/// dirty-bit-excluded from every pebble pass. Same exactness argument
+/// as [`crate::sublinear::solve_sublinear_seeded`] — the window and the
+/// banded storage are untouched, only the pebble skip mask gains the
+/// always-final seeded pairs.
+pub(crate) fn solve_reduced_seeded<W: Weight, P: DpProblem<W> + ?Sized>(
+    problem: &P,
+    config: &ReducedConfig,
+    seed_m: usize,
+    seed: &WTable<W>,
+) -> Solution<W> {
+    debug_assert!(seed.n() == seed_m && seed_m < problem.n());
+    solve_seeded(problem, config, Some((seed_m, seed)))
+}
+
+fn solve_seeded<W: Weight, P: DpProblem<W> + ?Sized>(
+    problem: &P,
+    config: &ReducedConfig,
+    seed: Option<(usize, &WTable<W>)>,
+) -> Solution<W> {
     let t0 = std::time::Instant::now();
     let n = problem.n();
     let exec = &config.exec;
@@ -97,6 +121,13 @@ pub fn solve_reduced<W: Weight, P: DpProblem<W> + ?Sized>(
     let mut w = WTable::new(n);
     for i in 0..n {
         w.set(i, i + 1, problem.init(i));
+    }
+    if let Some((m, sw)) = seed {
+        for i in 0..m {
+            for j in i + 1..=m {
+                w.set(i, j, sw.get(i, j));
+            }
+        }
     }
     let mut pw = BandedPw::new(n, band);
     let mut pw_next = BandedPw::new(n, band);
@@ -123,6 +154,13 @@ pub fn solve_reduced<W: Weight, P: DpProblem<W> + ?Sized>(
     let mut pebble_dirty = vec![true; dim];
     let mut square_skip_mask = vec![false; dim];
     let mut pebble_skip_mask = vec![false; dim];
+    // Warm start: seeded prefix pairs already hold their final optimal
+    // values, so the pebble never needs to re-minimise them (it could
+    // only confirm them — pebble is a monotone re-minimisation whose
+    // candidates never undercut the optimum). Their square rows still
+    // run: nested pw rows feed the un-seeded suffix pairs.
+    let final_pairs: Option<Vec<bool>> =
+        seed.map(|(m, _)| idx.pairs().map(|(_, j)| j <= m).collect::<Vec<bool>>());
 
     for iter in 1..=schedule {
         let (act, activate_changed_rows) = a_activate_banded_tracked(problem, &w, &mut pw, exec);
@@ -174,6 +212,14 @@ pub fn solve_reduced<W: Weight, P: DpProblem<W> + ?Sized>(
             for (skip, dirty) in pebble_skip_mask.iter_mut().zip(&pebble_dirty) {
                 *skip = !dirty;
             }
+            if let Some(fm) = &final_pairs {
+                for (skip, f) in pebble_skip_mask.iter_mut().zip(fm) {
+                    *skip |= *f;
+                }
+            }
+            Some(pebble_skip_mask.as_slice())
+        } else if let Some(fm) = &final_pairs {
+            pebble_skip_mask.copy_from_slice(fm);
             Some(pebble_skip_mask.as_slice())
         } else {
             None

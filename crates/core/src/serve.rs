@@ -60,7 +60,7 @@
 //! that works with `pardp batch` streams unchanged through
 //! `pardp serve --pipe`, and the result lines differ only in
 //! `wall_seconds`. Library users construct [`JobSpec`] values (or
-//! [`ProblemSpec`](crate::spec::ProblemSpec)s) instead of private CLI
+//! [`ProblemSpec`]s) instead of private CLI
 //! types.
 //!
 //! ```
@@ -88,7 +88,8 @@ use serde::{Deserialize, Serialize};
 use crate::batch::DEFAULT_LARGE_JOB_CELLS;
 use crate::exec::ExecBackend;
 use crate::solver::{Algorithm, SolveOptions, Solver};
-use crate::spec::{verify_knuth, JobRecord, JobSpec, SpecProblem};
+use crate::spec::{verify_knuth, JobRecord, JobSpec, ProblemSpec, SpecProblem};
+use crate::store::{cached_solve, CacheOutcome, SolutionCache};
 use crate::trace::Termination;
 
 /// Default bound of the job queue: submissions beyond this many waiting
@@ -110,7 +111,7 @@ pub const DEFAULT_MAX_DENSE_CELLS: usize = 96 * 97 / 2;
 /// (parallel pool, sublinear default algorithm, fixpoint stop, the batch
 /// regime threshold), so responses agree bit-for-bit with a batch run of
 /// the same lines.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// The worker pool the daemon drains jobs over; the worker count is
     /// `exec.effective_threads()`.
@@ -127,6 +128,26 @@ pub struct ServeConfig {
     pub max_cells: usize,
     /// Admission cap for the dense-table algorithms (sublinear, rytter).
     pub max_dense_cells: usize,
+    /// Optional solution cache shared by every worker (`None` solves
+    /// every job cold — the default, bit-identical to `pardp batch`).
+    /// Cache traffic shows up in [`ServeStats::cache_hits`] /
+    /// [`ServeStats::cache_misses`] / [`ServeStats::warm_starts`].
+    pub cache: Option<Arc<dyn SolutionCache>>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("exec", &self.exec)
+            .field("default_algo", &self.default_algo)
+            .field("options", &self.options)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("large_job_cells", &self.large_job_cells)
+            .field("max_cells", &self.max_cells)
+            .field("max_dense_cells", &self.max_dense_cells)
+            .field("cache", &self.cache.as_ref().map(|c| c.len()))
+            .finish()
+    }
 }
 
 impl Default for ServeConfig {
@@ -139,6 +160,7 @@ impl Default for ServeConfig {
             large_job_cells: DEFAULT_LARGE_JOB_CELLS,
             max_cells: DEFAULT_MAX_CELLS,
             max_dense_cells: DEFAULT_MAX_DENSE_CELLS,
+            cache: None,
         }
     }
 }
@@ -159,6 +181,13 @@ pub struct ServeStats {
     pub completed_small: u64,
     /// Completed jobs that ran on the parallel per-problem path.
     pub completed_large: u64,
+    /// Completed jobs served straight from the solution cache.
+    pub cache_hits: u64,
+    /// Completed jobs that missed the cache (warm starts included;
+    /// always zero when no cache is configured).
+    pub cache_misses: u64,
+    /// Missed jobs seeded from a cached prefix table.
+    pub warm_starts: u64,
     /// Jobs waiting in the queue right now.
     pub queue_depth: usize,
     /// The configured queue bound.
@@ -182,12 +211,18 @@ struct Counters {
     completed: AtomicU64,
     completed_small: AtomicU64,
     completed_large: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    warm_starts: AtomicU64,
 }
 
 /// One queued job: a resolved, admitted request plus its reply slot.
 struct Job {
     index: usize,
     family: &'static str,
+    /// The validated spec — the cache identity (built instances carry
+    /// prefix sums, not the canonical payload).
+    spec: ProblemSpec,
     problem: SpecProblem,
     algorithm: Algorithm,
     options: SolveOptions,
@@ -269,6 +304,9 @@ impl Shared {
             completed: c.completed.load(Ordering::Relaxed),
             completed_small,
             completed_large,
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            warm_starts: c.warm_starts.load(Ordering::Relaxed),
             queue_depth: relock(self.queue.lock()).len(),
             queue_capacity: self.config.queue_capacity,
             workers: self.workers,
@@ -306,16 +344,34 @@ fn worker_loop(shared: &Shared) {
 /// reply slot.
 fn run_job(shared: &Shared, job: Job) {
     // The two regimes mirror `BatchSolver::solve_batch` exactly — same
-    // backend overrides, so the solved tables are bit-identical.
-    let solution = if job.large {
+    // backend overrides, so the solved tables are bit-identical. With a
+    // cache configured, the staged solve (key → lookup → warm-probe →
+    // solve → insert) runs *inside* the regime gate: a hit skips the
+    // kernels entirely but still respects response ordering.
+    let (solution, outcome) = if job.large {
         let _gate = shared.regime.write().unwrap_or_else(|e| e.into_inner());
         let opts = job.options.exec(job.options.exec.capped(shared.workers));
-        Solver::new(job.algorithm).options(opts).solve(&job.problem)
+        solve_maybe_cached(shared, &job, opts)
     } else {
         let _gate = shared.regime.read().unwrap_or_else(|e| e.into_inner());
         let opts = job.options.exec(ExecBackend::Sequential);
-        Solver::new(job.algorithm).options(opts).solve(&job.problem)
+        solve_maybe_cached(shared, &job, opts)
     };
+    match outcome {
+        CacheOutcome::Hit => {
+            shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        CacheOutcome::Warm { .. } => {
+            shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+            shared.counters.warm_starts.fetch_add(1, Ordering::Relaxed);
+        }
+        CacheOutcome::Miss => {
+            shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        CacheOutcome::Bypass => {}
+    }
+    // Knuth is never cached (`ProblemKey::derive` bypasses it), so a
+    // cache path cannot skip this verification.
     let line = match verify_knuth(&job.problem, &solution) {
         Ok(()) => {
             let record = JobRecord::of_solution(job.index, job.family, &solution, job.large);
@@ -333,6 +389,22 @@ fn run_job(shared: &Shared, job: Job) {
     // The connection may already be gone; the job still counts as
     // completed (it was solved).
     job.reply.send(line).ok();
+}
+
+/// Solve one admitted job with `opts`, through the configured cache
+/// when there is one.
+fn solve_maybe_cached(
+    shared: &Shared,
+    job: &Job,
+    opts: SolveOptions,
+) -> (crate::solver::Solution<u64>, CacheOutcome) {
+    match &shared.config.cache {
+        Some(cache) => cached_solve(cache.as_ref(), &job.spec, job.algorithm, &opts),
+        None => (
+            Solver::new(job.algorithm).options(opts).solve(&job.problem),
+            CacheOutcome::Bypass,
+        ),
+    }
 }
 
 /// `{"job":i,"error":"..."}`.
@@ -506,6 +578,7 @@ fn handle_connection<R: BufRead, W: Write + Send>(shared: &Shared, reader: R, wr
                                 index,
                                 family: resolved.problem.family(),
                                 problem: resolved.problem.build(),
+                                spec: resolved.problem,
                                 algorithm: resolved.algorithm,
                                 options: resolved.options,
                                 large: cells > shared.config.large_job_cells,
@@ -539,7 +612,7 @@ pub fn serve_pipe<R: BufRead, W: Write + Send>(
     writer: W,
     config: &ServeConfig,
 ) -> ServeStats {
-    let shared = Shared::new(*config);
+    let shared = Shared::new(config.clone());
     thread::scope(|scope| {
         for _ in 0..shared.workers {
             scope.spawn(|| worker_loop(&shared));
@@ -568,7 +641,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let shared = Arc::new(Shared::new(*config));
+        let shared = Arc::new(Shared::new(config.clone()));
 
         let workers = (0..shared.workers)
             .map(|_| {

@@ -190,6 +190,47 @@ impl ProblemSpec {
         n * (n + 1) / 2
     }
 
+    /// The size-`m` prefix instance. Prefixing is *exact* for every
+    /// wire family: a pair `(i,j)` of recurrence (*) reads only pairs
+    /// nested inside it, and each family's `init` / `f` at a nested
+    /// pair reads only the payload entries inside `[i, j]` — never the
+    /// suffix — so every `w(i,j)` with `j <= m` of the prefix instance
+    /// equals the same cell of the full instance. The solution store
+    /// exploits this for warm starts: a cached size-`m` table seeds the
+    /// first `m(m+1)/2` cells of a size-`n` solve of the same family
+    /// and payload prefix.
+    ///
+    /// Returns `None` unless `2 <= m < n` (a strict prefix large enough
+    /// to satisfy every family's shape rule).
+    pub fn prefix(&self, m: usize) -> Option<ProblemSpec> {
+        if m < 2 || m >= self.n() {
+            return None;
+        }
+        Some(match self {
+            // n = dims.len() - 1: size m keeps dims d_0 ..= d_m.
+            ProblemSpec::Chain { dims } => ProblemSpec::Chain {
+                dims: dims[..=m].to_vec(),
+            },
+            // n = keys + 1: size m keeps the first m - 1 keys and their
+            // m leading dummy frequencies (appending keys appends `q`
+            // entries without touching the existing ones).
+            ProblemSpec::Obst { p, q } => ProblemSpec::Obst {
+                p: p[..m - 1].to_vec(),
+                q: q[..=m - 1].to_vec(),
+            },
+            // n = weights.len() - 1: f(i,k,j) reads single vertex
+            // weights, all inside [i, j].
+            ProblemSpec::Polygon { weights } => ProblemSpec::Polygon {
+                weights: weights[..=m].to_vec(),
+            },
+            // n = lengths.len(): f(i,_,j) is a prefix-sum difference
+            // inside [i, j].
+            ProblemSpec::Merge { lengths } => ProblemSpec::Merge {
+                lengths: lengths[..m].to_vec(),
+            },
+        })
+    }
+
     /// Build the solvable instance.
     pub fn build(&self) -> SpecProblem {
         match self {
@@ -462,25 +503,85 @@ pub fn parse_jobs(text: &str) -> Result<Vec<JobSpec>, SpecError> {
     Ok(specs)
 }
 
+/// The canonical FNV-1a 64 hasher behind every identity in the wire
+/// API: [`table_hash`] fingerprints solved tables with it, and
+/// [`ProblemKey`](crate::store::ProblemKey) derives cache identities
+/// from it — one hash function, one byte encoding (little-endian),
+/// everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CanonicalHasher {
+    state: u64,
+}
+
+impl Default for CanonicalHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CanonicalHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        CanonicalHasher {
+            state: Self::OFFSET,
+        }
+    }
+
+    /// Absorb raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorb one `u64`, little-endian.
+    pub fn write_u64(&mut self, x: u64) {
+        self.write_bytes(&x.to_le_bytes());
+    }
+
+    /// Absorb a length-prefixed `u64` slice (the prefix keeps
+    /// `[1] ++ [2]` and `[1, 2]` distinct across adjacent fields).
+    pub fn write_slice(&mut self, xs: &[u64]) {
+        self.write_u64(xs.len() as u64);
+        for &x in xs {
+            self.write_u64(x);
+        }
+    }
+
+    /// Absorb a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The current 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// The digest as 16 hex digits — the wire rendering.
+    pub fn finish_hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
 /// FNV-1a 64 fingerprint of a solved `w` table (size then every cell,
 /// little-endian), rendered as 16 hex digits. Two runs agree on this
 /// hash iff they produced identical tables — the bit-parity check of
-/// records that do not carry the full table.
+/// records that do not carry the full table. Built on
+/// [`CanonicalHasher`], the same hash the solution store derives
+/// problem identities from.
 pub fn table_hash(w: &WTable<u64>) -> String {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut eat = |x: u64| {
-        for b in x.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    eat(w.n() as u64);
+    let mut h = CanonicalHasher::new();
+    h.write_u64(w.n() as u64);
     for &cell in w.as_slice() {
-        eat(cell);
+        h.write_u64(cell);
     }
-    format!("{h:016x}")
+    h.finish_hex()
 }
 
 /// Cross-check a Knuth–Yao solution against the full DP. The speedup is
@@ -771,6 +872,70 @@ mod tests {
         assert_eq!(specs.len(), 2);
         let e = parse_jobs("\n{\"family\":\"chain\"\n").unwrap_err();
         assert!(e.0.contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn canonical_hasher_is_stable_and_field_separating() {
+        // The digest of (n, cells...) must match the historical
+        // `table_hash` byte stream — recorded fingerprints stay valid.
+        let mut h = CanonicalHasher::new();
+        h.write_u64(0);
+        assert_eq!(
+            h.finish_hex(),
+            "a8c7f832281a39c5",
+            "FNV-1a 64 of 8 zero bytes"
+        );
+        // Length prefixes keep adjacent variable-length fields apart.
+        let mut a = CanonicalHasher::new();
+        a.write_slice(&[1]);
+        a.write_slice(&[2]);
+        let mut b = CanonicalHasher::new();
+        b.write_slice(&[1, 2]);
+        b.write_slice(&[]);
+        assert_ne!(a.finish(), b.finish());
+        let mut s = CanonicalHasher::new();
+        s.write_str("ab");
+        let mut t = CanonicalHasher::new();
+        t.write_str("a");
+        t.write_bytes(b"b");
+        assert_ne!(s.finish(), t.finish());
+    }
+
+    #[test]
+    fn prefix_instances_are_exact_for_every_family() {
+        let specs = [
+            ProblemSpec::chain(vec![30, 35, 15, 5, 10, 20, 25]).unwrap(),
+            ProblemSpec::obst(vec![15, 10, 5, 10, 20], vec![5, 10, 5, 5, 5, 10]).unwrap(),
+            ProblemSpec::polygon(vec![1, 10, 1, 10, 3, 7]).unwrap(),
+            ProblemSpec::merge(vec![10, 20, 30, 5, 8]).unwrap(),
+        ];
+        for spec in specs {
+            let n = spec.n();
+            let full = Solver::new(Algorithm::Sequential).solve(&spec.build());
+            for m in 2..n {
+                let pre = spec
+                    .prefix(m)
+                    .unwrap_or_else(|| panic!("{} m={m}", spec.family()));
+                assert_eq!(pre.family(), spec.family());
+                assert_eq!(pre.n(), m, "{} m={m}", spec.family());
+                let w = Solver::new(Algorithm::Sequential).solve(&pre.build());
+                for i in 0..m {
+                    for j in i + 1..=m {
+                        assert_eq!(
+                            w.w.get(i, j),
+                            full.w.get(i, j),
+                            "{} m={m} cell ({i},{j})",
+                            spec.family()
+                        );
+                    }
+                }
+            }
+            // Degenerate prefixes are refused.
+            assert!(spec.prefix(0).is_none());
+            assert!(spec.prefix(1).is_none());
+            assert!(spec.prefix(n).is_none());
+            assert!(spec.prefix(n + 1).is_none());
+        }
     }
 
     #[test]

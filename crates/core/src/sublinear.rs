@@ -90,6 +90,36 @@ pub fn solve_sublinear<W: Weight, P: DpProblem<W> + ?Sized>(
     problem: &P,
     config: &SolverConfig,
 ) -> Solution<W> {
+    solve_seeded(problem, config, None)
+}
+
+/// Warm-started §2 solve for the solution store: pairs `(i,j)` with
+/// `j <= seed_m` start at the cached *optimal* prefix values in `seed`
+/// and are dirty-bit-excluded from every pebble pass, so the iterations
+/// converge only on the new region.
+///
+/// Exact by monotonicity: pebble is a non-increasing re-minimisation
+/// whose candidates never undercut the optimum, so a pair already at
+/// its optimal value is reproduced verbatim by any pebble — skipping it
+/// is a no-op — and every other pair starts from inputs at least as
+/// converged as a cold run's, so the fixed schedule still suffices and
+/// the final table is bit-identical to a cold solve
+/// (property-tested in `crates/core/tests/proptest_store.rs`).
+pub(crate) fn solve_sublinear_seeded<W: Weight, P: DpProblem<W> + ?Sized>(
+    problem: &P,
+    config: &SolverConfig,
+    seed_m: usize,
+    seed: &crate::tables::WTable<W>,
+) -> Solution<W> {
+    debug_assert!(seed.n() == seed_m && seed_m < problem.n());
+    solve_seeded(problem, config, Some((seed_m, seed)))
+}
+
+fn solve_seeded<W: Weight, P: DpProblem<W> + ?Sized>(
+    problem: &P,
+    config: &SolverConfig,
+    seed: Option<(usize, &WTable<W>)>,
+) -> Solution<W> {
     let t0 = std::time::Instant::now();
     let n = problem.n();
     let exec = &config.exec;
@@ -99,6 +129,14 @@ pub fn solve_sublinear<W: Weight, P: DpProblem<W> + ?Sized>(
     let mut w = WTable::new(n);
     for i in 0..n {
         w.set(i, i + 1, problem.init(i));
+    }
+    // Warm start: copy the cached optimal prefix cells into place.
+    if let Some((m, sw)) = seed {
+        for i in 0..m {
+            for j in i + 1..=m {
+                w.set(i, j, sw.get(i, j));
+            }
+        }
     }
     // Initialize pw'(i,j,i,j) = 0; everything else infinity.
     let mut pw = DensePw::new(n);
@@ -124,6 +162,15 @@ pub fn solve_sublinear<W: Weight, P: DpProblem<W> + ?Sized>(
     let mut w_changed_pairs = vec![true; dim];
     let mut skip_mask = vec![false; dim];
     let mut pebble_skip_mask = vec![false; dim];
+    // Warm start: seeded pairs are final from iteration 1 — exclude them
+    // from every pebble (their square rows still run; partial weights of
+    // prefix pairs feed the compositions of bigger pairs).
+    let final_pairs: Option<Vec<bool>> = seed.map(|(m, _)| {
+        pw.indexer()
+            .pairs()
+            .map(|(_, j)| j <= m)
+            .collect::<Vec<bool>>()
+    });
 
     for iter in 1..=schedule {
         let (act, activate_changed_rows) = a_activate_dense_tracked(problem, &w, &mut pw, exec);
@@ -161,6 +208,14 @@ pub fn solve_sublinear<W: Weight, P: DpProblem<W> + ?Sized>(
             for dirty in pebble_skip_mask.iter_mut() {
                 *dirty = !*dirty;
             }
+            if let Some(fm) = &final_pairs {
+                for (skip, f) in pebble_skip_mask.iter_mut().zip(fm) {
+                    *skip |= *f;
+                }
+            }
+            Some(pebble_skip_mask.as_slice())
+        } else if let Some(fm) = &final_pairs {
+            pebble_skip_mask.copy_from_slice(fm);
             Some(pebble_skip_mask.as_slice())
         } else {
             None

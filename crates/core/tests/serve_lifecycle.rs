@@ -253,6 +253,55 @@ fn finished_tcp_session_gets_eof_without_daemon_shutdown() {
 }
 
 #[test]
+fn cached_session_hits_on_repeats_and_stays_bit_identical() {
+    let config = ServeConfig {
+        cache: Some(std::sync::Arc::new(MemoryCache::new(64))),
+        ..ServeConfig::default()
+    };
+    // The corpus twice in one session: the second pass must be served
+    // from the cache, with responses bit-identical to the cold pass
+    // (which in turn matches the plain cache-less solve loop).
+    let doubled = format!("{CORPUS}{CORPUS}");
+    let (lines, stats) = serve_lines(&doubled, &config);
+    let expected = loop_records(&doubled, &ServeConfig::default());
+    assert_eq!(lines.len(), expected.len());
+    for (line, expect) in lines.iter().zip(&expected) {
+        assert_eq!(record(line).deterministic(), expect.deterministic());
+    }
+    // Six jobs per pass; the `trace:true` job bypasses the cache, so
+    // five are cacheable: five misses cold, five hits on the repeat.
+    assert_eq!(stats.completed, 12);
+    assert_eq!(stats.cache_misses, 5);
+    assert_eq!(stats.cache_hits, 5);
+    assert_eq!(stats.warm_starts, 0);
+}
+
+#[test]
+fn cached_session_warm_starts_a_chain_extension() {
+    let config = ServeConfig {
+        cache: Some(std::sync::Arc::new(MemoryCache::new(64))),
+        ..ServeConfig::default()
+    };
+    // The second chain extends the first by two matrices: its solve is
+    // seeded from the cached prefix table instead of starting cold.
+    let input = "{\"family\":\"chain\",\"values\":[30,35,15,5,10]}\n\
+                 {\"family\":\"chain\",\"values\":[30,35,15,5,10,20,25]}\n";
+    let (lines, stats) = serve_lines(input, &config);
+    let expected = loop_records(input, &ServeConfig::default());
+    assert_eq!(lines.len(), 2);
+    for (line, expect) in lines.iter().zip(&expected) {
+        // A warm start reports the (smaller) work actually done, so
+        // compare the result itself: value and the full-table hash.
+        let r = record(line);
+        assert_eq!(r.value, expect.value);
+        assert_eq!(r.tables_hash, expect.tables_hash);
+    }
+    assert_eq!(stats.cache_misses, 2, "warm starts count as misses");
+    assert_eq!(stats.warm_starts, 1);
+    assert_eq!(stats.cache_hits, 0);
+}
+
+#[test]
 fn tcp_stats_and_shutdown_commands_round_trip() {
     let server = Server::bind("127.0.0.1:0", &ServeConfig::default()).unwrap();
     let mut stream = TcpStream::connect(server.addr()).unwrap();
@@ -272,6 +321,16 @@ fn tcp_stats_and_shutdown_commands_round_trip() {
     let v = serde_json::parse_value(&lines[1]).unwrap();
     let stats = ServeStats::from_value(v.get("stats").unwrap()).unwrap();
     assert_eq!(stats.completed, 1);
+    // Per-regime drain counts and the live queue depth ride in the same
+    // stats record: the merge job is far below the large-job threshold,
+    // and it had to finish before the stats command was answered.
+    assert_eq!(stats.completed_small, 1);
+    assert_eq!(stats.completed_large, 0);
+    assert_eq!(stats.queue_depth, 0);
+    // No cache configured: the cache counters exist and stay zero.
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.cache_misses, 0);
+    assert_eq!(stats.warm_starts, 0);
     assert!(lines[2].contains("\"ok\":\"shutdown\""), "{}", lines[2]);
     // The client-initiated shutdown stops the whole daemon.
     let final_stats = server.join();
