@@ -5,6 +5,7 @@
 //! algorithm table of its own.
 
 use std::fmt;
+use std::time::Duration;
 
 use pardp_core::prelude::{
     Algorithm, ExecBackend, ProblemSpec, SolveKnob, SolveOptions, SpecError, SquareStrategy,
@@ -115,6 +116,13 @@ pub enum Parsed {
         /// Persistent solution-store directory (`--cache <dir>`); `None`
         /// serves cold (the default, or explicit `--no-cache`).
         cache: Option<String>,
+        /// Per-job solve deadline (`--job-timeout <seconds>`): a job
+        /// still solving after this is cancelled and answered with a
+        /// `timeout` error line.
+        job_timeout: Option<Duration>,
+        /// Per-connection idle read timeout (`--idle-timeout <seconds>`,
+        /// TCP only): silent connections are dropped.
+        idle_timeout: Option<Duration>,
     },
     /// `pardp cache (stat | clear) <dir>`
     Cache {
@@ -184,7 +192,7 @@ USAGE:
   pardp solve polygon <w0,w1,...>      [--algo A] [--backend B] [--tile T] [--witness]
   pardp solve merge <l0,l1,...>        [--algo A] [--backend B] [--tile T] [--witness]
   pardp batch <jobs.jsonl>             [--algo A] [--backend B] [--large-cells C] [--cache DIR]
-  pardp serve (--addr <host:port> | --pipe) [--algo A] [--backend B] [--large-cells C] [--queue N] [--cache DIR]
+  pardp serve (--addr <host:port> | --pipe) [--algo A] [--backend B] [--large-cells C] [--queue N] [--cache DIR] [--job-timeout S] [--idle-timeout S]
   pardp cache (stat | clear) <dir>
   pardp game <zigzag|complete|skewed|random> <n> [--rule jump] [--seed S]
   pardp model <n> [--processors P]
@@ -217,7 +225,13 @@ SERVE (pardp serve): a persistent solving daemon over the same JSONL
   per-regime throughput) and {{\"cmd\":\"shutdown\"}} (stop admitting,
   drain every accepted job, exit; ctrl-C does the same). When the
   bounded queue (--queue, default {queue}) is full, a job is rejected
-  immediately with {{\"job\":i,\"error\":\"overloaded\"}}.
+  immediately with {{\"job\":i,\"error\":\"overloaded\",\"kind\":\"overloaded\"}}.
+  Every error line carries a machine-readable kind field: invalid |
+  rejected | overloaded | timeout | internal. A panicking solve is
+  isolated (kind internal) and the daemon keeps serving. --job-timeout S
+  cancels a job still solving S seconds after a worker picks it up
+  (kind timeout; fractional seconds accepted); --idle-timeout S drops a
+  TCP connection that sends nothing for S seconds.
 CACHING (--cache DIR | --no-cache): persistent solution store.
   With --cache DIR, solve/batch/serve reuse solutions stored under DIR
   (created on first use): repeats are served from the store
@@ -271,6 +285,26 @@ fn take_value(rest: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliE
         Ok(Some(v))
     } else {
         Ok(None)
+    }
+}
+
+/// Take a `--flag <seconds>` value as a duration: positive, finite,
+/// fractions allowed (`0.5` is half a second).
+fn take_seconds(rest: &mut Vec<String>, flag: &str) -> Result<Option<Duration>, CliError> {
+    match take_value(rest, flag)? {
+        None => Ok(None),
+        Some(s) => {
+            let secs: f64 = s
+                .parse()
+                .map_err(|_| CliError(format!("bad {flag} '{s}' (expected seconds, e.g. 2.5)")))?;
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err(CliError(format!(
+                    "{flag} needs a positive number of seconds (got '{s}'); \
+                     drop the flag to disable the timeout"
+                )));
+            }
+            Ok(Some(Duration::from_secs_f64(secs)))
+        }
     }
 }
 
@@ -455,12 +489,21 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 None => None,
             };
             let cache = take_cache(&mut rest)?;
+            let job_timeout = take_seconds(&mut rest, "--job-timeout")?;
+            let idle_timeout = take_seconds(&mut rest, "--idle-timeout")?;
             let addr = take_value(&mut rest, "--addr")?;
             let pipe = take_flag(&mut rest, "--pipe");
             if addr.is_some() == pipe {
                 return Err(CliError(
                     "serve needs exactly one of --addr <host:port> (TCP daemon) or \
                      --pipe (one session over stdin/stdout)"
+                        .into(),
+                ));
+            }
+            if pipe && idle_timeout.is_some() {
+                return Err(CliError(
+                    "--idle-timeout applies to TCP connections only; --pipe reads \
+                     stdin to EOF"
                         .into(),
                 ));
             }
@@ -472,6 +515,8 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 large_cells,
                 queue,
                 cache,
+                job_timeout,
+                idle_timeout,
             })
         }
         "cache" => {
@@ -677,11 +722,13 @@ mod tests {
                 large_cells: None,
                 queue: None,
                 cache: None,
+                job_timeout: None,
+                idle_timeout: None,
             }
         );
         let p = parse(&argv(
             "serve --addr 127.0.0.1:0 --algo reduced --backend threads:2 \
-             --large-cells 50 --queue 8",
+             --large-cells 50 --queue 8 --job-timeout 2.5 --idle-timeout 30",
         ))
         .unwrap();
         assert_eq!(
@@ -694,6 +741,8 @@ mod tests {
                 large_cells: Some(50),
                 queue: Some(8),
                 cache: None,
+                job_timeout: Some(Duration::from_millis(2500)),
+                idle_timeout: Some(Duration::from_secs(30)),
             }
         );
         // Exactly one transport: neither and both are rejected.
@@ -706,6 +755,27 @@ mod tests {
         assert!(err.0.contains("overloaded"), "{err}");
         let err = parse(&argv("serve --pipe --backend 0")).unwrap_err();
         assert!(err.0.contains("zero workers"), "{err}");
+    }
+
+    #[test]
+    fn parse_serve_timeouts() {
+        // Zero, negative, and non-numeric timeouts are rejected.
+        for bad in ["0", "-1", "soon", "inf"] {
+            let err = parse(&argv(&format!("serve --pipe --job-timeout {bad}"))).unwrap_err();
+            assert!(err.0.contains("--job-timeout"), "{bad}: {err}");
+        }
+        let err = parse(&argv("serve --addr 127.0.0.1:0 --idle-timeout x")).unwrap_err();
+        assert!(err.0.contains("seconds"), "{err}");
+        // --idle-timeout is meaningless without a socket.
+        let err = parse(&argv("serve --pipe --idle-timeout 5")).unwrap_err();
+        assert!(err.0.contains("TCP"), "{err}");
+        // Fractional seconds work.
+        match parse(&argv("serve --pipe --job-timeout 0.25")).unwrap() {
+            Parsed::Serve { job_timeout, .. } => {
+                assert_eq!(job_timeout, Some(Duration::from_millis(250)));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -39,6 +39,8 @@ pub fn execute(parsed: &Parsed) -> Result<String, CliError> {
             large_cells,
             queue,
             cache,
+            job_timeout,
+            idle_timeout,
         } => run_serve(
             addr.as_deref(),
             *pipe,
@@ -47,6 +49,8 @@ pub fn execute(parsed: &Parsed) -> Result<String, CliError> {
             *large_cells,
             *queue,
             cache.as_deref(),
+            *job_timeout,
+            *idle_timeout,
         ),
         Parsed::Cache { action, dir } => run_cache(*action, dir),
         Parsed::Bound { n } => {
@@ -278,10 +282,34 @@ fn run_batch(
             .map_err(|e| CliError(format!("{path} job {}: {}", r.job, e.0)))?;
     }
 
+    // Results and isolated failures interleave back into submission
+    // order: a panicked job answers with an `internal` error line in its
+    // slot instead of taking the whole run down.
     let mut out = String::new();
+    let mut errs = report.errors.iter().peekable();
     for r in &report.results {
+        while let Some(e) = errs.peek() {
+            if e.job > r.job {
+                break;
+            }
+            out.push_str(&error_record(
+                e.job,
+                ErrorKind::Internal,
+                &format!("the solve panicked: {}", e.message),
+            ));
+            out.push('\n');
+            errs.next();
+        }
         let record = JobRecord::new(resolved[r.job].problem.family(), r);
         out.push_str(&serde_json::to_string(&record).map_err(|e| CliError(e.to_string()))?);
+        out.push('\n');
+    }
+    for e in errs {
+        out.push_str(&error_record(
+            e.job,
+            ErrorKind::Internal,
+            &format!("the solve panicked: {}", e.message),
+        ));
         out.push('\n');
     }
     // Cache traffic gets its own line (only when a store is attached),
@@ -289,8 +317,8 @@ fn run_batch(
     if store.is_some() {
         let c = report.cache;
         out.push_str(&format!(
-            "{{\"cache_hits\":{},\"cache_misses\":{},\"warm_starts\":{},\"deduped\":{}}}\n",
-            c.hits, c.misses, c.warm_starts, c.deduped
+            "{{\"cache_hits\":{},\"cache_misses\":{},\"warm_starts\":{},\"deduped\":{},\"errors\":{}}}\n",
+            c.hits, c.misses, c.warm_starts, c.deduped, c.errors
         ));
     }
     let summary = report.summary(solver.backend());
@@ -328,6 +356,7 @@ fn install_sigint() -> &'static std::sync::atomic::AtomicBool {
 /// `pardp serve`: run the persistent daemon (`pardp_core::serve`) in
 /// pipe mode (one stdin/stdout session) or as a TCP listener until
 /// shutdown, then report the drained counters on stderr.
+#[allow(clippy::too_many_arguments)]
 fn run_serve(
     addr: Option<&str>,
     pipe: bool,
@@ -336,9 +365,13 @@ fn run_serve(
     large_cells: Option<usize>,
     queue: Option<usize>,
     cache_dir: Option<&str>,
+    job_timeout: Option<std::time::Duration>,
+    idle_timeout: Option<std::time::Duration>,
 ) -> Result<String, CliError> {
     let mut config = pardp_core::serve::ServeConfig {
         default_algo: algo,
+        job_timeout,
+        idle_timeout,
         ..Default::default()
     };
     if let Some(b) = backend {
@@ -379,21 +412,23 @@ fn run_serve(
     };
     let cache_note = if cached {
         format!(
-            " cache (hits {} / misses {} / warm starts {})",
-            stats.cache_hits, stats.cache_misses, stats.warm_starts,
+            " cache (hits {} / misses {} / warm starts {} / errors {})",
+            stats.cache_hits, stats.cache_misses, stats.warm_starts, stats.cache_errors,
         )
     } else {
         String::new()
     };
     eprintln!(
         "pardp serve: drained — accepted {} rejected {} invalid {} \
-         completed {} (small {} / large {}){cache_note}",
+         completed {} (small {} / large {}) panics {} timeouts {}{cache_note}",
         stats.accepted,
         stats.rejected,
         stats.invalid,
         stats.completed,
         stats.completed_small,
         stats.completed_large,
+        stats.panics,
+        stats.timeouts,
     );
     Ok(String::new())
 }
@@ -754,7 +789,9 @@ mod tests {
         );
         let out = run_line(&format!("batch --cache {dir} {path}")).unwrap();
         assert!(
-            out.contains("\"cache_hits\":0,\"cache_misses\":2,\"warm_starts\":0,\"deduped\":1"),
+            out.contains(
+                "\"cache_hits\":0,\"cache_misses\":2,\"warm_starts\":0,\"deduped\":1,\"errors\":0"
+            ),
             "{out}"
         );
         assert_eq!(out.lines().count(), 5, "3 jobs + cache + summary: {out}");

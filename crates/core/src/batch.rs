@@ -64,6 +64,7 @@
 //! assert!(report.throughput > 0.0);
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use crate::exec::ExecBackend;
@@ -149,6 +150,28 @@ impl<W> BatchResult<W> {
     /// **not** sum to the batch wall time.
     pub fn wall(&self) -> Duration {
         self.solution.wall
+    }
+}
+
+/// One isolated job failure of
+/// [`BatchSolver::solve_batch_isolated`]: the job's index in the
+/// submitted batch and the panic message of its solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// Index of the failed job in the submitted batch.
+    pub job: usize,
+    /// The panic message (best-effort: `&str` and `String` payloads are
+    /// rendered, anything else reads "the solve panicked").
+    pub message: String,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "the solve panicked".to_string()
     }
 }
 
@@ -238,7 +261,33 @@ impl BatchSolver {
     /// Solve every job, returning per-job results in submission order
     /// plus aggregate statistics. Output is bit-identical to a
     /// sequential loop of [`Solver::solve`] over the same jobs.
+    ///
+    /// If any job's solve panics, the whole batch still runs to the end
+    /// and the panic is then re-raised with the first failed job's
+    /// message. Callers that want to keep the surviving results use
+    /// [`solve_batch_isolated`](Self::solve_batch_isolated) instead.
     pub fn solve_batch<W: Weight>(&self, jobs: &[BatchJob<'_, W>]) -> BatchReport<W> {
+        let (report, errors) = self.solve_batch_isolated(jobs);
+        if let Some(e) = errors.into_iter().next() {
+            panic!("batch job {} panicked: {}", e.job, e.message);
+        }
+        report
+    }
+
+    /// Like [`solve_batch`](Self::solve_batch), but a panicking job is
+    /// **isolated** instead of taking the batch down: its panic is
+    /// caught at the job boundary, the job is dropped from
+    /// `report.results`, and a [`BatchError`] (submission index + panic
+    /// message) is returned alongside, sorted by job index. Jobs that
+    /// did not panic produce results bit-identical to a fault-free run.
+    ///
+    /// `small_jobs` / `large_jobs` still count *classified* jobs (the
+    /// regime split of the submitted batch), so they may exceed
+    /// `results.len()` when jobs failed.
+    pub fn solve_batch_isolated<W: Weight>(
+        &self,
+        jobs: &[BatchJob<'_, W>],
+    ) -> (BatchReport<W>, Vec<BatchError>) {
         let t0 = Instant::now();
         let workers = self.exec.effective_threads();
         let large: Vec<usize> = (0..jobs.len())
@@ -249,6 +298,7 @@ impl BatchSolver {
             .collect();
 
         let mut slots: Vec<Option<BatchResult<W>>> = (0..jobs.len()).map(|_| None).collect();
+        let mut errors: Vec<BatchError> = Vec::new();
 
         // Phase 1 — parallel per-problem: each large job gets the whole
         // pool, one at a time, with its own backend capped at the
@@ -256,37 +306,57 @@ impl BatchSolver {
         for &i in &large {
             let job = &jobs[i];
             let opts = job.options.exec(job.options.exec.capped(workers));
-            let solution = Solver::new(job.algorithm).options(opts).solve(job.problem);
-            slots[i] = Some(BatchResult {
-                job: i,
-                solution,
-                large: true,
-            });
+            match catch_unwind(AssertUnwindSafe(|| {
+                Solver::new(job.algorithm).options(opts).solve(job.problem)
+            })) {
+                Ok(solution) => {
+                    slots[i] = Some(BatchResult {
+                        job: i,
+                        solution,
+                        large: true,
+                    });
+                }
+                Err(payload) => errors.push(BatchError {
+                    job: i,
+                    message: panic_message(payload),
+                }),
+            }
         }
 
         // Phase 2 — whole-problem-per-worker: fan the small jobs over
         // the pool, each solved single-threaded so inner × outer
-        // parallelism never multiplies.
+        // parallelism never multiplies. Panics are caught *inside* the
+        // pool closure, so a failing job can never poison the shared
+        // pool or abort its siblings.
         let small_results = self.exec.map_collect(small.len(), |s| {
             let i = small[s];
             let job = &jobs[i];
             let opts = job.options.exec(ExecBackend::Sequential);
-            let solution = Solver::new(job.algorithm).options(opts).solve(job.problem);
-            BatchResult {
+            catch_unwind(AssertUnwindSafe(|| {
+                Solver::new(job.algorithm).options(opts).solve(job.problem)
+            }))
+            .map(|solution| BatchResult {
                 job: i,
                 solution,
                 large: false,
-            }
+            })
+            .map_err(|payload| BatchError {
+                job: i,
+                message: panic_message(payload),
+            })
         });
         for r in small_results {
-            let job = r.job;
-            slots[job] = Some(r);
+            match r {
+                Ok(r) => {
+                    let job = r.job;
+                    slots[job] = Some(r);
+                }
+                Err(e) => errors.push(e),
+            }
         }
+        errors.sort_by_key(|e| e.job);
 
-        let results: Vec<BatchResult<W>> = slots
-            .into_iter()
-            .map(|r| r.expect("every job is classified into exactly one regime"))
-            .collect();
+        let results: Vec<BatchResult<W>> = slots.into_iter().flatten().collect();
         let stats = results
             .iter()
             .fold(OpStats::default(), |acc, r| acc.merge(r.solution.stats));
@@ -296,14 +366,17 @@ impl BatchSolver {
         } else {
             results.len() as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE)
         };
-        BatchReport {
-            results,
-            wall,
-            stats,
-            throughput,
-            small_jobs: small.len(),
-            large_jobs: large.len(),
-        }
+        (
+            BatchReport {
+                results,
+                wall,
+                stats,
+                throughput,
+                small_jobs: small.len(),
+                large_jobs: large.len(),
+            },
+            errors,
+        )
     }
 }
 
@@ -419,6 +492,68 @@ mod tests {
         assert_eq!(report.throughput, 0.0);
         assert_eq!(report.stats, OpStats::default());
         assert_eq!((report.small_jobs, report.large_jobs), (0, 0));
+    }
+
+    fn poison_chain(n: usize) -> impl DpProblem<u64> {
+        // f() panics on every candidate evaluation, so any solve of this
+        // problem with n >= 2 panics.
+        FnProblem::new(
+            n,
+            |_| 0u64,
+            |_, _, _| -> u64 { panic!("injected solve panic") },
+        )
+    }
+
+    #[test]
+    fn isolated_batch_survives_a_panicking_job() {
+        let good = chains();
+        let bad = poison_chain(5);
+        for threshold in [usize::MAX, 0] {
+            // Both regimes must isolate: whole-problem-per-worker
+            // (threshold = MAX) and parallel per-problem (threshold = 0).
+            let jobs: Vec<BatchJob<'_, u64>> = vec![
+                BatchJob::new(good[0].as_ref()),
+                BatchJob::new(&bad),
+                BatchJob::new(good[2].as_ref()),
+            ];
+            let (report, errors) = BatchSolver::new()
+                .large_job_cells(threshold)
+                .solve_batch_isolated(&jobs);
+            assert_eq!(report.results.len(), 2, "threshold={threshold}");
+            assert_eq!(errors.len(), 1);
+            assert_eq!(errors[0].job, 1);
+            assert_eq!(errors[0].message, "injected solve panic");
+            // Survivors keep their submission indices and values.
+            assert_eq!(report.results[0].job, 0);
+            assert_eq!(report.results[0].solution.value(), 15125);
+            assert_eq!(report.results[1].job, 2);
+            // The classification counts still describe the whole batch.
+            assert_eq!(report.small_jobs + report.large_jobs, 3);
+        }
+    }
+
+    #[test]
+    fn isolated_batch_pool_is_reusable_after_a_panic() {
+        let bad = poison_chain(4);
+        let jobs: Vec<BatchJob<'_, u64>> = vec![BatchJob::new(&bad)];
+        let solver = BatchSolver::new();
+        let (report, errors) = solver.solve_batch_isolated(&jobs);
+        assert!(report.results.is_empty());
+        assert_eq!(errors.len(), 1);
+        // The shared pool must still be usable for a clean batch.
+        let good = chains();
+        let jobs: Vec<BatchJob<'_, u64>> = good.iter().map(|p| BatchJob::new(p.as_ref())).collect();
+        let report = solver.solve_batch(&jobs);
+        assert_eq!(report.results.len(), 3);
+        assert_eq!(report.results[0].solution.value(), 15125);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch job 0 panicked: injected solve panic")]
+    fn solve_batch_still_propagates_panics() {
+        let bad = poison_chain(4);
+        let jobs: Vec<BatchJob<'_, u64>> = vec![BatchJob::new(&bad)];
+        BatchSolver::new().solve_batch(&jobs);
     }
 
     #[test]

@@ -667,16 +667,16 @@ mod pool {
                 }
                 let done = self.finished.fetch_add(1, Ordering::AcqRel) + 1;
                 if done == self.blocks {
-                    *self.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+                    *crate::fault::unpoison(self.done.lock()) = true;
                     self.done_cv.notify_all();
                 }
             }
         }
 
         fn wait(&self) {
-            let mut guard = self.done.lock().unwrap_or_else(|e| e.into_inner());
+            let mut guard = crate::fault::unpoison(self.done.lock());
             while !*guard {
-                guard = self.done_cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+                guard = crate::fault::unpoison(self.done_cv.wait(guard));
             }
         }
     }
@@ -707,7 +707,7 @@ mod pool {
     fn worker_loop(shared: &'static PoolShared) {
         loop {
             let job = {
-                let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                let mut queue = crate::fault::unpoison(shared.queue.lock());
                 loop {
                     // Drop jobs that are fully claimed; join one that isn't.
                     if let Some(pos) = queue.iter().position(|j| {
@@ -722,10 +722,7 @@ mod pool {
                         break job;
                     }
                     queue.retain(|j| j.next.load(Ordering::Relaxed) < j.blocks);
-                    queue = shared
-                        .available
-                        .wait(queue)
-                        .unwrap_or_else(|e| e.into_inner());
+                    queue = crate::fault::unpoison(shared.available.wait(queue));
                 }
             };
             job.help();
@@ -764,7 +761,7 @@ mod pool {
             let block = range.start / block_len;
             let mut acc = None;
             body(range, &mut acc);
-            *slots_ref[block].lock().unwrap_or_else(|e| e.into_inner()) = acc;
+            *crate::fault::unpoison(slots_ref[block].lock()) = acc;
         };
 
         let job = Arc::new(Job {
@@ -799,7 +796,7 @@ mod pool {
         if enqueued {
             let shared = shared();
             {
-                let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                let mut queue = crate::fault::unpoison(shared.queue.lock());
                 queue.push(Arc::clone(&job));
             }
             shared.available.notify_all();
@@ -809,7 +806,7 @@ mod pool {
         if enqueued {
             // Purge the drained job so the queue does not retain it (and
             // its stale body pointer) until the next worker scan.
-            let mut queue = shared().queue.lock().unwrap_or_else(|e| e.into_inner());
+            let mut queue = crate::fault::unpoison(shared().queue.lock());
             queue.retain(|j| !Arc::ptr_eq(j, &job));
         }
         if job.poisoned.load(Ordering::Acquire) {
@@ -817,7 +814,7 @@ mod pool {
         }
         slots
             .into_iter()
-            .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .map(|m| crate::fault::unpoison(m.into_inner()))
             .collect()
     }
 }

@@ -91,6 +91,7 @@
 
 pub mod batch;
 pub mod exec;
+pub mod fault;
 pub mod ops;
 pub mod pram_exec;
 pub mod problem;
@@ -111,8 +112,9 @@ pub mod weight;
 
 /// One-stop imports for typical use.
 pub mod prelude {
-    pub use crate::batch::{BatchJob, BatchReport, BatchResult, BatchSolver};
+    pub use crate::batch::{BatchError, BatchJob, BatchReport, BatchResult, BatchSolver};
     pub use crate::exec::ExecBackend;
+    pub use crate::fault::{unpoison, CancelToken, FaultPlan, FaultSite, FaultyCache};
     pub use crate::ops::{OpStats, SquareStrategy};
     pub use crate::problem::{DpProblem, FnProblem, TabulatedProblem};
     pub use crate::reconstruct::{reconstruct_root, tree_cost, ParenTree};
@@ -122,12 +124,12 @@ pub mod prelude {
     pub use crate::serve::{ServeConfig, ServeStats, Server};
     pub use crate::solver::{Algorithm, OptionsError, Solution, SolveKnob, SolveOptions, Solver};
     pub use crate::spec::{
-        parse_jobs, table_hash, verify_knuth, BatchSummary, JobRecord, JobSpec, ProblemSpec,
-        ResolvedJob, SpecError, SpecProblem,
+        error_record, parse_jobs, table_hash, verify_knuth, BatchSummary, ErrorKind, JobRecord,
+        JobSpec, ProblemSpec, ResolvedJob, SpecError, SpecProblem,
     };
     pub use crate::store::{
         cached_solve, CacheCounters, CacheOutcome, CachedBatchReport, CachedSolution, CachedSolver,
-        FileStore, MemoryCache, ProblemKey, SolutionCache, StoreError, StoreStat,
+        FileStore, MemoryCache, ProblemKey, ResilientCache, SolutionCache, StoreError, StoreStat,
     };
     // The deprecated `ExecMode` prelude alias was removed in this
     // release; see the release note in [`crate::sublinear`] for the

@@ -33,6 +33,7 @@
 //!   instead.
 
 use crate::exec::ExecBackend;
+use crate::fault::CancelToken;
 use crate::ops::{
     a_activate_banded_tracked, a_pebble_banded_scheduled, a_square_banded_scheduled, OpStats,
     SquareStrategy,
@@ -88,7 +89,18 @@ pub fn solve_reduced<W: Weight, P: DpProblem<W> + ?Sized>(
     problem: &P,
     config: &ReducedConfig,
 ) -> Solution<W> {
-    solve_seeded(problem, config, None)
+    solve_seeded(problem, config, None, CancelToken::NONE)
+}
+
+/// Cancellable §5 solve for the façade: `cancel` is checked once per
+/// iteration, and an expired deadline stops the run with
+/// [`StopReason::DeadlineExceeded`] and a partial table.
+pub(crate) fn solve_reduced_cancel<W: Weight, P: DpProblem<W> + ?Sized>(
+    problem: &P,
+    config: &ReducedConfig,
+    cancel: CancelToken,
+) -> Solution<W> {
+    solve_seeded(problem, config, None, cancel)
 }
 
 /// Warm-started §5 solve for the solution store: pairs `(i,j)` with
@@ -102,15 +114,17 @@ pub(crate) fn solve_reduced_seeded<W: Weight, P: DpProblem<W> + ?Sized>(
     config: &ReducedConfig,
     seed_m: usize,
     seed: &WTable<W>,
+    cancel: CancelToken,
 ) -> Solution<W> {
     debug_assert!(seed.n() == seed_m && seed_m < problem.n());
-    solve_seeded(problem, config, Some((seed_m, seed)))
+    solve_seeded(problem, config, Some((seed_m, seed)), cancel)
 }
 
 fn solve_seeded<W: Weight, P: DpProblem<W> + ?Sized>(
     problem: &P,
     config: &ReducedConfig,
     seed: Option<(usize, &WTable<W>)>,
+    cancel: CancelToken,
 ) -> Solution<W> {
     let t0 = std::time::Instant::now();
     let n = problem.n();
@@ -163,6 +177,10 @@ fn solve_seeded<W: Weight, P: DpProblem<W> + ?Sized>(
         seed.map(|(m, _)| idx.pairs().map(|(_, j)| j <= m).collect::<Vec<bool>>());
 
     for iter in 1..=schedule {
+        if cancel.is_cancelled() {
+            trace.stop = StopReason::DeadlineExceeded;
+            break;
+        }
         let (act, activate_changed_rows) = a_activate_banded_tracked(problem, &w, &mut pw, exec);
         // Square row (i,j) reads the pw rows nested in (i,j): unchanged
         // since the previous square iff neither the previous square nor

@@ -11,6 +11,7 @@
 //! further to `O(n^3.5)`.
 
 use crate::exec::ExecBackend;
+use crate::fault::CancelToken;
 use crate::ops::{a_activate_dense, a_pebble_dense, a_square_rytter_with, OpStats, SquareStrategy};
 use crate::problem::DpProblem;
 use crate::solver::{Algorithm, Solution};
@@ -57,6 +58,17 @@ pub fn solve_rytter<W: Weight, P: DpProblem<W> + ?Sized>(
     problem: &P,
     config: &RytterConfig,
 ) -> Solution<W> {
+    solve_rytter_cancel(problem, config, CancelToken::NONE)
+}
+
+/// Cancellable Rytter solve for the façade: `cancel` is checked once
+/// per iteration, and an expired deadline stops the run with
+/// [`StopReason::DeadlineExceeded`] and a partial table.
+pub(crate) fn solve_rytter_cancel<W: Weight, P: DpProblem<W> + ?Sized>(
+    problem: &P,
+    config: &RytterConfig,
+    cancel: CancelToken,
+) -> Solution<W> {
     let t0 = std::time::Instant::now();
     let n = problem.n();
     let exec = &config.exec;
@@ -81,6 +93,10 @@ pub fn solve_rytter<W: Weight, P: DpProblem<W> + ?Sized>(
     let mut stats = OpStats::default();
 
     for iter in 1..=schedule {
+        if cancel.is_cancelled() {
+            trace.stop = StopReason::DeadlineExceeded;
+            break;
+        }
         let act = a_activate_dense(problem, &w, &mut pw, exec);
         let sq = a_square_rytter_with(&pw, &mut pw_next, config.square, exec);
         std::mem::swap(&mut pw, &mut pw_next);

@@ -47,12 +47,34 @@
 //! more runnable solver threads than workers, the same oversubscription
 //! rule [`BatchSolver`](crate::batch::BatchSolver) enforces by phasing.
 //!
+//! ## Failure hardening
+//!
+//! Partial failure never takes the daemon down (see [`crate::fault`]
+//! for the full taxonomy and the chaos-test harness):
+//!
+//! * every job runs under `catch_unwind` — a panicking solve yields an
+//!   `internal` error line, ticks [`ServeStats::panics`], and the
+//!   worker (and any lock the panic poisoned) keeps going;
+//! * [`ServeConfig::job_timeout`] cancels a long solve cooperatively
+//!   ([`SolveOptions::deadline`]) — the job answers with a `timeout`
+//!   error line, releases the regime gate, and its partial table is
+//!   never cached;
+//! * cache backend failures degrade to misses behind a
+//!   [`ResilientCache`] ([`ServeStats::cache_errors`]), with the
+//!   backend disabled after a bounded failure budget;
+//! * request lines longer than [`ServeConfig::max_line_bytes`] are
+//!   rejected without being buffered, and TCP connections idle longer
+//!   than [`ServeConfig::idle_timeout`] are dropped.
+//!
+//! Every error line carries a machine-readable `kind` field
+//! ([`ErrorKind`]): `{"job":i,"error":"...","kind":"timeout"}`.
+//!
 //! ## Shutdown
 //!
 //! `{"cmd":"shutdown"}` (or [`Server::shutdown`], which the CLI wires to
 //! SIGINT) stops admission — new jobs get `{"job":i,"error":"shutting
-//! down..."}` — and **drains**: every accepted job is still solved and
-//! its response written before workers exit.
+//! down...","kind":"rejected"}` — and **drains**: every accepted job is
+//! still solved and its response written before workers exit.
 //!
 //! ## Migration note for batch users
 //!
@@ -78,8 +100,9 @@
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -87,9 +110,12 @@ use serde::{Deserialize, Serialize};
 
 use crate::batch::DEFAULT_LARGE_JOB_CELLS;
 use crate::exec::ExecBackend;
+use crate::fault::{unpoison, FaultPlan, FaultSite};
 use crate::solver::{Algorithm, SolveOptions, Solver};
-use crate::spec::{verify_knuth, JobRecord, JobSpec, ProblemSpec, SpecProblem};
-use crate::store::{cached_solve, CacheOutcome, SolutionCache};
+use crate::spec::{
+    error_record, verify_knuth, ErrorKind, JobRecord, JobSpec, ProblemSpec, SpecProblem,
+};
+use crate::store::{cached_solve, CacheOutcome, ResilientCache, SolutionCache};
 use crate::trace::Termination;
 
 /// Default bound of the job queue: submissions beyond this many waiting
@@ -106,6 +132,11 @@ pub const DEFAULT_MAX_CELLS: usize = 512 * 513 / 2;
 /// ~4.7k cells ⇒ ~22M `pw` entries). Larger instances should use the
 /// banded §5 solver or a sequential baseline.
 pub const DEFAULT_MAX_DENSE_CELLS: usize = 96 * 97 / 2;
+
+/// Default cap on one request line in bytes (1 MiB). A line longer than
+/// this is rejected with kind `rejected` and discarded without being
+/// buffered — a client cannot make the daemon hold an unbounded line.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Configuration of the daemon. The defaults match `pardp batch`
 /// (parallel pool, sublinear default algorithm, fixpoint stop, the batch
@@ -130,9 +161,28 @@ pub struct ServeConfig {
     pub max_dense_cells: usize,
     /// Optional solution cache shared by every worker (`None` solves
     /// every job cold — the default, bit-identical to `pardp batch`).
-    /// Cache traffic shows up in [`ServeStats::cache_hits`] /
-    /// [`ServeStats::cache_misses`] / [`ServeStats::warm_starts`].
+    /// The daemon wraps it in a [`ResilientCache`], so backend failures
+    /// degrade to misses instead of failing jobs; cache traffic shows up
+    /// in [`ServeStats::cache_hits`] / [`ServeStats::cache_misses`] /
+    /// [`ServeStats::warm_starts`] / [`ServeStats::cache_errors`].
     pub cache: Option<Arc<dyn SolutionCache>>,
+    /// Per-job wall-clock deadline: a job still solving this long after
+    /// it is picked up is cancelled cooperatively (see
+    /// [`SolveOptions::deadline`]) and answered with a `timeout` error
+    /// line. `None` (the default) never times out.
+    pub job_timeout: Option<Duration>,
+    /// Per-connection idle read timeout (TCP only): a connection that
+    /// sends nothing for this long is dropped. `None` (the default)
+    /// waits forever.
+    pub idle_timeout: Option<Duration>,
+    /// Cap on one request line in bytes
+    /// ([`DEFAULT_MAX_LINE_BYTES`]); longer lines are rejected and
+    /// discarded without being buffered.
+    pub max_line_bytes: usize,
+    /// Deterministic fault-injection plan for chaos tests (see
+    /// [`crate::fault`]). `None` — the default and the production
+    /// setting — injects nothing and costs one pointer check per site.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -146,6 +196,10 @@ impl std::fmt::Debug for ServeConfig {
             .field("max_cells", &self.max_cells)
             .field("max_dense_cells", &self.max_dense_cells)
             .field("cache", &self.cache.as_ref().map(|c| c.len()))
+            .field("job_timeout", &self.job_timeout)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("max_line_bytes", &self.max_line_bytes)
+            .field("fault", &self.fault)
             .finish()
     }
 }
@@ -161,6 +215,10 @@ impl Default for ServeConfig {
             max_cells: DEFAULT_MAX_CELLS,
             max_dense_cells: DEFAULT_MAX_DENSE_CELLS,
             cache: None,
+            job_timeout: None,
+            idle_timeout: None,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            fault: None,
         }
     }
 }
@@ -175,7 +233,9 @@ pub struct ServeStats {
     pub rejected: u64,
     /// Request lines that were not valid jobs (bad JSON, bad spec).
     pub invalid: u64,
-    /// Jobs solved and answered.
+    /// Jobs picked up by a worker and answered — including jobs that
+    /// panicked or timed out, which get an error line instead of a
+    /// record. At drain, `completed == accepted`.
     pub completed: u64,
     /// Completed jobs that ran whole-problem-per-worker.
     pub completed_small: u64,
@@ -188,6 +248,16 @@ pub struct ServeStats {
     pub cache_misses: u64,
     /// Missed jobs seeded from a cached prefix table.
     pub warm_starts: u64,
+    /// Jobs whose solve panicked; each was isolated at the job boundary
+    /// and answered with an `internal` error line.
+    pub panics: u64,
+    /// Jobs cancelled at their [`ServeConfig::job_timeout`] deadline and
+    /// answered with a `timeout` error line.
+    pub timeouts: u64,
+    /// Solution-cache backend failures tolerated so far (each degraded
+    /// the affected job to a cold solve; see
+    /// [`ResilientCache::errors`]).
+    pub cache_errors: u64,
     /// Jobs waiting in the queue right now.
     pub queue_depth: usize,
     /// The configured queue bound.
@@ -214,6 +284,8 @@ struct Counters {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     warm_starts: AtomicU64,
+    panics: AtomicU64,
+    timeouts: AtomicU64,
 }
 
 /// One queued job: a resolved, admitted request plus its reply slot.
@@ -241,22 +313,21 @@ struct Shared {
     /// The oversubscription gate: small jobs hold it shared, large jobs
     /// exclusively (see the module docs).
     regime: RwLock<()>,
+    /// The configured cache behind the failure-tolerant wrapper: backend
+    /// errors degrade to misses and a dying backend is disabled after
+    /// its failure budget.
+    cache: Option<Arc<ResilientCache>>,
     started: Instant,
-}
-
-/// Recover a lock even if a worker panicked while holding it: the
-/// protected data (a queue of jobs, a unit gate) has no invariant a
-/// panic can break mid-update.
-fn relock<'a, T>(
-    r: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
-) -> MutexGuard<'a, T> {
-    r.unwrap_or_else(|e| e.into_inner())
 }
 
 impl Shared {
     fn new(config: ServeConfig) -> Self {
         Shared {
             workers: config.exec.effective_threads(),
+            cache: config
+                .cache
+                .clone()
+                .map(|c| Arc::new(ResilientCache::new(c))),
             config,
             queue: Mutex::new(VecDeque::new()),
             not_empty: Condvar::new(),
@@ -272,18 +343,21 @@ impl Shared {
         self.shutdown.store(true, Ordering::SeqCst);
         // Take the queue lock so no worker misses the flag between its
         // empty-check and its condvar wait.
-        let _q = relock(self.queue.lock());
+        let _q = unpoison(self.queue.lock());
         self.not_empty.notify_all();
     }
 
-    /// Try to enqueue a job; the error is the wire error message.
-    fn submit(&self, job: Job) -> Result<(), String> {
+    /// Try to enqueue a job; the error is the wire error kind + message.
+    fn submit(&self, job: Job) -> Result<(), (ErrorKind, String)> {
         if self.shutdown.load(Ordering::SeqCst) {
-            return Err("shutting down: new jobs are rejected while the queue drains".into());
+            return Err((
+                ErrorKind::Rejected,
+                "shutting down: new jobs are rejected while the queue drains".into(),
+            ));
         }
-        let mut q = relock(self.queue.lock());
+        let mut q = unpoison(self.queue.lock());
         if q.len() >= self.config.queue_capacity {
-            return Err("overloaded".into());
+            return Err((ErrorKind::Overloaded, "overloaded".into()));
         }
         q.push_back(job);
         drop(q);
@@ -307,7 +381,10 @@ impl Shared {
             cache_hits: c.cache_hits.load(Ordering::Relaxed),
             cache_misses: c.cache_misses.load(Ordering::Relaxed),
             warm_starts: c.warm_starts.load(Ordering::Relaxed),
-            queue_depth: relock(self.queue.lock()).len(),
+            panics: c.panics.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            cache_errors: self.cache.as_ref().map_or(0, |c| c.errors()),
+            queue_depth: unpoison(self.queue.lock()).len(),
             queue_capacity: self.config.queue_capacity,
             workers: self.workers,
             uptime_seconds: uptime,
@@ -322,7 +399,7 @@ impl Shared {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut q = relock(shared.queue.lock());
+            let mut q = unpoison(shared.queue.lock());
             loop {
                 if let Some(j) = q.pop_front() {
                     break Some(j);
@@ -330,7 +407,7 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                q = relock(shared.not_empty.wait(q));
+                q = unpoison(shared.not_empty.wait(q));
             }
         };
         match job {
@@ -340,44 +417,101 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Inject a worker panic when the plan schedules one — called inside
+/// the regime gate, before the solve, so the recovery path exercises
+/// both the gate release and the `catch_unwind` boundary.
+fn maybe_panic(shared: &Shared) {
+    if let Some(plan) = &shared.config.fault {
+        if plan.should(FaultSite::WorkerPanic) {
+            panic!("injected worker panic");
+        }
+    }
+}
+
 /// Solve one job under its regime and write its response line into the
-/// reply slot.
+/// reply slot. A panicking solve is isolated here — the worker survives,
+/// the client gets an `internal` error line — and a job that outlives
+/// [`ServeConfig::job_timeout`] is cancelled cooperatively and answered
+/// with a `timeout` error line.
 fn run_job(shared: &Shared, job: Job) {
+    // The deadline clock starts when a worker picks the job up, not at
+    // admission: queue wait is backpressure, not solve time.
+    let deadline = shared.config.job_timeout.map(|t| Instant::now() + t);
+    if let Some(plan) = &shared.config.fault {
+        if plan.should(FaultSite::JobDelay) {
+            thread::sleep(plan.injected_delay());
+        }
+    }
     // The two regimes mirror `BatchSolver::solve_batch` exactly — same
     // backend overrides, so the solved tables are bit-identical. With a
     // cache configured, the staged solve (key → lookup → warm-probe →
     // solve → insert) runs *inside* the regime gate: a hit skips the
-    // kernels entirely but still respects response ordering.
-    let (solution, outcome) = if job.large {
-        let _gate = shared.regime.write().unwrap_or_else(|e| e.into_inner());
-        let opts = job.options.exec(job.options.exec.capped(shared.workers));
-        solve_maybe_cached(shared, &job, opts)
-    } else {
-        let _gate = shared.regime.read().unwrap_or_else(|e| e.into_inner());
-        let opts = job.options.exec(ExecBackend::Sequential);
-        solve_maybe_cached(shared, &job, opts)
-    };
-    match outcome {
-        CacheOutcome::Hit => {
-            shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+    // kernels entirely but still respects response ordering. The gate
+    // guard lives inside the catch_unwind closure, so a panicking solve
+    // releases (and `unpoison` later recovers) the gate on unwind.
+    let solved = catch_unwind(AssertUnwindSafe(|| {
+        if job.large {
+            let _gate = unpoison(shared.regime.write());
+            maybe_panic(shared);
+            let opts = job
+                .options
+                .exec(job.options.exec.capped(shared.workers))
+                .deadline(deadline);
+            solve_maybe_cached(shared, &job, opts)
+        } else {
+            let _gate = unpoison(shared.regime.read());
+            maybe_panic(shared);
+            let opts = job.options.exec(ExecBackend::Sequential).deadline(deadline);
+            solve_maybe_cached(shared, &job, opts)
         }
-        CacheOutcome::Warm { .. } => {
-            shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-            shared.counters.warm_starts.fetch_add(1, Ordering::Relaxed);
+    }));
+    let line = match solved {
+        Err(_) => {
+            shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+            error_record(
+                job.index,
+                ErrorKind::Internal,
+                "internal: the solve panicked; the job was isolated and the daemon continues",
+            )
         }
-        CacheOutcome::Miss => {
-            shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        Ok((solution, outcome)) if solution.timed_out() => {
+            // The partial table is discarded (the cache layer never
+            // stores a timed-out solution) and cache counters are left
+            // alone — the outcome is Bypass by construction.
+            debug_assert_eq!(outcome, CacheOutcome::Bypass);
+            shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            error_record(
+                job.index,
+                ErrorKind::Timeout,
+                "timeout: the job's deadline passed before the solve completed; \
+                 the partial result was discarded",
+            )
         }
-        CacheOutcome::Bypass => {}
-    }
-    // Knuth is never cached (`ProblemKey::derive` bypasses it), so a
-    // cache path cannot skip this verification.
-    let line = match verify_knuth(&job.problem, &solution) {
-        Ok(()) => {
-            let record = JobRecord::of_solution(job.index, job.family, &solution, job.large);
-            serde_json::to_string(&record).expect("record serializes")
+        Ok((solution, outcome)) => {
+            match outcome {
+                CacheOutcome::Hit => {
+                    shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                CacheOutcome::Warm { .. } => {
+                    shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.warm_starts.fetch_add(1, Ordering::Relaxed);
+                }
+                CacheOutcome::Miss => {
+                    shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                CacheOutcome::Bypass => {}
+            }
+            // Knuth is never cached (`ProblemKey::derive` bypasses it),
+            // so a cache path cannot skip this verification.
+            match verify_knuth(&job.problem, &solution) {
+                Ok(()) => {
+                    let record =
+                        JobRecord::of_solution(job.index, job.family, &solution, job.large);
+                    serde_json::to_string(&record).expect("record serializes")
+                }
+                Err(e) => error_record(job.index, ErrorKind::Invalid, &e.0),
+            }
         }
-        Err(e) => error_line(job.index, &e.0),
     };
     let c = &shared.counters;
     c.completed.fetch_add(1, Ordering::Relaxed);
@@ -387,18 +521,18 @@ fn run_job(shared: &Shared, job: Job) {
         c.completed_small.fetch_add(1, Ordering::Relaxed);
     }
     // The connection may already be gone; the job still counts as
-    // completed (it was solved).
+    // completed (it was answered).
     job.reply.send(line).ok();
 }
 
 /// Solve one admitted job with `opts`, through the configured cache
-/// when there is one.
+/// (behind its resilient wrapper) when there is one.
 fn solve_maybe_cached(
     shared: &Shared,
     job: &Job,
     opts: SolveOptions,
 ) -> (crate::solver::Solution<u64>, CacheOutcome) {
-    match &shared.config.cache {
+    match &shared.cache {
         Some(cache) => cached_solve(cache.as_ref(), &job.spec, job.algorithm, &opts),
         None => (
             Solver::new(job.algorithm).options(opts).solve(&job.problem),
@@ -407,17 +541,12 @@ fn solve_maybe_cached(
     }
 }
 
-/// `{"job":i,"error":"..."}`.
-#[derive(Serialize)]
-struct ErrorLine {
-    job: usize,
-    error: String,
-}
-
-/// `{"error":"..."}` — command-level errors with no job index.
+/// `{"error":"...","kind":"..."}` — command-level errors with no job
+/// index.
 #[derive(Serialize)]
 struct CmdError {
     error: String,
+    kind: String,
 }
 
 /// `{"stats":{...}}`.
@@ -432,12 +561,74 @@ struct ShutdownAck {
     ok: String,
 }
 
-fn error_line(job: usize, error: &str) -> String {
-    serde_json::to_string(&ErrorLine {
-        job,
-        error: error.to_string(),
+/// One request line read under the byte cap.
+enum LineRead {
+    /// A complete line (terminator stripped, `\r\n` tolerated).
+    Line(String),
+    /// The line exceeded the cap; it was drained and discarded without
+    /// being buffered.
+    Oversized,
+    /// Clean end of input.
+    Eof,
+}
+
+/// Read one `\n`-terminated line, buffering at most `cap` bytes. A line
+/// longer than `cap` is consumed to its terminator but never held in
+/// memory — the defence [`ServeConfig::max_line_bytes`] promises. An
+/// unterminated trailing line still counts (matching
+/// [`BufRead::lines`]); a non-UTF-8 line or any read error (including
+/// an idle-timeout expiry on a socket) is an `Err`.
+fn read_line_capped<R: BufRead>(reader: &mut R, cap: usize) -> std::io::Result<LineRead> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    let mut terminated = false;
+    loop {
+        let used = {
+            let available = match reader.fill_buf() {
+                Ok(b) => b,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                break; // EOF
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if !overflowed {
+                        line.extend_from_slice(&available[..pos]);
+                    }
+                    terminated = true;
+                    pos + 1
+                }
+                None => {
+                    if !overflowed {
+                        line.extend_from_slice(available);
+                    }
+                    available.len()
+                }
+            }
+        };
+        reader.consume(used);
+        if line.len() > cap {
+            overflowed = true;
+            line = Vec::new();
+        }
+        if terminated {
+            break;
+        }
+    }
+    if overflowed {
+        return Ok(LineRead::Oversized);
+    }
+    if line.is_empty() && !terminated {
+        return Ok(LineRead::Eof);
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map(LineRead::Line).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "request line is not UTF-8")
     })
-    .expect("error line serializes")
 }
 
 /// A response slot, queued in request order: a line that is ready now,
@@ -479,9 +670,9 @@ fn admit(shared: &Shared, algorithm: Algorithm, cells: usize) -> Result<(), Stri
 /// jobs solve — and a writer thread drains the response slots so order
 /// is preserved without blocking admission.
 ///
-/// Returns when the input ends, the connection drops, or a `shutdown`
-/// command arrives (which also stops the whole daemon).
-fn handle_connection<R: BufRead, W: Write + Send>(shared: &Shared, reader: R, writer: W) {
+/// Returns when the input ends, the connection drops or times out idle,
+/// or a `shutdown` command arrives (which also stops the whole daemon).
+fn handle_connection<R: BufRead, W: Write + Send>(shared: &Shared, mut reader: R, writer: W) {
     let (tx, rx) = mpsc::channel::<Slot>();
     thread::scope(|scope| {
         scope.spawn(move || {
@@ -492,6 +683,7 @@ fn handle_connection<R: BufRead, W: Write + Send>(shared: &Shared, reader: R, wr
                     Slot::Pending(reply) => reply.recv().unwrap_or_else(|_| {
                         serde_json::to_string(&CmdError {
                             error: "internal: worker dropped the reply".into(),
+                            kind: ErrorKind::Internal.name().into(),
                         })
                         .expect("error serializes")
                     }),
@@ -509,8 +701,33 @@ fn handle_connection<R: BufRead, W: Write + Send>(shared: &Shared, reader: R, wr
         });
 
         let mut job_index = 0usize;
-        for line in reader.lines() {
-            let Ok(line) = line else { break };
+        loop {
+            let line = match read_line_capped(&mut reader, shared.config.max_line_bytes) {
+                // Read errors cover a dropped peer, a non-UTF-8 line,
+                // and the idle-timeout expiry on a socket — all close
+                // the connection (accepted jobs still drain).
+                Err(_) | Ok(LineRead::Eof) => break,
+                Ok(LineRead::Oversized) => {
+                    // An oversized line consumes a job index like any
+                    // other malformed request, but its bytes were never
+                    // buffered.
+                    shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    let msg = error_record(
+                        job_index,
+                        ErrorKind::Rejected,
+                        &format!(
+                            "request line exceeds the {}-byte cap and was discarded",
+                            shared.config.max_line_bytes
+                        ),
+                    );
+                    job_index += 1;
+                    if tx.send(Slot::Line(msg)).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                Ok(LineRead::Line(l)) => l,
+            };
             if line.trim().is_empty() {
                 continue;
             }
@@ -520,7 +737,11 @@ fn handle_connection<R: BufRead, W: Write + Send>(shared: &Shared, reader: R, wr
                     // A malformed line consumes a job index (the client
                     // meant *something* here) but never kills the loop.
                     shared.counters.invalid.fetch_add(1, Ordering::Relaxed);
-                    let msg = error_line(job_index, &format!("line is not a JSON job: {e}"));
+                    let msg = error_record(
+                        job_index,
+                        ErrorKind::Invalid,
+                        &format!("line is not a JSON job: {e}"),
+                    );
                     job_index += 1;
                     if tx.send(Slot::Line(msg)).is_err() {
                         break;
@@ -543,6 +764,7 @@ fn handle_connection<R: BufRead, W: Write + Send>(shared: &Shared, reader: R, wr
                     other => Slot::Line(
                         serde_json::to_string(&CmdError {
                             error: format!("unknown cmd '{other}' (expected stats | shutdown)"),
+                            kind: ErrorKind::Invalid.name().into(),
                         })
                         .expect("error serializes"),
                     ),
@@ -563,14 +785,14 @@ fn handle_connection<R: BufRead, W: Write + Send>(shared: &Shared, reader: R, wr
                 }) {
                 Err(e) => {
                     shared.counters.invalid.fetch_add(1, Ordering::Relaxed);
-                    Slot::Line(error_line(index, &e))
+                    Slot::Line(error_record(index, ErrorKind::Invalid, &e))
                 }
                 Ok(resolved) => {
                     let cells = resolved.problem.cells();
                     match admit(shared, resolved.algorithm, cells) {
                         Err(e) => {
                             shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                            Slot::Line(error_line(index, &e))
+                            Slot::Line(error_record(index, ErrorKind::Rejected, &e))
                         }
                         Ok(()) => {
                             let (reply_tx, reply_rx) = mpsc::channel();
@@ -586,9 +808,9 @@ fn handle_connection<R: BufRead, W: Write + Send>(shared: &Shared, reader: R, wr
                             };
                             match shared.submit(job) {
                                 Ok(()) => Slot::Pending(reply_rx),
-                                Err(e) => {
+                                Err((kind, e)) => {
                                     shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                                    Slot::Line(error_line(index, &e))
+                                    Slot::Line(error_record(index, kind, &e))
                                 }
                             }
                         }
@@ -674,6 +896,12 @@ impl Server {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
                         stream.set_nodelay(true).ok();
+                        // A silent connection is dropped after the idle
+                        // timeout: its next read fails, the handler
+                        // exits, and the reaper frees the fd.
+                        stream
+                            .set_read_timeout(accept_shared.config.idle_timeout)
+                            .ok();
                         let Ok(read_half) = stream.try_clone() else {
                             continue;
                         };
@@ -847,6 +1075,90 @@ mod tests {
         );
         let (lines, _) = pipe(&reduced, &cfg);
         assert!(lines[0].contains("\"value\":"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn error_lines_carry_machine_readable_kinds() {
+        let input = "not json\n\
+                     {\"family\":\"knapsack\",\"values\":[1]}\n\
+                     {\"cmd\":\"frobnicate\"}\n";
+        let (lines, _) = pipe(input, &ServeConfig::default());
+        assert!(lines[0].contains("\"kind\":\"invalid\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"kind\":\"invalid\""), "{}", lines[1]);
+        assert!(lines[2].contains("\"kind\":\"invalid\""), "{}", lines[2]);
+        let cfg = ServeConfig {
+            max_cells: 10,
+            ..ServeConfig::default()
+        };
+        let (lines, _) = pipe(
+            "{\"family\":\"merge\",\"values\":[1,1,1,1,1,1,1,1]}\n",
+            &cfg,
+        );
+        assert!(lines[0].contains("\"kind\":\"rejected\""), "{}", lines[0]);
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected_without_buffering() {
+        let cfg = ServeConfig {
+            max_line_bytes: 64,
+            ..ServeConfig::default()
+        };
+        let long = format!(
+            "{{\"family\":\"chain\",\"values\":[{}]}}",
+            vec!["2"; 200].join(",")
+        );
+        let input = format!("{long}\n{{\"family\":\"chain\",\"values\":[2,3,4]}}\n");
+        let (lines, stats) = pipe(&input, &cfg);
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains("\"job\":0"), "{}", lines[0]);
+        assert!(lines[0].contains("exceeds the 64-byte cap"), "{}", lines[0]);
+        assert!(lines[0].contains("\"kind\":\"rejected\""), "{}", lines[0]);
+        // The next line is unaffected — the oversized one was drained.
+        assert!(lines[1].contains("\"value\":24"), "{}", lines[1]);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_counted() {
+        let plan = Arc::new(FaultPlan::new().fail(FaultSite::WorkerPanic, &[0]));
+        let cfg = ServeConfig {
+            exec: ExecBackend::Threads(1),
+            fault: Some(Arc::clone(&plan)),
+            ..ServeConfig::default()
+        };
+        let input = "{\"family\":\"chain\",\"values\":[2,3,4]}\n\
+                     {\"family\":\"chain\",\"values\":[2,3,4]}\n";
+        let (lines, stats) = pipe(input, &cfg);
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains("\"kind\":\"internal\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"value\":24"), "{}", lines[1]);
+        assert_eq!(stats.panics, 1);
+        assert_eq!(stats.completed, 2, "a panicked job is still answered");
+        assert_eq!(plan.injected(FaultSite::WorkerPanic), 1);
+    }
+
+    #[test]
+    fn injected_delay_forces_a_deterministic_timeout() {
+        let plan = Arc::new(
+            FaultPlan::new()
+                .fail(FaultSite::JobDelay, &[0])
+                .delay(Duration::from_millis(30)),
+        );
+        let cfg = ServeConfig {
+            exec: ExecBackend::Threads(1),
+            job_timeout: Some(Duration::from_millis(5)),
+            fault: Some(plan),
+            ..ServeConfig::default()
+        };
+        let input = "{\"family\":\"chain\",\"values\":[2,3,4]}\n\
+                     {\"family\":\"chain\",\"values\":[4,5,6]}\n";
+        let (lines, stats) = pipe(input, &cfg);
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains("\"kind\":\"timeout\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"value\":120"), "{}", lines[1]);
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.completed, 2);
     }
 
     #[test]

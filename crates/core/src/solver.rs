@@ -62,16 +62,17 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use crate::exec::ExecBackend;
+use crate::fault::CancelToken;
 use crate::ops::{OpStats, SquareStrategy};
 use crate::problem::DpProblem;
 use crate::reconstruct::{reconstruct_root, ParenTree};
-use crate::reduced::{solve_reduced, ReducedConfig};
-use crate::rytter::{solve_rytter, RytterConfig};
+use crate::reduced::{solve_reduced_cancel, ReducedConfig};
+use crate::rytter::{solve_rytter_cancel, RytterConfig};
 use crate::seq::{solve_knuth, solve_sequential};
-use crate::sublinear::{solve_sublinear, SolverConfig};
+use crate::sublinear::{solve_sublinear_cancel, SolverConfig};
 use crate::tables::WTable;
-use crate::trace::{SolveTrace, Termination};
-use crate::wavefront::{solve_wavefront, WavefrontConfig};
+use crate::trace::{SolveTrace, StopReason, Termination};
+use crate::wavefront::{solve_wavefront_cancel, WavefrontConfig};
 use crate::weight::Weight;
 
 /// Every solver on the paper's spectrum (§1), slowest-sequential to
@@ -361,6 +362,17 @@ pub struct SolveOptions {
     /// Wavefront fork-join grain: diagonals with fewer candidate
     /// evaluations than this run sequentially.
     pub wavefront_grain: usize,
+    /// Cooperative deadline: the iterative solvers check it once per
+    /// iteration and the wavefront once per diagonal, stopping with
+    /// [`StopReason::DeadlineExceeded`] (a **partial** table — see
+    /// [`Solution::timed_out`]) once it passes. The direct sequential
+    /// solvers do not check (they do not iterate; bound them by problem
+    /// size instead). `None` (the default) costs nothing. Unlike the
+    /// other knobs, a deadline is execution policy, not part of the
+    /// problem: it is accepted by every algorithm, excluded from
+    /// [`validate`](SolveOptions::validate), and ignored by the solution
+    /// store's cache key.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for SolveOptions {
@@ -374,6 +386,7 @@ impl Default for SolveOptions {
             band: None,
             windowed_pebble: true,
             wavefront_grain: WavefrontConfig::default().parallel_threshold,
+            deadline: None,
         }
     }
 }
@@ -425,6 +438,17 @@ impl SolveOptions {
     pub fn wavefront_grain(mut self, grain: usize) -> Self {
         self.wavefront_grain = grain;
         self
+    }
+
+    /// Set the cooperative deadline (`None` never cancels).
+    pub fn deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The [`CancelToken`] these options denote.
+    pub fn cancel_token(&self) -> CancelToken {
+        CancelToken::new(self.deadline)
     }
 
     /// Check one named knob against `algorithm`'s capability flags,
@@ -658,6 +682,15 @@ impl<W: Weight> Solution<W> {
         &self.w
     }
 
+    /// Whether the solve was cancelled by its deadline
+    /// ([`SolveOptions::deadline`]). A timed-out solution carries a
+    /// **partial** table: its value must not be reported, compared, or
+    /// cached — the serving layers turn it into a `timeout` error line
+    /// and skip the solution store.
+    pub fn timed_out(&self) -> bool {
+        self.trace.stop == StopReason::DeadlineExceeded
+    }
+
     /// Reconstruct the optimal parenthesization tree lazily, by walking
     /// the solved table with [`reconstruct_root`]. The problem is a
     /// parameter (not captured at solve time) so solutions stay cheap to
@@ -740,6 +773,7 @@ impl Solver {
     /// when called directly.)
     pub fn solve<W: Weight, P: DpProblem<W> + ?Sized>(&self, problem: &P) -> Solution<W> {
         let opts = &self.options;
+        let cancel = opts.cancel_token();
         let t0 = Instant::now();
         let mut solution = match self.algorithm {
             Algorithm::Sequential => {
@@ -751,12 +785,19 @@ impl Solver {
                 Solution::direct(Algorithm::Knuth, w)
             }
             Algorithm::Wavefront => {
-                let w = solve_wavefront(problem, &opts.wavefront_config());
-                Solution::direct(Algorithm::Wavefront, w)
+                let (w, completed) =
+                    solve_wavefront_cancel(problem, &opts.wavefront_config(), cancel);
+                let mut s = Solution::direct(Algorithm::Wavefront, w);
+                if !completed {
+                    s.trace.stop = StopReason::DeadlineExceeded;
+                }
+                s
             }
-            Algorithm::Sublinear => solve_sublinear(problem, &opts.sublinear_config()),
-            Algorithm::Reduced => solve_reduced(problem, &opts.reduced_config()),
-            Algorithm::Rytter => solve_rytter(problem, &opts.rytter_config()),
+            Algorithm::Sublinear => {
+                solve_sublinear_cancel(problem, &opts.sublinear_config(), cancel)
+            }
+            Algorithm::Reduced => solve_reduced_cancel(problem, &opts.reduced_config(), cancel),
+            Algorithm::Rytter => solve_rytter_cancel(problem, &opts.rytter_config(), cancel),
         };
         solution.wall = t0.elapsed();
         solution

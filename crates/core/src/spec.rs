@@ -603,6 +603,73 @@ pub fn verify_knuth<P: DpProblem<u64> + ?Sized>(
     Ok(())
 }
 
+/// The machine-readable error taxonomy shared by the serve daemon and
+/// the batch CLI: every JSONL error line carries a `kind` field naming
+/// one of these, next to the human-readable `error` text (which remains
+/// free to change). Front ends branch on `kind`, never on the prose.
+///
+/// | kind | meaning | retry advice |
+/// |---|---|---|
+/// | `invalid` | the request itself is wrong (bad JSON, bad spec, failed Knuth guard) | fix the job, do not retry as-is |
+/// | `rejected` | refused at admission (size caps, oversized line, shutdown drain) | resubmit elsewhere / smaller |
+/// | `overloaded` | the bounded queue is full | back off and retry |
+/// | `timeout` | the job exceeded its deadline | retry with a longer `--job-timeout` or a cheaper algorithm |
+/// | `internal` | the solve panicked; the job was isolated | report a bug; the daemon is still healthy |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// The request itself is wrong: unparseable JSON, an invalid
+    /// problem spec or knob, or a failed result verification.
+    Invalid,
+    /// Refused at admission: over the size caps, an oversized request
+    /// line, or submitted while the daemon drains for shutdown.
+    Rejected,
+    /// The bounded job queue is full — backpressure, retry later.
+    Overloaded,
+    /// The job exceeded its deadline and was cancelled cooperatively.
+    Timeout,
+    /// The solve panicked; panic isolation answered for it.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire name carried in the `kind` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorKind::Invalid => "invalid",
+            ErrorKind::Rejected => "rejected",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Wire shape of one JSONL error line (see [`error_record`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ErrorRecordLine {
+    job: usize,
+    error: String,
+    kind: String,
+}
+
+/// Render the one JSONL error-line shape both front ends emit:
+/// `{"job":N,"error":"...","kind":"..."}` — `job` is the 0-based input
+/// index the failed job consumed, `kind` the [`ErrorKind`] wire name.
+pub fn error_record(job: usize, kind: ErrorKind, error: &str) -> String {
+    serde_json::to_string(&ErrorRecordLine {
+        job,
+        error: error.to_string(),
+        kind: kind.name().to_string(),
+    })
+    .expect("an error record always serializes")
+}
+
 /// One JSONL result line: the deterministic solve outcome plus timing.
 /// Serialized field order is the wire order; `wall_seconds` is last and
 /// is the only nondeterministic field (see

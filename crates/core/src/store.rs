@@ -94,12 +94,14 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use crate::batch::{BatchResult, BatchSolver};
+use crate::batch::{BatchError, BatchResult, BatchSolver};
+use crate::fault::{unpoison, FaultPlan, FaultSite};
 use crate::ops::OpStats;
 use crate::problem::DpProblem;
 use crate::reduced::solve_reduced_seeded;
@@ -302,6 +304,21 @@ pub trait SolutionCache: Send + Sync {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// Fallible fetch: `Ok(None)` is a true miss, `Err` a failing
+    /// backend (IO error, corrupt record under an indexed key). The
+    /// default delegates to [`get`](SolutionCache::get) for backends
+    /// that cannot fail. Cache-aware solvers treat `Err` as
+    /// [`CacheOutcome::Bypass`] — solve cold, skip the insert — so a
+    /// degraded cache only ever costs performance, never answers.
+    fn try_get(&self, key: ProblemKey) -> Result<Option<CachedSolution>, StoreError> {
+        Ok(self.get(key))
+    }
+    /// Fallible store, same contract: the default delegates to
+    /// [`put`](SolutionCache::put) and cannot fail.
+    fn try_put(&self, key: ProblemKey, solution: CachedSolution) -> Result<(), StoreError> {
+        self.put(key, solution);
+        Ok(())
+    }
 }
 
 /// Default [`MemoryCache`] capacity, in entries (see the module docs
@@ -359,7 +376,7 @@ impl MemoryCache {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, MemoryInner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        unpoison(self.inner.lock())
     }
 }
 
@@ -421,9 +438,9 @@ pub struct StoreStat {
     pub records: u64,
     /// Size of the data file in bytes, padding included.
     pub file_bytes: u64,
-    /// Bytes after the last valid record that failed validation on
-    /// load (a torn append, garbage, or a foreign file) — skipped, and
-    /// overwritten by the next `put`.
+    /// Bytes anywhere in the file that failed validation on load (torn
+    /// appends, corrupt pages, trailing garbage, a foreign file) —
+    /// skipped; trailing garbage is overwritten by the next `put`.
     pub skipped_bytes: u64,
     /// Record counts per wire family, sorted by name.
     pub families: Vec<(String, u64)>,
@@ -444,13 +461,18 @@ pub struct StoreStat {
 /// **Crash safety:** `put` seeks to the end of the last *valid* record
 /// and writes header + payload + pad in one `write_all`, then
 /// `sync_data`s. A crash mid-append leaves a record that fails its
-/// checksum; the next open detects it, stops the scan there, reports
-/// the tail through [`skipped_bytes`](Self::skipped_bytes), and the
-/// next `put` overwrites it. Later records under an already-seen key
-/// win (append-wins semantics), so updates never rewrite in place.
+/// checksum; the next open detects it, probes forward page by page for
+/// the next valid record (every record starts page-aligned, so a bad
+/// page anywhere in the file — a torn append, a flipped bit, foreign
+/// garbage — costs only the records on it), reports the invalid bytes
+/// through [`skipped_bytes`](Self::skipped_bytes), and the next `put`
+/// goes after the last valid record, overwriting any trailing garbage.
+/// Later records under an already-seen key win (append-wins
+/// semantics), so updates never rewrite in place.
 pub struct FileStore {
     dir: PathBuf,
     skipped: u64,
+    fault: Option<Arc<FaultPlan>>,
     inner: Mutex<FileInner>,
 }
 
@@ -519,45 +541,70 @@ impl FileStore {
         file.read_to_end(&mut bytes)
             .map_err(|e| StoreError(format!("cannot read '{}': {e}", path.display())))?;
 
+        // Scan page-aligned offsets: a valid record advances the scan
+        // past itself; an invalid page is skipped and the scan probes
+        // the next page boundary (records only ever start page-aligned,
+        // so mid-file corruption costs exactly the records it touched).
         let mut index = HashMap::new();
         let mut offset: u64 = 0;
+        let mut end: u64 = 0;
+        let mut skipped: u64 = 0;
         let len = bytes.len() as u64;
         while offset + HEADER_LEN <= len {
-            let h = &bytes[offset as usize..(offset + HEADER_LEN) as usize];
-            let word = |at: usize| u64::from_le_bytes(h[at..at + 8].try_into().unwrap());
-            if &h[0..8] != MAGIC || word(32) != fnv64(&h[0..32]) {
-                break;
+            if let Some((key, payload_len, record_end)) = Self::parse_record(&bytes, offset) {
+                index.insert(key, (offset, payload_len));
+                offset = align_up(record_end, PAGE);
+                end = offset;
+            } else {
+                let next = (offset + PAGE).min(len);
+                skipped += next - offset;
+                offset = next;
             }
-            let key = word(8);
-            let payload_len = word(16);
-            let payload_sum = word(24);
-            let Some(record_end) = offset
-                .checked_add(HEADER_LEN)
-                .and_then(|x| x.checked_add(payload_len))
-            else {
-                break;
-            };
-            if record_end > len {
-                break;
-            }
-            let payload = &bytes
-                [(offset + HEADER_LEN) as usize..(offset + HEADER_LEN + payload_len) as usize];
-            if fnv64(payload) != payload_sum {
-                break;
-            }
-            index.insert(key, (offset, payload_len));
-            offset = align_up(record_end, PAGE);
         }
-        let skipped = len.saturating_sub(offset);
+        skipped += len.saturating_sub(offset);
         Ok(FileStore {
             dir: dir.to_path_buf(),
             skipped,
-            inner: Mutex::new(FileInner {
-                file,
-                index,
-                end: offset,
-            }),
+            fault: None,
+            inner: Mutex::new(FileInner { file, index, end }),
         })
+    }
+
+    /// Validate the record at page-aligned `offset`; `Some((key,
+    /// payload_len, record_end))` iff magic, header checksum, bounds,
+    /// and payload checksum all hold.
+    fn parse_record(bytes: &[u8], offset: u64) -> Option<(u64, u64, u64)> {
+        let len = bytes.len() as u64;
+        let h = &bytes[offset as usize..(offset + HEADER_LEN) as usize];
+        let word = |at: usize| u64::from_le_bytes(h[at..at + 8].try_into().unwrap());
+        if &h[0..8] != MAGIC || word(32) != fnv64(&h[0..32]) {
+            return None;
+        }
+        let key = word(8);
+        let payload_len = word(16);
+        let payload_sum = word(24);
+        let record_end = offset
+            .checked_add(HEADER_LEN)
+            .and_then(|x| x.checked_add(payload_len))?;
+        if record_end > len {
+            return None;
+        }
+        let payload =
+            &bytes[(offset + HEADER_LEN) as usize..(offset + HEADER_LEN + payload_len) as usize];
+        if fnv64(payload) != payload_sum {
+            return None;
+        }
+        Some((key, payload_len, record_end))
+    }
+
+    /// Attach a fault-injection plan (builder style): appends consult
+    /// [`FaultSite::TornWrite`] and, when scheduled, write only the
+    /// first half of the record — the mid-file corruption the next
+    /// [`open`](FileStore::open) must detect and skip. Test harness
+    /// only; production stores never attach a plan.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> FileStore {
+        self.fault = Some(plan);
+        self
     }
 
     /// The directory this store lives in.
@@ -565,14 +612,15 @@ impl FileStore {
         &self.dir
     }
 
-    /// Bytes of invalid tail data skipped when the store was opened
+    /// Bytes of invalid data skipped when the store was opened — torn
+    /// appends, corrupt pages anywhere in the file, trailing garbage
     /// (zero after a clean shutdown).
     pub fn skipped_bytes(&self) -> u64 {
         self.skipped
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, FileInner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        unpoison(self.inner.lock())
     }
 
     fn read_record(inner: &mut FileInner, offset: u64, payload_len: u64) -> Option<CachedSolution> {
@@ -633,16 +681,35 @@ impl FileStore {
 
 impl SolutionCache for FileStore {
     fn get(&self, key: ProblemKey) -> Option<CachedSolution> {
-        let mut inner = self.lock();
-        let (offset, payload_len) = *inner.index.get(&key.0)?;
-        Self::read_record(&mut inner, offset, payload_len)
+        self.try_get(key).unwrap_or(None)
     }
 
     fn put(&self, key: ProblemKey, solution: CachedSolution) {
-        let payload = match serde_json::to_string(&solution) {
-            Ok(s) => s.into_bytes(),
-            Err(_) => return,
+        let _ = self.try_put(key, solution);
+    }
+
+    fn len(&self) -> usize {
+        self.lock().index.len()
+    }
+
+    fn try_get(&self, key: ProblemKey) -> Result<Option<CachedSolution>, StoreError> {
+        let mut inner = self.lock();
+        let Some(&(offset, payload_len)) = inner.index.get(&key.0) else {
+            return Ok(None);
         };
+        match Self::read_record(&mut inner, offset, payload_len) {
+            Some(record) => Ok(Some(record)),
+            None => Err(StoreError(format!(
+                "cache record {} is unreadable (IO error or corrupt payload)",
+                key.hex()
+            ))),
+        }
+    }
+
+    fn try_put(&self, key: ProblemKey, solution: CachedSolution) -> Result<(), StoreError> {
+        let payload = serde_json::to_string(&solution)
+            .map_err(|e| StoreError(format!("cannot serialize cache record: {e:?}")))?
+            .into_bytes();
         let mut header = [0u8; HEADER_LEN as usize];
         header[0..8].copy_from_slice(MAGIC);
         header[8..16].copy_from_slice(&key.0.to_le_bytes());
@@ -658,22 +725,141 @@ impl SolutionCache for FileStore {
         record.extend_from_slice(&payload);
         record.resize(padded as usize, 0);
 
+        // Injected torn write: append only half the record and advance
+        // `end` past the full page span — the mid-file corruption the
+        // next open's page-probing scan must skip.
+        let torn = self
+            .fault
+            .as_ref()
+            .is_some_and(|plan| plan.should(FaultSite::TornWrite));
+        let write: &[u8] = if torn {
+            // Cut inside header + payload (not the zero pad), so the
+            // truncated record always fails its payload checksum.
+            &record[..record_len as usize / 2]
+        } else {
+            &record
+        };
+
         let mut inner = self.lock();
         let offset = inner.end;
-        let ok = inner
+        inner
             .file
             .seek(SeekFrom::Start(offset))
-            .and_then(|_| inner.file.write_all(&record))
+            .and_then(|_| inner.file.write_all(write))
             .and_then(|()| inner.file.sync_data())
-            .is_ok();
-        if ok {
-            inner.index.insert(key.0, (offset, payload.len() as u64));
-            inner.end = offset + padded;
+            .map_err(|e| StoreError(format!("cannot append cache record: {e}")))?;
+        inner.end = offset + padded;
+        if torn {
+            return Err(StoreError("injected torn write".into()));
+        }
+        inner.index.insert(key.0, (offset, payload.len() as u64));
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: the resilient wrapper
+// ---------------------------------------------------------------------------
+
+/// Default [`ResilientCache`] failure budget: errors tolerated before
+/// the cache is taken out of service.
+pub const DEFAULT_CACHE_FAILURE_BUDGET: u64 = 8;
+
+/// A [`SolutionCache`] wrapper that degrades instead of failing: every
+/// backend error is counted and surfaced as a miss (the cache-aware
+/// solvers then solve cold and report [`CacheOutcome::Bypass`]), and
+/// once the failure budget is spent the backend is disabled entirely —
+/// a dying disk stops costing per-job latency, and the daemon keeps
+/// answering from compute alone. The serve daemon wraps its configured
+/// cache in one of these and reports [`errors`](ResilientCache::errors)
+/// as the `cache_errors` stats counter.
+pub struct ResilientCache {
+    inner: Arc<dyn SolutionCache>,
+    budget: u64,
+    failures: AtomicU64,
+    disabled: AtomicBool,
+}
+
+impl std::fmt::Debug for ResilientCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientCache")
+            .field("budget", &self.budget)
+            .field("errors", &self.errors())
+            .field("disabled", &self.is_disabled())
+            .finish()
+    }
+}
+
+impl ResilientCache {
+    /// Wrap `inner` with the default failure budget.
+    pub fn new(inner: Arc<dyn SolutionCache>) -> ResilientCache {
+        Self::with_budget(inner, DEFAULT_CACHE_FAILURE_BUDGET)
+    }
+
+    /// Wrap `inner`, disabling it after `budget` errors (floored at 1).
+    pub fn with_budget(inner: Arc<dyn SolutionCache>, budget: u64) -> ResilientCache {
+        ResilientCache {
+            inner,
+            budget: budget.max(1),
+            failures: AtomicU64::new(0),
+            disabled: AtomicBool::new(false),
         }
     }
 
+    /// Backend errors observed so far (disabled-state short circuits
+    /// are not errors and do not count).
+    pub fn errors(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Whether the failure budget is spent and the backend is out of
+    /// service.
+    pub fn is_disabled(&self) -> bool {
+        self.disabled.load(Ordering::Relaxed)
+    }
+
+    fn note_failure(&self) {
+        if self.failures.fetch_add(1, Ordering::Relaxed) + 1 >= self.budget {
+            self.disabled.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+impl SolutionCache for ResilientCache {
+    fn get(&self, key: ProblemKey) -> Option<CachedSolution> {
+        self.try_get(key).unwrap_or(None)
+    }
+
+    fn put(&self, key: ProblemKey, solution: CachedSolution) {
+        let _ = self.try_put(key, solution);
+    }
+
     fn len(&self) -> usize {
-        self.lock().index.len()
+        if self.is_disabled() {
+            0
+        } else {
+            self.inner.len()
+        }
+    }
+
+    fn try_get(&self, key: ProblemKey) -> Result<Option<CachedSolution>, StoreError> {
+        if self.is_disabled() {
+            return Err(StoreError(
+                "solution cache disabled after repeated errors".into(),
+            ));
+        }
+        self.inner.try_get(key).inspect_err(|_| self.note_failure())
+    }
+
+    fn try_put(&self, key: ProblemKey, solution: CachedSolution) -> Result<(), StoreError> {
+        if self.is_disabled() {
+            return Err(StoreError(
+                "solution cache disabled after repeated errors".into(),
+            ));
+        }
+        self.inner
+            .try_put(key, solution)
+            .inspect_err(|_| self.note_failure())
     }
 }
 
@@ -693,7 +879,10 @@ pub enum CacheOutcome {
     },
     /// Solved cold and inserted for next time.
     Miss,
-    /// Not cacheable (trace recording, Knuth); solved cold, not stored.
+    /// The cache was not used: the job is uncacheable (trace recording,
+    /// Knuth), the backend failed (lookup or insert error — see
+    /// [`ResilientCache`]), or the solve timed out (a partial table is
+    /// never stored). Solved cold, nothing stored.
     Bypass,
 }
 
@@ -736,12 +925,28 @@ impl<'c> CachedSolver<'c> {
     /// Stage 2 — fetch and validate a stored solution for `spec`.
     /// Returns `None` on a true miss *and* on a record that does not
     /// answer this `(spec, algorithm)` request (the collision guard).
+    /// A failing backend reads as a miss here; use
+    /// [`try_lookup`](CachedSolver::try_lookup) to distinguish.
     pub fn lookup(&self, spec: &ProblemSpec, key: ProblemKey) -> Option<Solution<u64>> {
-        let cached = self.cache.get(key)?;
+        self.try_lookup(spec, key).unwrap_or(None)
+    }
+
+    /// Fallible stage 2: `Err` is a failing cache backend — the
+    /// composed [`solve`](CachedSolver::solve) then skips the warm
+    /// probe and the insert too ([`CacheOutcome::Bypass`]), so one
+    /// failing disk costs one error, not three.
+    pub fn try_lookup(
+        &self,
+        spec: &ProblemSpec,
+        key: ProblemKey,
+    ) -> Result<Option<Solution<u64>>, StoreError> {
+        let Some(cached) = self.cache.try_get(key)? else {
+            return Ok(None);
+        };
         if !cached.answers(spec, self.solver.algorithm()) {
-            return None;
+            return Ok(None);
         }
-        cached.to_solution().ok()
+        Ok(cached.to_solution().ok())
     }
 
     /// Stage 3 — solve on a miss: probe cached prefix tables for a
@@ -760,14 +965,30 @@ impl<'c> CachedSolver<'c> {
 
     /// Stage 4 — store `solution` under `key` for the next repeat.
     pub fn insert(&self, spec: &ProblemSpec, key: ProblemKey, solution: &Solution<u64>) {
+        let _ = self.try_insert(spec, key, solution);
+    }
+
+    /// Fallible stage 4: `Err` is a failing cache backend; the solution
+    /// itself is unaffected.
+    pub fn try_insert(
+        &self,
+        spec: &ProblemSpec,
+        key: ProblemKey,
+        solution: &Solution<u64>,
+    ) -> Result<(), StoreError> {
         self.cache
-            .put(key, CachedSolution::of_solution(spec.family(), solution));
+            .try_put(key, CachedSolution::of_solution(spec.family(), solution))
     }
 
     /// The composed staged solve. The returned solution is bit-identical
     /// to [`Solver::solve`] on the built instance — value and table
     /// always; trace and statistics too, except after a warm start,
     /// where they honestly report the (smaller) work actually done.
+    ///
+    /// Degradation: a failing backend turns the outcome into
+    /// [`CacheOutcome::Bypass`] (cold solve, warm probe and insert
+    /// skipped); a timed-out solve is likewise never inserted — a
+    /// partial table must not poison future lookups.
     pub fn solve(&self, spec: &ProblemSpec) -> (Solution<u64>, CacheOutcome) {
         let t0 = Instant::now();
         let Some(key) = self.key(spec) else {
@@ -775,12 +996,26 @@ impl<'c> CachedSolver<'c> {
             solution.wall = t0.elapsed();
             return (solution, CacheOutcome::Bypass);
         };
-        if let Some(mut solution) = self.lookup(spec, key) {
+        let looked_up = self.try_lookup(spec, key);
+        if let Ok(Some(mut solution)) = looked_up {
             solution.wall = t0.elapsed();
             return (solution, CacheOutcome::Hit);
         }
-        let (mut solution, outcome) = self.solve_miss(spec);
-        self.insert(spec, key, &solution);
+        let (mut solution, outcome) = if looked_up.is_err() {
+            (self.solver.solve(&spec.build()), CacheOutcome::Bypass)
+        } else {
+            self.solve_miss(spec)
+        };
+        // `||` short-circuits: a bypassed or timed-out solve is never
+        // inserted, and a failing insert downgrades the outcome.
+        let outcome = if outcome == CacheOutcome::Bypass
+            || solution.timed_out()
+            || self.try_insert(spec, key, &solution).is_err()
+        {
+            CacheOutcome::Bypass
+        } else {
+            outcome
+        };
         solution.wall = t0.elapsed();
         (solution, outcome)
     }
@@ -837,12 +1072,20 @@ fn warm_start(
                 let w = complete_sequential(&problem, m, &seed);
                 Solution::direct(algorithm, w)
             }
-            Algorithm::Sublinear => {
-                solve_sublinear_seeded(&problem, &options.sublinear_config(), m, &seed)
-            }
-            Algorithm::Reduced => {
-                solve_reduced_seeded(&problem, &options.reduced_config(), m, &seed)
-            }
+            Algorithm::Sublinear => solve_sublinear_seeded(
+                &problem,
+                &options.sublinear_config(),
+                m,
+                &seed,
+                options.cancel_token(),
+            ),
+            Algorithm::Reduced => solve_reduced_seeded(
+                &problem,
+                &options.reduced_config(),
+                m,
+                &seed,
+                options.cancel_token(),
+            ),
             _ => unreachable!("warm-startable algorithms are filtered above"),
         };
         return Some((solution, m));
@@ -905,6 +1148,9 @@ pub struct CacheCounters {
     /// Jobs that duplicated an earlier job in the same batch and reused
     /// its solution.
     pub deduped: u64,
+    /// Cache backend errors (failed lookups or inserts); each degraded
+    /// the job to a plain cold solve ([`CacheOutcome::Bypass`]).
+    pub errors: u64,
 }
 
 /// The outcome of a cache-aware batch: the same per-job results and
@@ -931,6 +1177,10 @@ pub struct CachedBatchReport {
     pub large_jobs: usize,
     /// Cache traffic of this batch.
     pub cache: CacheCounters,
+    /// Jobs whose solve panicked, isolated by
+    /// [`BatchSolver::solve_batch_isolated`] — these have no entry in
+    /// [`results`](CachedBatchReport::results); sorted by job index.
+    pub errors: Vec<BatchError>,
 }
 
 impl CachedBatchReport {
@@ -1000,6 +1250,8 @@ impl BatchSolver {
         }
 
         // Lookup + warm-probe representatives; collect the cold rest.
+        // A failing cache backend degrades the representative to a
+        // plain cold solve with no insert (counted in `errors`).
         let mut solved: Vec<Option<Solution<u64>>> = vec![None; n];
         let mut to_insert: Vec<usize> = Vec::new();
         let mut cold: Vec<usize> = Vec::new();
@@ -1015,10 +1267,19 @@ impl BatchSolver {
             let staged = Solver::new(job.algorithm)
                 .options(job.options)
                 .with_cache(cache);
-            if let Some(solution) = staged.lookup(&job.problem, key) {
-                counters.hits += 1;
-                solved[i] = Some(solution);
-                continue;
+            match staged.try_lookup(&job.problem, key) {
+                Ok(Some(solution)) => {
+                    counters.hits += 1;
+                    solved[i] = Some(solution);
+                    continue;
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    counters.errors += 1;
+                    counters.misses += 1;
+                    cold.push(i);
+                    continue;
+                }
             }
             counters.misses += 1;
             if let Some((solution, _)) =
@@ -1045,9 +1306,16 @@ impl BatchSolver {
                 options: jobs[i].options,
             })
             .collect();
-        let report = self.solve_batch(&batch_jobs);
-        for (&i, r) in cold.iter().zip(report.results) {
-            solved[i] = Some(r.solution);
+        let (report, batch_errors) = self.solve_batch_isolated(&batch_jobs);
+        // A panicking cold job leaves its representative unsolved; the
+        // report indexes the *returned* results, so map positions back
+        // through `cold` by the per-batch job index.
+        let mut panic_msgs: HashMap<usize, String> = HashMap::new();
+        for e in batch_errors {
+            panic_msgs.insert(cold[e.job], e.message);
+        }
+        for r in report.results {
+            solved[cold[r.job]] = Some(r.solution);
         }
 
         if let Some(cache) = cache {
@@ -1055,22 +1323,32 @@ impl BatchSolver {
                 let (Some(key), Some(solution)) = (keys[i], &solved[i]) else {
                     continue;
                 };
-                cache.put(
-                    key,
-                    CachedSolution::of_solution(jobs[i].problem.family(), solution),
-                );
+                if solution.timed_out() {
+                    continue; // never store a partial table
+                }
+                let record = CachedSolution::of_solution(jobs[i].problem.family(), solution);
+                if cache.try_put(key, record).is_err() {
+                    counters.errors += 1;
+                }
             }
         }
 
-        // Assemble in submission order, replicating representatives.
+        // Assemble in submission order, replicating representatives;
+        // jobs whose representative panicked become errors instead.
         let threshold = self.threshold();
         let mut results = Vec::with_capacity(n);
+        let mut errors: Vec<BatchError> = Vec::new();
         let mut small_jobs = 0;
         let mut large_jobs = 0;
         for i in 0..n {
-            let solution = solved[source[i]]
-                .clone()
-                .expect("every representative is solved by one of the three paths");
+            let Some(solution) = solved[source[i]].clone() else {
+                let message = panic_msgs
+                    .get(&source[i])
+                    .cloned()
+                    .unwrap_or_else(|| "the solve panicked".into());
+                errors.push(BatchError { job: i, message });
+                continue;
+            };
             let large = jobs[i].problem.cells() > threshold;
             if large {
                 large_jobs += 1;
@@ -1100,6 +1378,7 @@ impl BatchSolver {
             small_jobs,
             large_jobs,
             cache: counters,
+            errors,
         }
     }
 }
@@ -1375,5 +1654,117 @@ mod tests {
         assert_eq!(nocache.cache.deduped, 2);
         assert_eq!(nocache.cache.hits + nocache.cache.misses, 0);
         assert_eq!(nocache.stats, report.stats);
+    }
+
+    #[test]
+    fn injected_torn_write_corrupts_mid_file_and_costs_only_its_record() {
+        use crate::fault::{FaultPlan, FaultSite};
+
+        let dir = temp_dir("torn-write");
+        // The second append is torn: half a record lands *between* two
+        // valid ones, so the next open must skip a corrupt page in the
+        // middle of the file, not just a garbage tail.
+        let plan = Arc::new(FaultPlan::new().fail(FaultSite::TornWrite, &[1]));
+        let solver = Solver::new(Algorithm::Reduced).options(seq_opts());
+        let s0 = spec(&[30, 35, 15, 5]);
+        let s1 = spec(&[5, 10, 3, 12, 5]);
+        let s2 = spec(&[30, 35, 15, 5, 10]);
+        {
+            let store = FileStore::open(&dir).unwrap().with_fault_plan(plan);
+            let staged = solver.with_cache(&store);
+            assert_eq!(staged.solve(&s0).1, CacheOutcome::Miss);
+            // The torn append fails: the job degrades to Bypass but is
+            // still answered, and the broken record is never indexed.
+            let (sol, outcome) = staged.solve(&s1);
+            assert_eq!(outcome, CacheOutcome::Bypass);
+            assert_eq!(sol.value(), solver.solve(&s1.build()).value());
+            // s2 extends s0, so it warm-starts from the cached prefix —
+            // and its insert lands cleanly *after* the torn page.
+            assert_eq!(staged.solve(&s2).1, CacheOutcome::Warm { seed_n: 3 });
+            assert_eq!(store.len(), 2);
+        }
+        let store = FileStore::open_existing(&dir).unwrap();
+        assert_eq!(store.len(), 2, "the valid records bracket the tear");
+        assert!(store.skipped_bytes() > 0, "the torn page is accounted");
+        let staged = solver.with_cache(&store);
+        assert_eq!(staged.solve(&s0).1, CacheOutcome::Hit);
+        assert_eq!(staged.solve(&s2).1, CacheOutcome::Hit);
+        // The torn record's job can be stored cleanly now (no plan).
+        assert_eq!(staged.solve(&s1).1, CacheOutcome::Miss);
+        assert_eq!(staged.solve(&s1).1, CacheOutcome::Hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resilient_cache_disables_the_backend_after_its_budget() {
+        use crate::fault::{FaultPlan, FaultSite, FaultyCache};
+
+        let plan = Arc::new(FaultPlan::new().fail(FaultSite::StoreRead, &[1, 2]));
+        let faulty = Arc::new(FaultyCache::new(
+            Arc::new(MemoryCache::new(8)),
+            Arc::clone(&plan),
+        ));
+        let resilient = ResilientCache::with_budget(faulty, 2);
+        let key =
+            ProblemKey::derive(&spec(&[30, 35, 15, 5]), Algorithm::Sublinear, &seq_opts()).unwrap();
+        // Occurrence 0 is healthy, 1 and 2 fail — spending the budget.
+        assert!(resilient.try_get(key).unwrap().is_none());
+        assert!(resilient.try_get(key).is_err());
+        assert_eq!(resilient.errors(), 1);
+        assert!(!resilient.is_disabled());
+        assert!(resilient.try_get(key).is_err());
+        assert_eq!(resilient.errors(), 2);
+        assert!(resilient.is_disabled());
+        // Disabled: every call short-circuits without touching the
+        // backend — the error count freezes and no occurrence is spent.
+        assert!(resilient.try_get(key).is_err());
+        assert!(resilient.get(key).is_none());
+        assert_eq!(resilient.len(), 0);
+        assert_eq!(resilient.errors(), 2);
+        assert_eq!(plan.occurrences(FaultSite::StoreRead), 3);
+    }
+
+    #[test]
+    fn staged_solve_degrades_to_cold_solves_on_store_errors() {
+        use crate::fault::{FaultPlan, FaultSite, FaultyCache};
+
+        let plan = Arc::new(
+            FaultPlan::new()
+                .fail(FaultSite::StoreRead, &[1])
+                .fail(FaultSite::StoreWrite, &[1]),
+        );
+        let faulty = Arc::new(FaultyCache::new(
+            Arc::new(MemoryCache::new(8)),
+            Arc::clone(&plan),
+        ));
+        let resilient = ResilientCache::new(faulty);
+        let solver = Solver::new(Algorithm::Sublinear).options(seq_opts());
+        let staged = solver.with_cache(&resilient);
+        // n = 2 specs: no warm-start prefixes exist, so each solve
+        // probes exactly one StoreRead (and at most one StoreWrite)
+        // occurrence and the explicit schedule indexes by solve.
+        let s0 = spec(&[30, 35, 15]);
+        let s1 = spec(&[5, 10, 3]);
+
+        // Healthy miss + insert.
+        let (cold, o) = staged.solve(&s0);
+        assert_eq!(o, CacheOutcome::Miss);
+        // Lookup error: the solve is cold but correct, and the insert
+        // is skipped (one failing disk costs one error, not two).
+        let (sol, o) = staged.solve(&s0);
+        assert_eq!(o, CacheOutcome::Bypass);
+        assert_eq!(sol.value(), cold.value());
+        assert!(sol.w.table_eq(&cold.w));
+        // Insert error: the answer is unaffected.
+        let (sol, o) = staged.solve(&s1);
+        assert_eq!(o, CacheOutcome::Bypass);
+        assert_eq!(sol.value(), solver.solve(&s1.build()).value());
+        // The backend recovers (occurrences past the schedule): the
+        // record stored before the errors still hits bit-identically.
+        let (hit, o) = staged.solve(&s0);
+        assert_eq!(o, CacheOutcome::Hit);
+        assert!(hit.w.table_eq(&cold.w));
+        assert_eq!(resilient.errors(), 2);
+        assert!(!resilient.is_disabled());
     }
 }

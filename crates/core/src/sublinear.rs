@@ -22,6 +22,7 @@
 //! since 0.1.0 — is removed in the next minor release. Migrate with a
 //! textual rename; the variants and semantics are identical.
 
+use crate::fault::CancelToken;
 use crate::ops::{
     a_activate_dense_tracked, a_pebble_dense_scheduled, a_square_dense_scheduled, OpStats,
 };
@@ -90,7 +91,18 @@ pub fn solve_sublinear<W: Weight, P: DpProblem<W> + ?Sized>(
     problem: &P,
     config: &SolverConfig,
 ) -> Solution<W> {
-    solve_seeded(problem, config, None)
+    solve_seeded(problem, config, None, CancelToken::NONE)
+}
+
+/// Cancellable §2 solve for the façade: `cancel` is checked once per
+/// iteration, and an expired deadline stops the run with
+/// [`StopReason::DeadlineExceeded`] and a partial table.
+pub(crate) fn solve_sublinear_cancel<W: Weight, P: DpProblem<W> + ?Sized>(
+    problem: &P,
+    config: &SolverConfig,
+    cancel: CancelToken,
+) -> Solution<W> {
+    solve_seeded(problem, config, None, cancel)
 }
 
 /// Warm-started §2 solve for the solution store: pairs `(i,j)` with
@@ -110,15 +122,17 @@ pub(crate) fn solve_sublinear_seeded<W: Weight, P: DpProblem<W> + ?Sized>(
     config: &SolverConfig,
     seed_m: usize,
     seed: &crate::tables::WTable<W>,
+    cancel: CancelToken,
 ) -> Solution<W> {
     debug_assert!(seed.n() == seed_m && seed_m < problem.n());
-    solve_seeded(problem, config, Some((seed_m, seed)))
+    solve_seeded(problem, config, Some((seed_m, seed)), cancel)
 }
 
 fn solve_seeded<W: Weight, P: DpProblem<W> + ?Sized>(
     problem: &P,
     config: &SolverConfig,
     seed: Option<(usize, &WTable<W>)>,
+    cancel: CancelToken,
 ) -> Solution<W> {
     let t0 = std::time::Instant::now();
     let n = problem.n();
@@ -173,6 +187,10 @@ fn solve_seeded<W: Weight, P: DpProblem<W> + ?Sized>(
     });
 
     for iter in 1..=schedule {
+        if cancel.is_cancelled() {
+            trace.stop = StopReason::DeadlineExceeded;
+            break;
+        }
         let (act, activate_changed_rows) = a_activate_dense_tracked(problem, &w, &mut pw, exec);
         // Row (i,j) of the square reads exactly the rows nested in (i,j)
         // of pw-after-activate. That input row c is unchanged since the

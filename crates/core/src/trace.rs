@@ -75,6 +75,11 @@ pub enum StopReason {
     /// completion — there is no iteration schedule to speak of. Used by
     /// the empty-but-well-formed traces of [`SolveTrace::direct`].
     Direct,
+    /// The solve was cancelled cooperatively because its
+    /// [`SolveOptions::deadline`](crate::solver::SolveOptions::deadline)
+    /// passed. The table is **partial** — the value must not be used or
+    /// cached (see [`Solution::timed_out`](crate::solver::Solution)).
+    DeadlineExceeded,
 }
 
 /// Aggregate of a full solver run.

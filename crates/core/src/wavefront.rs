@@ -13,6 +13,7 @@
 //! small diagonals, where the fork-join overhead would dominate.
 
 use crate::exec::ExecBackend;
+use crate::fault::CancelToken;
 use crate::problem::DpProblem;
 use crate::tables::WTable;
 use crate::weight::Weight;
@@ -41,6 +42,18 @@ pub fn solve_wavefront<W: Weight, P: DpProblem<W> + Sync + ?Sized>(
     problem: &P,
     config: &WavefrontConfig,
 ) -> WTable<W> {
+    solve_wavefront_cancel(problem, config, CancelToken::NONE).0
+}
+
+/// Cancellable wavefront solve for the façade: `cancel` is checked once
+/// per diagonal. Returns the table plus whether the sweep ran to
+/// completion — `false` means the deadline passed and the table is
+/// partial (diagonals past the cancellation point are still infinity).
+pub(crate) fn solve_wavefront_cancel<W: Weight, P: DpProblem<W> + Sync + ?Sized>(
+    problem: &P,
+    config: &WavefrontConfig,
+    cancel: CancelToken,
+) -> (WTable<W>, bool) {
     let n = problem.n();
     let mut w = WTable::new(n);
     for i in 0..n {
@@ -48,6 +61,9 @@ pub fn solve_wavefront<W: Weight, P: DpProblem<W> + Sync + ?Sized>(
     }
     let mut diag: Vec<W> = Vec::with_capacity(n);
     for d in 2..=n {
+        if cancel.is_cancelled() {
+            return (w, false);
+        }
         let cells = n - d + 1;
         let cell_value = |i: usize, w: &WTable<W>| {
             let j = i + d;
@@ -70,7 +86,7 @@ pub fn solve_wavefront<W: Weight, P: DpProblem<W> + Sync + ?Sized>(
             w.set(i, i + d, v);
         }
     }
-    w
+    (w, true)
 }
 
 /// Convenience wrapper with default tuning.

@@ -302,6 +302,57 @@ fn cached_session_warm_starts_a_chain_extension() {
 }
 
 #[test]
+fn stats_command_reports_the_failure_counters() {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    // One worker, three faulted jobs — a panic, a forced timeout, and
+    // an injected store read error — then a stats query: the counters
+    // must be visible through `{"cmd":"stats"}`, not just at drain.
+    // (Job 0 panics before reaching the cache, so job 2 is StoreRead
+    // occurrence 1: job 1 consumed occurrence 0 before its timeout.)
+    let plan = Arc::new(
+        FaultPlan::new()
+            .fail(FaultSite::WorkerPanic, &[0])
+            .fail(FaultSite::JobDelay, &[1])
+            .fail(FaultSite::StoreRead, &[1])
+            .delay(Duration::from_millis(60)),
+    );
+    let config = ServeConfig {
+        exec: ExecBackend::Threads(1),
+        cache: Some(Arc::new(FaultyCache::new(
+            Arc::new(MemoryCache::new(64)),
+            Arc::clone(&plan),
+        ))),
+        job_timeout: Some(Duration::from_millis(10)),
+        fault: Some(Arc::clone(&plan)),
+        ..ServeConfig::default()
+    };
+    let input = "{\"family\":\"chain\",\"values\":[2,3,4]}\n\
+                 {\"family\":\"chain\",\"values\":[3,4,5]}\n\
+                 {\"family\":\"chain\",\"values\":[4,5,6]}\n\
+                 {\"cmd\":\"stats\"}\n";
+    let (lines, final_stats) = serve_lines(input, &config);
+    assert_eq!(lines.len(), 4);
+    assert!(lines[0].contains("\"kind\":\"internal\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"kind\":\"timeout\""), "{}", lines[1]);
+    assert!(
+        lines[2].contains("\"value\":120"),
+        "degraded to a cold solve"
+    );
+
+    let v = serde_json::parse_value(&lines[3]).unwrap();
+    let stats = ServeStats::from_value(v.get("stats").unwrap()).unwrap();
+    assert_eq!(stats.panics, 1);
+    assert_eq!(stats.timeouts, 1);
+    assert_eq!(stats.cache_errors, 1);
+    assert_eq!(stats.completed, 3);
+    assert_eq!(final_stats.panics, 1);
+    assert_eq!(final_stats.timeouts, 1);
+    assert_eq!(final_stats.cache_errors, 1);
+}
+
+#[test]
 fn tcp_stats_and_shutdown_commands_round_trip() {
     let server = Server::bind("127.0.0.1:0", &ServeConfig::default()).unwrap();
     let mut stream = TcpStream::connect(server.addr()).unwrap();
@@ -331,6 +382,11 @@ fn tcp_stats_and_shutdown_commands_round_trip() {
     assert_eq!(stats.cache_hits, 0);
     assert_eq!(stats.cache_misses, 0);
     assert_eq!(stats.warm_starts, 0);
+    // No faults either: the failure counters ride in the same record
+    // and stay zero on a healthy daemon.
+    assert_eq!(stats.panics, 0);
+    assert_eq!(stats.timeouts, 0);
+    assert_eq!(stats.cache_errors, 0);
     assert!(lines[2].contains("\"ok\":\"shutdown\""), "{}", lines[2]);
     // The client-initiated shutdown stops the whole daemon.
     let final_stats = server.join();
