@@ -8,7 +8,8 @@ use std::fmt;
 use std::time::Duration;
 
 use pardp_core::prelude::{
-    Algorithm, ExecBackend, ProblemSpec, SolveKnob, SolveOptions, SpecError, SquareStrategy,
+    Algorithm, ExecBackend, LogLevel, ProblemSpec, SolveKnob, SolveOptions, SpecError,
+    SquareStrategy,
 };
 
 /// A parsing or execution error with a user-facing message.
@@ -97,6 +98,11 @@ pub enum Parsed {
         /// Persistent solution-store directory (`--cache <dir>`); `None`
         /// solves cold (the default, or explicit `--no-cache`).
         cache: Option<String>,
+        /// Structured event log destination (`--log <path|->`): a JSONL
+        /// file, or `-` for stderr. `None` disables telemetry.
+        log: Option<String>,
+        /// Event severity threshold (`--log-level`, default `info`).
+        log_level: LogLevel,
     },
     /// `pardp serve (--addr <host:port> | --pipe)`
     Serve {
@@ -123,6 +129,12 @@ pub enum Parsed {
         /// Per-connection idle read timeout (`--idle-timeout <seconds>`,
         /// TCP only): silent connections are dropped.
         idle_timeout: Option<Duration>,
+        /// Structured event log destination (`--log <path|->`): a JSONL
+        /// file, or `-` for stderr (stdout stays a clean protocol
+        /// channel). `None` disables telemetry.
+        log: Option<String>,
+        /// Event severity threshold (`--log-level`, default `info`).
+        log_level: LogLevel,
     },
     /// `pardp cache (stat | clear) <dir>`
     Cache {
@@ -191,8 +203,8 @@ USAGE:
   pardp solve obst --p <p1,..> --q <q0,..> [--algo A] [--backend B] [--tile T] [--witness]
   pardp solve polygon <w0,w1,...>      [--algo A] [--backend B] [--tile T] [--witness]
   pardp solve merge <l0,l1,...>        [--algo A] [--backend B] [--tile T] [--witness]
-  pardp batch <jobs.jsonl>             [--algo A] [--backend B] [--large-cells C] [--cache DIR]
-  pardp serve (--addr <host:port> | --pipe) [--algo A] [--backend B] [--large-cells C] [--queue N] [--cache DIR] [--job-timeout S] [--idle-timeout S]
+  pardp batch <jobs.jsonl>             [--algo A] [--backend B] [--large-cells C] [--cache DIR] [--log PATH|-] [--log-level L]
+  pardp serve (--addr <host:port> | --pipe) [--algo A] [--backend B] [--large-cells C] [--queue N] [--cache DIR] [--job-timeout S] [--idle-timeout S] [--log PATH|-] [--log-level L]
   pardp cache (stat | clear) <dir>
   pardp game <zigzag|complete|skewed|random> <n> [--rule jump] [--seed S]
   pardp model <n> [--processors P]
@@ -232,6 +244,17 @@ SERVE (pardp serve): a persistent solving daemon over the same JSONL
   cancels a job still solving S seconds after a worker picks it up
   (kind timeout; fractional seconds accepted); --idle-timeout S drops a
   TCP connection that sends nothing for S seconds.
+OBSERVABILITY (--log PATH|- [--log-level debug|info|error]): structured
+  JSONL event stream for batch and serve — per-job lifecycle events
+  (admitted, regime, cache, completed, plus rejected/fault/panic/timeout
+  on failures) with gap-free sequence numbers, and a final summary
+  event mirroring the stderr drain line. --log FILE writes the stream
+  to FILE; --log - streams it to stderr, keeping stdout a clean
+  protocol channel. The default level info omits connection open/close
+  events (debug); error keeps failures only. Without --log nothing is
+  emitted and output is byte-identical. {{\"cmd\":\"stats\"}} additionally
+  reports p50/p90/p99 answer latency, queue_high_watermark, per-kind
+  error counters, and aggregate Work/Span.
 CACHING (--cache DIR | --no-cache): persistent solution store.
   With --cache DIR, solve/batch/serve reuse solutions stored under DIR
   (created on first use): repeats are served from the store
@@ -306,6 +329,33 @@ fn take_seconds(rest: &mut Vec<String>, flag: &str) -> Result<Option<Duration>, 
             Ok(Some(Duration::from_secs_f64(secs)))
         }
     }
+}
+
+/// Take the shared `--log <path|->` / `--log-level <level>` pair of
+/// `batch` and `serve`. The level defaults to `info`; giving it
+/// without `--log` is pointless and rejected so a typo cannot silently
+/// drop the event stream.
+fn take_log(rest: &mut Vec<String>) -> Result<(Option<String>, LogLevel), CliError> {
+    let log = take_value(rest, "--log")?;
+    if let Some(path) = &log {
+        if path.is_empty() {
+            return Err(CliError(
+                "--log needs a destination: a file path, or - for stderr".into(),
+            ));
+        }
+    }
+    let level = match take_value(rest, "--log-level")? {
+        None => LogLevel::Info,
+        Some(s) => {
+            if log.is_none() {
+                return Err(CliError(
+                    "--log-level needs --log <path|-> (there is no event stream to filter)".into(),
+                ));
+            }
+            LogLevel::parse(&s).map_err(CliError)?
+        }
+    };
+    Ok((log, level))
 }
 
 /// Take the shared `--cache <dir>` / `--no-cache` pair of `solve`,
@@ -444,6 +494,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 None => None,
             };
             let cache = take_cache(&mut rest)?;
+            let (log, log_level) = take_log(&mut rest)?;
             if rest.is_empty() {
                 return Err(CliError(
                     "batch needs a JSONL job file (one problem per line)".into(),
@@ -455,6 +506,8 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 backend,
                 large_cells,
                 cache,
+                log,
+                log_level,
             })
         }
         "serve" => {
@@ -489,6 +542,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 None => None,
             };
             let cache = take_cache(&mut rest)?;
+            let (log, log_level) = take_log(&mut rest)?;
             let job_timeout = take_seconds(&mut rest, "--job-timeout")?;
             let idle_timeout = take_seconds(&mut rest, "--idle-timeout")?;
             let addr = take_value(&mut rest, "--addr")?;
@@ -517,6 +571,8 @@ pub fn parse(argv: &[String]) -> Result<Parsed, CliError> {
                 cache,
                 job_timeout,
                 idle_timeout,
+                log,
+                log_level,
             })
         }
         "cache" => {
@@ -685,6 +741,8 @@ mod tests {
                 backend: None,
                 large_cells: None,
                 cache: None,
+                log: None,
+                log_level: LogLevel::Info,
             }
         );
         let p = parse(&argv(
@@ -699,6 +757,8 @@ mod tests {
                 backend: Some(ExecBackend::Threads(2)),
                 large_cells: Some(50),
                 cache: None,
+                log: None,
+                log_level: LogLevel::Info,
             }
         );
         let err = parse(&argv("batch")).unwrap_err();
@@ -724,6 +784,8 @@ mod tests {
                 cache: None,
                 job_timeout: None,
                 idle_timeout: None,
+                log: None,
+                log_level: LogLevel::Info,
             }
         );
         let p = parse(&argv(
@@ -743,6 +805,8 @@ mod tests {
                 cache: None,
                 job_timeout: Some(Duration::from_millis(2500)),
                 idle_timeout: Some(Duration::from_secs(30)),
+                log: None,
+                log_level: LogLevel::Info,
             }
         );
         // Exactly one transport: neither and both are rejected.
@@ -776,6 +840,44 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_log_flags_on_batch_and_serve() {
+        match parse(&argv("batch --log events.jsonl jobs.jsonl")).unwrap() {
+            Parsed::Batch { log, log_level, .. } => {
+                assert_eq!(log.as_deref(), Some("events.jsonl"));
+                assert_eq!(log_level, LogLevel::Info);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("serve --pipe --log - --log-level debug")).unwrap() {
+            Parsed::Serve { log, log_level, .. } => {
+                assert_eq!(log.as_deref(), Some("-"));
+                assert_eq!(log_level, LogLevel::Debug);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("serve --pipe --log e.jsonl --log-level error")).unwrap() {
+            Parsed::Serve { log, log_level, .. } => {
+                assert_eq!(log.as_deref(), Some("e.jsonl"));
+                assert_eq!(log_level, LogLevel::Error);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Unknown levels name the accepted set.
+        let err = parse(&argv("serve --pipe --log - --log-level verbose")).unwrap_err();
+        assert!(err.0.contains("debug"), "{err}");
+        // --log-level without a stream to filter is a likely typo.
+        let err = parse(&argv("serve --pipe --log-level info")).unwrap_err();
+        assert!(err.0.contains("--log"), "{err}");
+        // An empty destination is rejected with the accepted forms.
+        let empty: Vec<String> = ["batch", "--log", "", "jobs.jsonl"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = parse(&empty).unwrap_err();
+        assert!(err.0.contains("destination"), "{err}");
     }
 
     #[test]

@@ -20,6 +20,28 @@ fn open_cache(dir: &str) -> Result<FileStore, CliError> {
     FileStore::open(dir).map_err(|e| CliError(e.0))
 }
 
+/// Build the telemetry pipeline behind `--log <path|->`: `-` streams
+/// JSONL events to stderr (stdout stays protocol-only), anything else
+/// truncates and writes a file. No flag, no telemetry, no overhead.
+fn open_telemetry(
+    log: Option<&str>,
+    level: LogLevel,
+) -> Result<Option<std::sync::Arc<Telemetry>>, CliError> {
+    let Some(dest) = log else { return Ok(None) };
+    let writer: Box<dyn std::io::Write + Send> = if dest == "-" {
+        Box::new(std::io::stderr())
+    } else {
+        Box::new(
+            std::fs::File::create(dest)
+                .map_err(|e| CliError(format!("cannot open log file '{dest}': {e}")))?,
+        )
+    };
+    let sink = std::sync::Arc::new(WriterSink::new(writer));
+    Ok(Some(std::sync::Arc::new(Telemetry::with_level(
+        sink, level,
+    ))))
+}
+
 /// Execute a parsed command, producing the output text.
 pub fn execute(parsed: &Parsed) -> Result<String, CliError> {
     match parsed {
@@ -30,7 +52,17 @@ pub fn execute(parsed: &Parsed) -> Result<String, CliError> {
             backend,
             large_cells,
             cache,
-        } => run_batch(path, *algo, *backend, *large_cells, cache.as_deref()),
+            log,
+            log_level,
+        } => run_batch(
+            path,
+            *algo,
+            *backend,
+            *large_cells,
+            cache.as_deref(),
+            log.as_deref(),
+            *log_level,
+        ),
         Parsed::Serve {
             addr,
             pipe,
@@ -41,6 +73,8 @@ pub fn execute(parsed: &Parsed) -> Result<String, CliError> {
             cache,
             job_timeout,
             idle_timeout,
+            log,
+            log_level,
         } => run_serve(
             addr.as_deref(),
             *pipe,
@@ -51,6 +85,8 @@ pub fn execute(parsed: &Parsed) -> Result<String, CliError> {
             cache.as_deref(),
             *job_timeout,
             *idle_timeout,
+            log.as_deref(),
+            *log_level,
         ),
         Parsed::Cache { action, dir } => run_cache(*action, dir),
         Parsed::Bound { n } => {
@@ -247,6 +283,8 @@ fn run_batch(
     backend: Option<ExecBackend>,
     large_cells: Option<usize>,
     cache_dir: Option<&str>,
+    log: Option<&str>,
+    log_level: LogLevel,
 ) -> Result<String, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError(format!("cannot read job file '{path}': {e}")))?;
@@ -261,7 +299,8 @@ fn run_batch(
         );
     }
 
-    let mut solver = BatchSolver::new();
+    let telemetry = open_telemetry(log, log_level)?;
+    let mut solver = BatchSolver::new().telemetry(telemetry.clone());
     if let Some(b) = backend {
         solver = solver.exec(b);
     }
@@ -324,6 +363,27 @@ fn run_batch(
     let summary = report.summary(solver.backend());
     out.push_str(&serde_json::to_string(&summary).map_err(|e| CliError(e.to_string()))?);
     out.push('\n');
+    // A batch run ends its event stream the same way a serve drain does:
+    // one machine-readable `summary` line, then a flush so file sinks
+    // land on disk before the process exits.
+    if let Some(tel) = &telemetry {
+        let c = report.cache;
+        tel.emit(EventKind::Summary {
+            accepted: resolved.len() as u64,
+            rejected: 0,
+            invalid: 0,
+            completed: report.results.len() as u64,
+            completed_small: report.results.iter().filter(|r| !r.large).count() as u64,
+            completed_large: report.results.iter().filter(|r| r.large).count() as u64,
+            panics: report.errors.len() as u64,
+            timeouts: 0,
+            cache_hits: c.hits,
+            cache_misses: c.misses,
+            warm_starts: c.warm_starts,
+            cache_errors: c.errors,
+        });
+        tel.flush();
+    }
     Ok(out)
 }
 
@@ -367,11 +427,14 @@ fn run_serve(
     cache_dir: Option<&str>,
     job_timeout: Option<std::time::Duration>,
     idle_timeout: Option<std::time::Duration>,
+    log: Option<&str>,
+    log_level: LogLevel,
 ) -> Result<String, CliError> {
     let mut config = pardp_core::serve::ServeConfig {
         default_algo: algo,
         job_timeout,
         idle_timeout,
+        telemetry: open_telemetry(log, log_level)?,
         ..Default::default()
     };
     if let Some(b) = backend {

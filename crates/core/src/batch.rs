@@ -65,12 +65,14 @@
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::exec::ExecBackend;
 use crate::ops::OpStats;
 use crate::problem::DpProblem;
 use crate::solver::{Algorithm, Solution, SolveOptions, Solver};
+use crate::telemetry::Telemetry;
 use crate::weight::Weight;
 
 /// One problem in a batch: the instance plus the algorithm and options
@@ -206,10 +208,16 @@ pub struct BatchReport<W> {
 ///   threshold separating the regimes. `usize::MAX` forces everything
 ///   through the pipelined small-job path; `0` forces everything
 ///   through the parallel per-problem path.
-#[derive(Debug, Clone, Copy)]
+/// * [`telemetry`](Self::telemetry) — an optional structured event
+///   stream ([`crate::telemetry`]); [`solve_resolved`](Self::solve_resolved)
+///   emits one `admitted` → `regime` → `cache` → `completed`
+///   (or `panic`) chain per job in submission order. `None` (the
+///   default) emits nothing and changes no output byte.
+#[derive(Debug, Clone)]
 pub struct BatchSolver {
     exec: ExecBackend,
     large_job_cells: usize,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 /// Default regime threshold: jobs with more `w`-table cells than this
@@ -223,6 +231,7 @@ impl Default for BatchSolver {
         BatchSolver {
             exec: ExecBackend::Parallel,
             large_job_cells: DEFAULT_LARGE_JOB_CELLS,
+            telemetry: None,
         }
     }
 }
@@ -247,6 +256,13 @@ impl BatchSolver {
         self
     }
 
+    /// Attach a structured event stream: per-job lifecycle events from
+    /// [`solve_resolved`](Self::solve_resolved). `None` is the default.
+    pub fn telemetry(mut self, telemetry: Option<Arc<Telemetry>>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// The backend the batch fans out over (for reporting — front ends
     /// should not restate the default).
     pub fn backend(&self) -> ExecBackend {
@@ -256,6 +272,12 @@ impl BatchSolver {
     /// The configured regime threshold in `w`-table cells.
     pub fn threshold(&self) -> usize {
         self.large_job_cells
+    }
+
+    /// The attached event stream, if any (used by the cached batch
+    /// entry point in `store.rs`).
+    pub(crate) fn telemetry_handle(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Solve every job, returning per-job results in submission order

@@ -105,6 +105,7 @@ pub mod spec;
 pub mod store;
 pub mod sublinear;
 pub mod tables;
+pub mod telemetry;
 pub mod trace;
 pub mod verify;
 pub mod wavefront;
@@ -136,6 +137,10 @@ pub mod prelude {
     // remaining module-level alias and its removal timeline.
     pub use crate::sublinear::{solve_sublinear, SolverConfig};
     pub use crate::tables::WTable;
+    pub use crate::telemetry::{
+        Event, EventKind, EventSink, LatencyHistogram, LogLevel, NullSink, RingSink, Telemetry,
+        WorkSpan, WriterSink,
+    };
     pub use crate::trace::{StopReason, Termination};
     pub use crate::wavefront::{solve_wavefront, solve_wavefront_default, WavefrontConfig};
     pub use crate::weight::Weight;

@@ -46,6 +46,10 @@ use crate::tables::{BandedPw, DensePw, PairIndexer, WTable};
 use crate::weight::Weight;
 
 /// Work and change accounting for one operation application.
+///
+/// `candidates` is the *work* of the operation in the Work/Span sense;
+/// see the model discussion on [`crate::trace`] and the critical-path
+/// estimate [`crate::trace::SolveTrace::span_estimate`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpStats {
     /// Composition candidates examined (pairs combined with `+` and fed to

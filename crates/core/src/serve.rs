@@ -116,6 +116,7 @@ use crate::spec::{
     error_record, verify_knuth, ErrorKind, JobRecord, JobSpec, ProblemSpec, SpecProblem,
 };
 use crate::store::{cached_solve, CacheOutcome, ResilientCache, SolutionCache};
+use crate::telemetry::{EventKind, LatencyHistogram, Telemetry};
 use crate::trace::Termination;
 
 /// Default bound of the job queue: submissions beyond this many waiting
@@ -183,6 +184,11 @@ pub struct ServeConfig {
     /// [`crate::fault`]). `None` — the default and the production
     /// setting — injects nothing and costs one pointer check per site.
     pub fault: Option<Arc<FaultPlan>>,
+    /// Structured event stream (see [`crate::telemetry`]). `None` — the
+    /// default — emits nothing, constructs no events, and leaves every
+    /// response byte-identical to an un-instrumented daemon; the CLI
+    /// wires `--log <path|->` here.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -200,6 +206,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("idle_timeout", &self.idle_timeout)
             .field("max_line_bytes", &self.max_line_bytes)
             .field("fault", &self.fault)
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -219,6 +226,7 @@ impl Default for ServeConfig {
             idle_timeout: None,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             fault: None,
+            telemetry: None,
         }
     }
 }
@@ -260,6 +268,41 @@ pub struct ServeStats {
     pub cache_errors: u64,
     /// Jobs waiting in the queue right now.
     pub queue_depth: usize,
+    /// The deepest the queue has ever been — how close the daemon came
+    /// to its `overloaded` bound.
+    pub queue_high_watermark: u64,
+    /// Error lines answered with kind `invalid` (bad JSON, bad spec).
+    pub errors_invalid: u64,
+    /// Error lines answered with kind `rejected` (admission caps,
+    /// oversized lines, shutdown) — the overloaded ones counted apart.
+    pub errors_rejected: u64,
+    /// Error lines answered with kind `overloaded` (queue full).
+    pub errors_overloaded: u64,
+    /// Error lines answered with kind `timeout` (deadline passed).
+    pub errors_timeout: u64,
+    /// Error lines answered with kind `internal` (isolated panics).
+    pub errors_internal: u64,
+    /// Median answer latency (admission → reply) in microseconds, from
+    /// the lock-free log₂ histogram ([`LatencyHistogram`]) — exact to
+    /// within its 2× bucket resolution, like the other two percentiles.
+    pub latency_p50_us: u64,
+    /// 90th-percentile answer latency in microseconds.
+    pub latency_p90_us: u64,
+    /// 99th-percentile answer latency in microseconds.
+    pub latency_p99_us: u64,
+    /// Total work (candidate relaxations) across completed solves — see
+    /// the Work/Span discussion in [`crate::trace`].
+    pub work: u64,
+    /// Total estimated span (critical-path depth) across completed
+    /// solves ([`crate::trace::SolveTrace::span_estimate`]).
+    pub span: u64,
+    /// Work attributable to `a-activate` (nonzero only for jobs run
+    /// with per-iteration trace recording).
+    pub work_activate: u64,
+    /// Work attributable to `a-square` (same caveat).
+    pub work_square: u64,
+    /// Work attributable to `a-pebble` (same caveat).
+    pub work_pebble: u64,
     /// The configured queue bound.
     pub queue_capacity: usize,
     /// Worker threads draining the queue.
@@ -286,6 +329,18 @@ struct Counters {
     warm_starts: AtomicU64,
     panics: AtomicU64,
     timeouts: AtomicU64,
+    /// Rejections whose kind was specifically `overloaded` (these also
+    /// tick `rejected`, the aggregate).
+    overloaded: AtomicU64,
+    queue_high_watermark: AtomicU64,
+    work: AtomicU64,
+    span: AtomicU64,
+    work_activate: AtomicU64,
+    work_square: AtomicU64,
+    work_pebble: AtomicU64,
+    /// Admission-to-reply latency of every answered job, in µs. Always
+    /// on: recording is one relaxed atomic increment.
+    latency: LatencyHistogram,
 }
 
 /// One queued job: a resolved, admitted request plus its reply slot.
@@ -299,6 +354,8 @@ struct Job {
     algorithm: Algorithm,
     options: SolveOptions,
     large: bool,
+    /// When the job passed admission — the latency clock's zero.
+    accepted: Instant,
     reply: mpsc::Sender<String>,
 }
 
@@ -347,6 +404,40 @@ impl Shared {
         self.not_empty.notify_all();
     }
 
+    /// Emit a telemetry event if a stream is configured; free otherwise.
+    fn emit(&self, kind: EventKind) {
+        if let Some(tel) = &self.config.telemetry {
+            tel.emit(kind);
+        }
+    }
+
+    /// Emit the final `summary` event from the drained counters and
+    /// flush the sink — the machine-readable twin of the CLI's stderr
+    /// drain line. Called once per session, after the queue drains.
+    fn emit_summary(&self) {
+        if self.config.telemetry.is_none() {
+            return;
+        }
+        let stats = self.stats();
+        self.emit(EventKind::Summary {
+            accepted: stats.accepted,
+            rejected: stats.rejected,
+            invalid: stats.invalid,
+            completed: stats.completed,
+            completed_small: stats.completed_small,
+            completed_large: stats.completed_large,
+            panics: stats.panics,
+            timeouts: stats.timeouts,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            warm_starts: stats.warm_starts,
+            cache_errors: stats.cache_errors,
+        });
+        if let Some(tel) = &self.config.telemetry {
+            tel.flush();
+        }
+    }
+
     /// Try to enqueue a job; the error is the wire error kind + message.
     fn submit(&self, job: Job) -> Result<(), (ErrorKind, String)> {
         if self.shutdown.load(Ordering::SeqCst) {
@@ -359,8 +450,18 @@ impl Shared {
         if q.len() >= self.config.queue_capacity {
             return Err((ErrorKind::Overloaded, "overloaded".into()));
         }
+        // Emitted while the queue lock is still held: no worker can pop
+        // this job (and emit its `regime` event) before `admitted` is in
+        // the stream, so per-job chains stay ordered.
+        self.emit(EventKind::Admitted {
+            job: job.index as u64,
+        });
         q.push_back(job);
+        let depth = q.len() as u64;
         drop(q);
+        self.counters
+            .queue_high_watermark
+            .fetch_max(depth, Ordering::Relaxed);
         self.not_empty.notify_one();
         self.counters.accepted.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -370,21 +471,40 @@ impl Shared {
         let c = &self.counters;
         let completed_small = c.completed_small.load(Ordering::Relaxed);
         let completed_large = c.completed_large.load(Ordering::Relaxed);
+        let rejected = c.rejected.load(Ordering::Relaxed);
+        let overloaded = c.overloaded.load(Ordering::Relaxed);
+        let invalid = c.invalid.load(Ordering::Relaxed);
+        let panics = c.panics.load(Ordering::Relaxed);
+        let timeouts = c.timeouts.load(Ordering::Relaxed);
         let uptime = self.started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
         ServeStats {
             accepted: c.accepted.load(Ordering::Relaxed),
-            rejected: c.rejected.load(Ordering::Relaxed),
-            invalid: c.invalid.load(Ordering::Relaxed),
+            rejected,
+            invalid,
             completed: c.completed.load(Ordering::Relaxed),
             completed_small,
             completed_large,
             cache_hits: c.cache_hits.load(Ordering::Relaxed),
             cache_misses: c.cache_misses.load(Ordering::Relaxed),
             warm_starts: c.warm_starts.load(Ordering::Relaxed),
-            panics: c.panics.load(Ordering::Relaxed),
-            timeouts: c.timeouts.load(Ordering::Relaxed),
+            panics,
+            timeouts,
             cache_errors: self.cache.as_ref().map_or(0, |c| c.errors()),
             queue_depth: unpoison(self.queue.lock()).len(),
+            queue_high_watermark: c.queue_high_watermark.load(Ordering::Relaxed),
+            errors_invalid: invalid,
+            errors_rejected: rejected.saturating_sub(overloaded),
+            errors_overloaded: overloaded,
+            errors_timeout: timeouts,
+            errors_internal: panics,
+            latency_p50_us: c.latency.percentile(0.50),
+            latency_p90_us: c.latency.percentile(0.90),
+            latency_p99_us: c.latency.percentile(0.99),
+            work: c.work.load(Ordering::Relaxed),
+            span: c.span.load(Ordering::Relaxed),
+            work_activate: c.work_activate.load(Ordering::Relaxed),
+            work_square: c.work_square.load(Ordering::Relaxed),
+            work_pebble: c.work_pebble.load(Ordering::Relaxed),
             queue_capacity: self.config.queue_capacity,
             workers: self.workers,
             uptime_seconds: uptime,
@@ -419,10 +539,16 @@ fn worker_loop(shared: &Shared) {
 
 /// Inject a worker panic when the plan schedules one — called inside
 /// the regime gate, before the solve, so the recovery path exercises
-/// both the gate release and the `catch_unwind` boundary.
-fn maybe_panic(shared: &Shared) {
+/// both the gate release and the `catch_unwind` boundary. The `fault`
+/// event is emitted before unwinding starts, so chaos streams show the
+/// injection site ahead of the resulting `panic` event.
+fn maybe_panic(shared: &Shared, job_index: usize) {
     if let Some(plan) = &shared.config.fault {
         if plan.should(FaultSite::WorkerPanic) {
+            shared.emit(EventKind::Fault {
+                job: job_index as u64,
+                site: FaultSite::WorkerPanic.name(),
+            });
             panic!("injected worker panic");
         }
     }
@@ -437,8 +563,16 @@ fn run_job(shared: &Shared, job: Job) {
     // The deadline clock starts when a worker picks the job up, not at
     // admission: queue wait is backpressure, not solve time.
     let deadline = shared.config.job_timeout.map(|t| Instant::now() + t);
+    shared.emit(EventKind::Regime {
+        job: job.index as u64,
+        large: job.large,
+    });
     if let Some(plan) = &shared.config.fault {
         if plan.should(FaultSite::JobDelay) {
+            shared.emit(EventKind::Fault {
+                job: job.index as u64,
+                site: FaultSite::JobDelay.name(),
+            });
             thread::sleep(plan.injected_delay());
         }
     }
@@ -452,7 +586,7 @@ fn run_job(shared: &Shared, job: Job) {
     let solved = catch_unwind(AssertUnwindSafe(|| {
         if job.large {
             let _gate = unpoison(shared.regime.write());
-            maybe_panic(shared);
+            maybe_panic(shared, job.index);
             let opts = job
                 .options
                 .exec(job.options.exec.capped(shared.workers))
@@ -460,7 +594,7 @@ fn run_job(shared: &Shared, job: Job) {
             solve_maybe_cached(shared, &job, opts)
         } else {
             let _gate = unpoison(shared.regime.read());
-            maybe_panic(shared);
+            maybe_panic(shared, job.index);
             let opts = job.options.exec(ExecBackend::Sequential).deadline(deadline);
             solve_maybe_cached(shared, &job, opts)
         }
@@ -468,6 +602,9 @@ fn run_job(shared: &Shared, job: Job) {
     let line = match solved {
         Err(_) => {
             shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+            shared.emit(EventKind::Panic {
+                job: job.index as u64,
+            });
             error_record(
                 job.index,
                 ErrorKind::Internal,
@@ -480,6 +617,9 @@ fn run_job(shared: &Shared, job: Job) {
             // alone — the outcome is Bypass by construction.
             debug_assert_eq!(outcome, CacheOutcome::Bypass);
             shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            shared.emit(EventKind::Timeout {
+                job: job.index as u64,
+            });
             error_record(
                 job.index,
                 ErrorKind::Timeout,
@@ -501,19 +641,46 @@ fn run_job(shared: &Shared, job: Job) {
                 }
                 CacheOutcome::Bypass => {}
             }
+            shared.emit(EventKind::Cache {
+                job: job.index as u64,
+                outcome: outcome.name(),
+            });
+            // Work/Span accounting: the trace always carries the total
+            // (work); the per-op split is nonzero only for jobs run with
+            // trace recording (see `SolveTrace::work_by_op`).
+            let ws = solution.work_span();
+            let (wa, wsq, wp) = solution.trace.work_by_op();
+            let c = &shared.counters;
+            c.work.fetch_add(ws.work, Ordering::Relaxed);
+            c.span.fetch_add(ws.span, Ordering::Relaxed);
+            c.work_activate.fetch_add(wa, Ordering::Relaxed);
+            c.work_square.fetch_add(wsq, Ordering::Relaxed);
+            c.work_pebble.fetch_add(wp, Ordering::Relaxed);
             // Knuth is never cached (`ProblemKey::derive` bypasses it),
             // so a cache path cannot skip this verification.
             match verify_knuth(&job.problem, &solution) {
                 Ok(()) => {
+                    shared.emit(EventKind::Completed {
+                        job: job.index as u64,
+                        wall_us: solution.wall.as_micros() as u64,
+                        value: solution.value(),
+                    });
                     let record =
                         JobRecord::of_solution(job.index, job.family, &solution, job.large);
                     serde_json::to_string(&record).expect("record serializes")
                 }
-                Err(e) => error_record(job.index, ErrorKind::Invalid, &e.0),
+                Err(e) => {
+                    shared.emit(EventKind::Rejected {
+                        job: job.index as u64,
+                        kind: ErrorKind::Invalid.name(),
+                    });
+                    error_record(job.index, ErrorKind::Invalid, &e.0)
+                }
             }
         }
     };
     let c = &shared.counters;
+    c.latency.record(job.accepted.elapsed().as_micros() as u64);
     c.completed.fetch_add(1, Ordering::Relaxed);
     if job.large {
         c.completed_large.fetch_add(1, Ordering::Relaxed);
@@ -673,6 +840,7 @@ fn admit(shared: &Shared, algorithm: Algorithm, cells: usize) -> Result<(), Stri
 /// Returns when the input ends, the connection drops or times out idle,
 /// or a `shutdown` command arrives (which also stops the whole daemon).
 fn handle_connection<R: BufRead, W: Write + Send>(shared: &Shared, mut reader: R, writer: W) {
+    shared.emit(EventKind::ConnOpen);
     let (tx, rx) = mpsc::channel::<Slot>();
     thread::scope(|scope| {
         scope.spawn(move || {
@@ -712,6 +880,10 @@ fn handle_connection<R: BufRead, W: Write + Send>(shared: &Shared, mut reader: R
                     // other malformed request, but its bytes were never
                     // buffered.
                     shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    shared.emit(EventKind::Rejected {
+                        job: job_index as u64,
+                        kind: ErrorKind::Rejected.name(),
+                    });
                     let msg = error_record(
                         job_index,
                         ErrorKind::Rejected,
@@ -737,6 +909,10 @@ fn handle_connection<R: BufRead, W: Write + Send>(shared: &Shared, mut reader: R
                     // A malformed line consumes a job index (the client
                     // meant *something* here) but never kills the loop.
                     shared.counters.invalid.fetch_add(1, Ordering::Relaxed);
+                    shared.emit(EventKind::Rejected {
+                        job: job_index as u64,
+                        kind: ErrorKind::Invalid.name(),
+                    });
                     let msg = error_record(
                         job_index,
                         ErrorKind::Invalid,
@@ -785,6 +961,10 @@ fn handle_connection<R: BufRead, W: Write + Send>(shared: &Shared, mut reader: R
                 }) {
                 Err(e) => {
                     shared.counters.invalid.fetch_add(1, Ordering::Relaxed);
+                    shared.emit(EventKind::Rejected {
+                        job: index as u64,
+                        kind: ErrorKind::Invalid.name(),
+                    });
                     Slot::Line(error_record(index, ErrorKind::Invalid, &e))
                 }
                 Ok(resolved) => {
@@ -792,6 +972,10 @@ fn handle_connection<R: BufRead, W: Write + Send>(shared: &Shared, mut reader: R
                     match admit(shared, resolved.algorithm, cells) {
                         Err(e) => {
                             shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                            shared.emit(EventKind::Rejected {
+                                job: index as u64,
+                                kind: ErrorKind::Rejected.name(),
+                            });
                             Slot::Line(error_record(index, ErrorKind::Rejected, &e))
                         }
                         Ok(()) => {
@@ -804,12 +988,20 @@ fn handle_connection<R: BufRead, W: Write + Send>(shared: &Shared, mut reader: R
                                 algorithm: resolved.algorithm,
                                 options: resolved.options,
                                 large: cells > shared.config.large_job_cells,
+                                accepted: Instant::now(),
                                 reply: reply_tx,
                             };
                             match shared.submit(job) {
                                 Ok(()) => Slot::Pending(reply_rx),
                                 Err((kind, e)) => {
                                     shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                                    if kind == ErrorKind::Overloaded {
+                                        shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    shared.emit(EventKind::Rejected {
+                                        job: index as u64,
+                                        kind: kind.name(),
+                                    });
                                     Slot::Line(error_record(index, kind, &e))
                                 }
                             }
@@ -823,6 +1015,7 @@ fn handle_connection<R: BufRead, W: Write + Send>(shared: &Shared, mut reader: R
         }
         drop(tx); // writer drains the remaining slots, then exits
     });
+    shared.emit(EventKind::ConnClose);
 }
 
 /// Run the daemon over an in-process reader/writer pair — stdin/stdout
@@ -842,6 +1035,7 @@ pub fn serve_pipe<R: BufRead, W: Write + Send>(
         handle_connection(&shared, reader, writer);
         shared.begin_shutdown();
     });
+    shared.emit_summary();
     shared.stats()
 }
 
@@ -970,6 +1164,7 @@ impl Server {
         for w in self.workers.drain(..) {
             w.join().ok();
         }
+        self.shared.emit_summary();
         self.shared.stats()
     }
 }

@@ -691,6 +691,15 @@ impl<W: Weight> Solution<W> {
         self.trace.stop == StopReason::DeadlineExceeded
     }
 
+    /// Work/Span summary of this solve under the parallel cost model:
+    /// work is [`SolveTrace::total_candidates`], span the critical-path
+    /// estimate of [`SolveTrace::span_estimate`]. Both are zero for the
+    /// direct solvers, which do not instrument their loops. See the
+    /// Work/Span discussion in the [`crate::trace`] module docs.
+    pub fn work_span(&self) -> crate::telemetry::WorkSpan {
+        crate::telemetry::WorkSpan::of_trace(&self.trace)
+    }
+
     /// Reconstruct the optimal parenthesization tree lazily, by walking
     /// the solved table with [`reconstruct_root`]. The problem is a
     /// parameter (not captured at solve time) so solutions stay cheap to

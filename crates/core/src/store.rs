@@ -109,6 +109,7 @@ use crate::solver::{Algorithm, Solution, SolveOptions, Solver};
 use crate::spec::{CanonicalHasher, ProblemSpec, ResolvedJob};
 use crate::sublinear::solve_sublinear_seeded;
 use crate::tables::WTable;
+use crate::telemetry::EventKind;
 use crate::trace::{SolveTrace, Termination};
 use crate::weight::Weight;
 
@@ -886,6 +887,18 @@ pub enum CacheOutcome {
     Bypass,
 }
 
+impl CacheOutcome {
+    /// The lower-case tag telemetry `cache` events carry.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Warm { .. } => "warm",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Bypass => "bypass",
+        }
+    }
+}
+
 /// [`Solver`] with a cache attached: [`Solver::solve`] split into its
 /// four stages — [`key`](CachedSolver::key) →
 /// [`lookup`](CachedSolver::lookup) →
@@ -1233,6 +1246,10 @@ impl BatchSolver {
             .collect();
 
         // Dedup: first occurrence of each key is the representative.
+        // `outcomes` records per-job cache provenance for telemetry:
+        // replicated jobs are `dedup`, representatives get their staged
+        // outcome below, uncacheable jobs stay `bypass`.
+        let mut outcomes: Vec<&'static str> = vec!["bypass"; n];
         let mut rep: HashMap<u64, usize> = HashMap::new();
         let mut source: Vec<usize> = (0..n).collect();
         for i in 0..n {
@@ -1241,6 +1258,7 @@ impl BatchSolver {
                     std::collections::hash_map::Entry::Occupied(e) => {
                         source[i] = *e.get();
                         counters.deduped += 1;
+                        outcomes[i] = "dedup";
                     }
                     std::collections::hash_map::Entry::Vacant(e) => {
                         e.insert(i);
@@ -1270,11 +1288,14 @@ impl BatchSolver {
             match staged.try_lookup(&job.problem, key) {
                 Ok(Some(solution)) => {
                     counters.hits += 1;
+                    outcomes[i] = "hit";
                     solved[i] = Some(solution);
                     continue;
                 }
                 Ok(None) => {}
                 Err(_) => {
+                    // Backend failure: degraded to an uncached cold
+                    // solve — the same `bypass` provenance serve reports.
                     counters.errors += 1;
                     counters.misses += 1;
                     cold.push(i);
@@ -1286,10 +1307,12 @@ impl BatchSolver {
                 warm_start(cache, &job.problem, job.algorithm, &job.options)
             {
                 counters.warm_starts += 1;
+                outcomes[i] = "warm";
                 solved[i] = Some(solution);
                 to_insert.push(i);
                 continue;
             }
+            outcomes[i] = "miss";
             cold.push(i);
             to_insert.push(i);
         }
@@ -1341,7 +1364,24 @@ impl BatchSolver {
         let mut small_jobs = 0;
         let mut large_jobs = 0;
         for i in 0..n {
+            let large = jobs[i].problem.cells() > threshold;
+            // One consecutive event chain per job, in submission order —
+            // the batch twin of the serve daemon's per-job stream.
+            if let Some(tel) = self.telemetry_handle() {
+                tel.emit(EventKind::Admitted { job: i as u64 });
+                tel.emit(EventKind::Regime {
+                    job: i as u64,
+                    large,
+                });
+                tel.emit(EventKind::Cache {
+                    job: i as u64,
+                    outcome: outcomes[i],
+                });
+            }
             let Some(solution) = solved[source[i]].clone() else {
+                if let Some(tel) = self.telemetry_handle() {
+                    tel.emit(EventKind::Panic { job: i as u64 });
+                }
                 let message = panic_msgs
                     .get(&source[i])
                     .cloned()
@@ -1349,7 +1389,13 @@ impl BatchSolver {
                 errors.push(BatchError { job: i, message });
                 continue;
             };
-            let large = jobs[i].problem.cells() > threshold;
+            if let Some(tel) = self.telemetry_handle() {
+                tel.emit(EventKind::Completed {
+                    job: i as u64,
+                    wall_us: solution.wall.as_micros() as u64,
+                    value: solution.value(),
+                });
+            }
             if large {
                 large_jobs += 1;
             } else {

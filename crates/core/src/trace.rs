@@ -1,4 +1,27 @@
 //! Iteration traces and termination policies shared by all solvers.
+//!
+//! # Work and Span
+//!
+//! The repo reports solver cost in the classic Work/Span model of
+//! parallel computation:
+//!
+//! - **Work** is the total number of composition candidates examined
+//!   across every operation of every iteration — exactly
+//!   [`SolveTrace::total_candidates`], the figure the bench baselines
+//!   pin. It is what a single processor would execute.
+//! - **Span** is the length of the critical path: the time on
+//!   unboundedly many processors. Each iteration's three operations
+//!   (`a-activate`, `a-square`, `a-pebble`) are internally parallel
+//!   min-reductions, so an iteration's depth is the sum of its
+//!   per-operation reduction depths `⌈log₂(candidates + 1)⌉`, and the
+//!   solve's span is the sum over iterations ([`SolveTrace::span_estimate`]).
+//!
+//! `work / span` bounds the achievable speed-up; comparing the two
+//! across algorithms quantifies the paper's trade — the sublinear
+//! scheme buys its `O(√n log n)` span with super-linear work, whereas
+//! the sequential baseline is work-optimal at span = work. The
+//! [`crate::telemetry::WorkSpan`] pair carries both through `Solution`
+//! diagnostics and serve stats.
 
 use serde::{Deserialize, Serialize};
 
@@ -131,6 +154,43 @@ impl SolveTrace {
         }
         (a, s, p)
     }
+
+    /// Estimated span (critical-path depth) of the run: iterations ×
+    /// per-iteration critical depth. See the [module docs](self) for
+    /// the model.
+    ///
+    /// - With per-iteration records, each iteration contributes the sum
+    ///   of its three operations' parallel reduction depths
+    ///   `⌈log₂(candidates + 1)⌉` — a min-reduction over `c` candidates
+    ///   takes that many rounds on unboundedly many processors.
+    /// - Without records but with iterations counted, the per-iteration
+    ///   depth is estimated from the mean candidates per iteration.
+    /// - A non-iterative (direct) run has no recorded parallel
+    ///   structure, so the serial bound `span == work` is reported.
+    pub fn span_estimate(&self) -> u64 {
+        fn reduction_depth(candidates: u64) -> u64 {
+            if candidates == 0 {
+                0
+            } else {
+                64 - candidates.leading_zeros() as u64
+            }
+        }
+        if !self.per_iteration.is_empty() {
+            return self
+                .per_iteration
+                .iter()
+                .map(|it| {
+                    reduction_depth(it.activate.candidates)
+                        + reduction_depth(it.square.candidates)
+                        + reduction_depth(it.pebble.candidates)
+                })
+                .sum();
+        }
+        if self.iterations == 0 {
+            return self.total_candidates;
+        }
+        self.iterations * reduction_depth(self.total_candidates.div_ceil(self.iterations))
+    }
 }
 
 #[cfg(test)]
@@ -180,5 +240,55 @@ mod tests {
             per_iteration: vec![rec(1), rec(10)],
         };
         assert_eq!(trace.work_by_op(), (11, 22, 33));
+    }
+
+    #[test]
+    fn span_estimate_shapes() {
+        // Direct run: serial bound, span == work.
+        let mut direct = SolveTrace::direct(8);
+        assert_eq!(direct.span_estimate(), 0);
+        direct.total_candidates = 120;
+        assert_eq!(direct.span_estimate(), 120);
+
+        // Per-iteration records: sum of per-op reduction depths.
+        let rec = |a, s, p| IterationRecord {
+            iteration: 1,
+            activate: OpRecord {
+                candidates: a,
+                writes: 0,
+                changed: false,
+            },
+            square: OpRecord {
+                candidates: s,
+                writes: 0,
+                changed: false,
+            },
+            pebble: OpRecord {
+                candidates: p,
+                writes: 0,
+                changed: false,
+            },
+            root_finite: false,
+        };
+        let trace = SolveTrace {
+            n: 4,
+            iterations: 2,
+            schedule_bound: 4,
+            stop: StopReason::ScheduleExhausted,
+            total_candidates: 15,
+            per_iteration: vec![rec(4, 8, 0), rec(1, 1, 1)],
+        };
+        // depth(4)=3, depth(8)=4, depth(0)=0; depth(1)=1 each → 10.
+        assert_eq!(trace.span_estimate(), 10);
+        // span never exceeds work when records are kept.
+        assert!(trace.span_estimate() <= 4 + 8 + 1 + 1 + 1);
+
+        // No records, iterations counted: iterations × depth(mean).
+        let coarse = SolveTrace {
+            per_iteration: Vec::new(),
+            ..trace
+        };
+        // mean = ceil(15 / 2) = 8, depth(8) = 4 → 2 * 4.
+        assert_eq!(coarse.span_estimate(), 8);
     }
 }

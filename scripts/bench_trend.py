@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Trace the committed `BENCH_*.json` baselines across git history.
+
+Each revision that touched a baseline gets one row per file: the total
+deterministic operation count (candidates — the Work of the run, in the
+work/span sense documented on `pardp_core::trace`), the total table
+writes, and the record count. Timing fields are ignored for the same
+reason `diff_bench_ops.py` strips them: only the ops counts reproduce
+across hosts, so only they are comparable across history.
+
+A growing Work total means the benchmark corpus got heavier (more or
+bigger instances); a shrinking one at fixed corpus means an algorithmic
+saving. Span is not recorded in the baselines — it is a per-solve
+diagnostic (`Solution::work_span`, serve `stats`) — so the trend table
+sticks to what the committed files actually pin down.
+
+Usage:
+    bench_trend.py [BENCH_FILE...]
+
+With no arguments, every `BENCH_*.json` known to git in the repository
+root is traced. Exits 0 even when a historical revision fails to parse
+(the row is marked), 1 only when git itself is unusable.
+"""
+
+import json
+import subprocess
+import sys
+
+# Deterministic per-record operation counters, by aggregate meaning.
+CANDIDATE_KEYS = {"candidates", "square_candidates", "total_candidates"}
+WRITE_KEYS = {"writes"}
+# Deterministic workload-size counters (the batch/serve experiments
+# record job counts rather than kernel op counts).
+JOB_KEYS = {"small_jobs", "large_jobs", "completed_small", "completed_large"}
+
+
+def git(*args):
+    return subprocess.run(
+        ["git", *args], capture_output=True, text=True, check=True
+    ).stdout
+
+
+def sum_ops(node):
+    """Recursively total candidate/write/job counters over a report."""
+    candidates = writes = jobs = records = 0
+    if isinstance(node, dict):
+        hit = False
+        for key, value in node.items():
+            if key in CANDIDATE_KEYS and isinstance(value, int):
+                candidates += value
+                hit = True
+            elif key in WRITE_KEYS and isinstance(value, int):
+                writes += value
+                hit = True
+            elif key in JOB_KEYS and isinstance(value, int):
+                jobs += value
+                hit = True
+            else:
+                c, w, j, r = sum_ops(value)
+                candidates, writes, jobs, records = (
+                    candidates + c,
+                    writes + w,
+                    jobs + j,
+                    records + r,
+                )
+        if hit:
+            records += 1
+    elif isinstance(node, list):
+        for value in node:
+            c, w, j, r = sum_ops(value)
+            candidates, writes, jobs, records = (
+                candidates + c,
+                writes + w,
+                jobs + j,
+                records + r,
+            )
+    return candidates, writes, jobs, records
+
+
+def trace(path):
+    revisions = git("log", "--format=%H %cs", "--", path).splitlines()
+    rows = []
+    for line in reversed(revisions):  # oldest first: a trend reads forward
+        revision, date = line.split()
+        try:
+            document = json.loads(git("show", f"{revision}:{path}"))
+        except (subprocess.CalledProcessError, json.JSONDecodeError):
+            rows.append((revision[:12], date, None))
+            continue
+        rows.append((revision[:12], date, sum_ops(document)))
+    return rows
+
+
+def main():
+    files = sys.argv[1:]
+    if not files:
+        files = sorted(git("ls-files", "BENCH_*.json").split())
+    if not files:
+        sys.exit("no BENCH_*.json baselines are tracked by git")
+    for path in files:
+        print(f"{path}:")
+        print(
+            f"  {'revision':<12}  {'date':<10}  {'records':>7}  "
+            f"{'work':>12}  {'writes':>12}  {'jobs':>6}"
+        )
+        previous = None
+        for revision, date, ops in trace(path):
+            if ops is None:
+                print(f"  {revision:<12}  {date:<10}  {'(unreadable at this revision)'}")
+                continue
+            candidates, writes, jobs, records = ops
+            delta = ""
+            if previous is not None and previous != candidates:
+                delta = f"  ({candidates - previous:+d} work)"
+            print(
+                f"  {revision:<12}  {date:<10}  {records:>7}  "
+                f"{candidates:>12}  {writes:>12}  {jobs:>6}{delta}"
+            )
+            previous = candidates
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Validate a pardp telemetry event log (`--log <path|->`) line by line.
+
+The telemetry stream is JSONL: one flat object per event, each carrying
+an `event` name and a `seq` number. This checker enforces the schema
+documented on `pardp_core::telemetry`:
+
+  * every line that looks like an event (starts with `{`) parses as a
+    single JSON object with a known `event` name;
+  * each event carries exactly the required fields of its kind, with
+    the right JSON types and enumerated values (`regime`, `outcome`);
+  * `seq` starts at 0 and increases by exactly 1 — the stream is
+    gap-free and in delivery order;
+  * per job, worker events follow the documented lifecycle:
+    `admitted` first, then `regime`, then optional `fault` lines, then
+    `cache`, then exactly one terminal (`completed`, `panic`,
+    `timeout`) — or a lone `rejected` for a request that never ran.
+
+Non-event lines (the human-readable drain line on stderr, blank lines)
+are skipped, so the checker can be pointed at a raw `2>` capture of
+`pardp serve --pipe --log -`.
+
+Usage:
+    check_events.py EVENTS.log
+
+Exits 0 when every event validates, 1 with a per-line complaint
+otherwise.
+"""
+
+import json
+import sys
+
+# event name -> {field: type}; `seq` is checked globally.
+SCHEMAS = {
+    "conn_open": {},
+    "conn_close": {},
+    "admitted": {"job": int},
+    "rejected": {"job": int, "kind": str},
+    "regime": {"job": int, "regime": str},
+    "cache": {"job": int, "outcome": str},
+    "fault": {"job": int, "site": str},
+    "panic": {"job": int},
+    "timeout": {"job": int},
+    "completed": {"job": int, "wall_us": int, "value": int},
+    "summary": {
+        "accepted": int,
+        "rejected": int,
+        "invalid": int,
+        "completed": int,
+        "completed_small": int,
+        "completed_large": int,
+        "panics": int,
+        "timeouts": int,
+        "cache_hits": int,
+        "cache_misses": int,
+        "warm_starts": int,
+        "cache_errors": int,
+    },
+}
+
+REGIMES = {"small", "large"}
+OUTCOMES = {"hit", "warm", "miss", "bypass", "dedup"}
+ERROR_KINDS = {"invalid", "rejected", "overloaded", "timeout", "internal"}
+TERMINALS = {"completed", "panic", "timeout"}
+
+
+def fail(lineno, message):
+    sys.exit(f"line {lineno}: {message}")
+
+
+def check_fields(lineno, event, obj):
+    schema = SCHEMAS[event]
+    expected = set(schema) | {"event", "seq"}
+    actual = set(obj)
+    if actual != expected:
+        missing = sorted(expected - actual)
+        extra = sorted(actual - expected)
+        fail(lineno, f"{event}: missing fields {missing}, unexpected {extra}")
+    for field, kind in schema.items():
+        value = obj[field]
+        # bool is an int subclass in Python; reject it explicitly.
+        if not isinstance(value, kind) or isinstance(value, bool):
+            fail(lineno, f"{event}.{field}: expected {kind.__name__}, got {value!r}")
+        if kind is int and value < 0:
+            fail(lineno, f"{event}.{field}: negative count {value}")
+    if event == "regime" and obj["regime"] not in REGIMES:
+        fail(lineno, f"unknown regime {obj['regime']!r}")
+    if event == "cache" and obj["outcome"] not in OUTCOMES:
+        fail(lineno, f"unknown cache outcome {obj['outcome']!r}")
+    if event == "rejected" and obj["kind"] not in ERROR_KINDS:
+        fail(lineno, f"unknown error kind {obj['kind']!r}")
+
+
+def check_lifecycle(lineno, event, obj, jobs):
+    """Advance the per-job state machine: admitted -> regime -> fault* ->
+    cache -> terminal. A `rejected` line is terminal wherever it lands
+    (before or instead of the worker's chain)."""
+    if "job" not in obj:
+        return
+    job = obj["job"]
+    state = jobs.get(job, "new")
+    if state in TERMINALS or state == "rejected":
+        fail(lineno, f"job {job}: event {event!r} after terminal {state!r}")
+    allowed = {
+        "new": {"admitted", "rejected"},
+        "admitted": {"regime", "rejected"},
+        "regime": {"fault", "cache", "panic", "timeout"},
+        "fault": {"fault", "cache", "panic", "timeout"},
+        "cache": {"completed", "panic"},
+    }[state]
+    if event not in allowed:
+        fail(lineno, f"job {job}: event {event!r} in state {state!r}")
+    jobs[job] = event
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(f"usage: {sys.argv[0]} EVENTS.log")
+    expected_seq = 0
+    events = 0
+    jobs = {}
+    with open(sys.argv[1]) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line.startswith("{"):
+                continue  # human-readable stderr lines interleave freely
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as error:
+                fail(lineno, f"bad JSON: {error}")
+            if not isinstance(obj, dict) or "event" not in obj:
+                continue  # a protocol response, not an event
+            event = obj["event"]
+            if event not in SCHEMAS:
+                fail(lineno, f"unknown event {event!r}")
+            if obj.get("seq") != expected_seq:
+                fail(lineno, f"seq {obj.get('seq')!r}, expected {expected_seq}")
+            expected_seq += 1
+            events += 1
+            check_fields(lineno, event, obj)
+            check_lifecycle(lineno, event, obj, jobs)
+    unfinished = sorted(
+        job for job, state in jobs.items() if state not in TERMINALS and state != "rejected"
+    )
+    if unfinished:
+        sys.exit(f"jobs without a terminal event: {unfinished}")
+    print(f"ok: {events} events, {len(jobs)} jobs, all chains complete")
+
+
+if __name__ == "__main__":
+    main()
