@@ -18,6 +18,7 @@
 //! | [`generators`] | random & shape-forcing instances | — | — |
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod generators;
 pub mod matrix_chain;

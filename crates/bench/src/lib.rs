@@ -10,6 +10,7 @@
 //! cargo run --release -p pardp-bench --bin exp_pebble_worstcase
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 use std::fmt::Display;
 use std::time::Instant;
 

@@ -401,6 +401,10 @@ fn install_sigint() -> &'static std::sync::atomic::AtomicBool {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
     const SIGINT: i32 = 2;
+    // SAFETY: `signal(2)` is declared with the libc prototype above and
+    // called with a valid `extern "C"` handler. The handler itself is
+    // async-signal-safe: it performs a single lock-free atomic store
+    // into a `'static` flag (no allocation, no locking, no panicking).
     unsafe {
         signal(SIGINT, on_sigint);
     }

@@ -17,6 +17,7 @@
 //! Everything here is ordinary library code so it is unit-testable; the
 //! binary is a thin `main` that forwards `std::env::args`.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 pub mod args;
 pub mod commands;
 

@@ -88,8 +88,10 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod batch;
+pub mod check;
 pub mod exec;
 pub mod fault;
 pub mod ops;

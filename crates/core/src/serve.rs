@@ -458,17 +458,23 @@ impl Shared {
         });
         q.push_back(job);
         let depth = q.len() as u64;
-        drop(q);
+        // Ticked while the queue lock is still held: a worker can only
+        // observe (and complete) this job after taking the same lock, so
+        // no stats snapshot can transiently report `completed` ahead of
+        // `accepted`, and the watermark is exact rather than racing the
+        // push it describes.
         self.counters
             .queue_high_watermark
             .fetch_max(depth, Ordering::Relaxed);
-        self.not_empty.notify_one();
         self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        drop(q);
+        self.not_empty.notify_one();
         Ok(())
     }
 
     fn stats(&self) -> ServeStats {
         let c = &self.counters;
+        let completed = c.completed.load(Ordering::Relaxed);
         let completed_small = c.completed_small.load(Ordering::Relaxed);
         let completed_large = c.completed_large.load(Ordering::Relaxed);
         let rejected = c.rejected.load(Ordering::Relaxed);
@@ -476,12 +482,23 @@ impl Shared {
         let invalid = c.invalid.load(Ordering::Relaxed);
         let panics = c.panics.load(Ordering::Relaxed);
         let timeouts = c.timeouts.load(Ordering::Relaxed);
+        // `accepted` is loaded *inside* the queue critical section and
+        // strictly after the `completed` load above. Every completed
+        // tick we just observed is sequenced after its job's pop (under
+        // this same mutex), whose submit critical section ticked
+        // `accepted` — and those sections all happen-before this
+        // acquire. So a snapshot can never report completed > accepted,
+        // keeping mid-run stats consistent with the drain guarantee.
+        let (queue_depth, accepted) = {
+            let q = unpoison(self.queue.lock());
+            (q.len(), c.accepted.load(Ordering::Relaxed))
+        };
         let uptime = self.started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
         ServeStats {
-            accepted: c.accepted.load(Ordering::Relaxed),
+            accepted,
             rejected,
             invalid,
-            completed: c.completed.load(Ordering::Relaxed),
+            completed,
             completed_small,
             completed_large,
             cache_hits: c.cache_hits.load(Ordering::Relaxed),
@@ -490,7 +507,7 @@ impl Shared {
             panics,
             timeouts,
             cache_errors: self.cache.as_ref().map_or(0, |c| c.errors()),
-            queue_depth: unpoison(self.queue.lock()).len(),
+            queue_depth,
             queue_high_watermark: c.queue_high_watermark.load(Ordering::Relaxed),
             errors_invalid: invalid,
             errors_rejected: rejected.saturating_sub(overloaded),

@@ -39,6 +39,7 @@
 //!   move statistics;
 //! * [`render`] — ASCII renderings of tree shapes (Fig. 2 regeneration).
 
+#![deny(unsafe_op_in_unsafe_fn)]
 pub mod analysis;
 pub mod chain;
 pub mod game;

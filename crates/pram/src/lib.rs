@@ -48,6 +48,7 @@
 //! # let _ = PhaseKind::Map;
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 pub mod array;
 pub mod error;
 pub mod machine;

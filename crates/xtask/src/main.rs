@@ -1,0 +1,739 @@
+//! `pardp-xtask` — in-tree repo lint.
+//!
+//! ```text
+//! cargo run -p pardp-xtask -- lint [--root <repo-root>]
+//! ```
+//!
+//! Enforces the concurrency-correctness invariants this repo relies on
+//! but clippy cannot express:
+//!
+//! 1. every `unsafe` block / `unsafe impl` carries a contiguous
+//!    `// SAFETY:` comment immediately above it, and every `unsafe fn`
+//!    documents a `# Safety` contract (or carries a `// SAFETY:`);
+//! 2. no raw `.lock().unwrap()` — poisoned-lock recovery goes through
+//!    `fault::unpoison` (or the model twin `check::unpoison`);
+//! 3. no `thread::spawn` outside the sanctioned substrates: `exec.rs`
+//!    (the pool), `serve.rs` (the daemon), `check.rs` (the checker);
+//! 4. every `Ordering::Relaxed` / `Acquire` / `Release` / `AcqRel`
+//!    site is accounted for in `xtask/atomics.allow` with a one-line
+//!    justification (counts are per file+ordering, so adding or
+//!    removing a site forces a re-audit; `SeqCst` is exempt — it is
+//!    the "I want the strong default" spelling);
+//! 5. `#![deny(unsafe_op_in_unsafe_fn)]` is present in every crate
+//!    root.
+//!
+//! Test code (`#[cfg(test)]` modules, `tests/`, `benches/`) and
+//! `vendor/` are out of scope. The lint is text-based — a small lexer
+//! strips comments, strings and char literals so the rules only see
+//! code — and dependency-free, so it runs in the offline build
+//! environment with nothing but std.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One source line split into its code part and its comment part
+/// (string/char-literal contents are blanked out of `code`).
+#[derive(Debug, Default, Clone)]
+struct Line {
+    code: String,
+    comment: String,
+    /// Inside a `#[cfg(test)]` item (skipped by every rule).
+    test: bool,
+}
+
+/// Lexer state carried across lines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    /// Inside a block comment, at the given nesting depth.
+    BlockComment(u32),
+    /// Inside a string literal; `raw_hashes` is `Some(n)` for raw
+    /// strings terminated by `"` + `n` hashes.
+    Str {
+        raw_hashes: Option<u32>,
+    },
+}
+
+/// Split Rust source into per-line code and comment parts. Handles
+/// line comments, nested block comments, string literals, raw string
+/// literals, byte strings, char literals and lifetimes.
+fn lex(source: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for raw in source.lines() {
+        let mut line = Line::default();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match mode {
+                Mode::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        line.comment.push_str("*/");
+                        i += 2;
+                        mode = if depth > 1 {
+                            Mode::BlockComment(depth - 1)
+                        } else {
+                            Mode::Code
+                        };
+                    } else if c == '/' && next == Some('*') {
+                        line.comment.push_str("/*");
+                        i += 2;
+                        mode = Mode::BlockComment(depth + 1);
+                    } else {
+                        line.comment.push(c);
+                        i += 1;
+                    }
+                }
+                Mode::Str { raw_hashes } => {
+                    match raw_hashes {
+                        None => {
+                            if c == '\\' {
+                                i += 2; // skip the escaped char
+                            } else if c == '"' {
+                                line.code.push('"');
+                                i += 1;
+                                mode = Mode::Code;
+                            } else {
+                                line.code.push(' ');
+                                i += 1;
+                            }
+                        }
+                        Some(n) => {
+                            if c == '"'
+                                && chars[i + 1..]
+                                    .iter()
+                                    .take(n as usize)
+                                    .filter(|&&h| h == '#')
+                                    .count()
+                                    == n as usize
+                            {
+                                line.code.push('"');
+                                for _ in 0..n {
+                                    line.code.push('#');
+                                }
+                                i += 1 + n as usize;
+                                mode = Mode::Code;
+                            } else {
+                                line.code.push(' ');
+                                i += 1;
+                            }
+                        }
+                    }
+                }
+                Mode::Code => {
+                    if c == '/' && next == Some('/') {
+                        line.comment
+                            .push_str(&chars[i..].iter().collect::<String>());
+                        i = chars.len();
+                    } else if c == '/' && next == Some('*') {
+                        line.comment.push_str("/*");
+                        i += 2;
+                        mode = Mode::BlockComment(1);
+                    } else if c == '"' {
+                        line.code.push('"');
+                        i += 1;
+                        mode = Mode::Str { raw_hashes: None };
+                    } else if (c == 'r' || c == 'b')
+                        && matches!(next, Some('"') | Some('#') | Some('r'))
+                        && is_raw_or_byte_string(&chars[i..])
+                    {
+                        // r"..", r#".."#, b"..", br#".."# — consume the
+                        // prefix and opening hashes/quote.
+                        let mut j = i;
+                        while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') {
+                            line.code.push(chars[j]);
+                            j += 1;
+                        }
+                        let mut hashes = 0;
+                        while j < chars.len() && chars[j] == '#' {
+                            line.code.push('#');
+                            hashes += 1;
+                            j += 1;
+                        }
+                        // is_raw_or_byte_string guarantees a quote here.
+                        line.code.push('"');
+                        i = j + 1;
+                        mode = Mode::Str {
+                            raw_hashes: if hashes > 0
+                                || raw_prefix_has_r(&chars[i - 1 - hashes as usize..])
+                            {
+                                Some(hashes)
+                            } else {
+                                None
+                            },
+                        };
+                        // Plain b".." behaves like a normal string
+                        // (escapes); raw forms terminate on "#*n.
+                    } else if c == '\'' {
+                        // Char literal or lifetime.
+                        if next == Some('\\') {
+                            // '\x7f', '\n', '\'' …: skip to closing quote.
+                            let mut j = i + 2;
+                            while j < chars.len() && chars[j] != '\'' {
+                                j += 1;
+                            }
+                            line.code.push_str("' '");
+                            i = j + 1;
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            line.code.push_str("' '");
+                            i += 3;
+                        } else {
+                            // Lifetime: keep the tick, continue normally.
+                            line.code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(line);
+    }
+    mark_test_regions(&mut out);
+    out
+}
+
+/// Whether `chars` begins a raw/byte string literal (`r"`, `r#`, `b"`,
+/// `br"`, `br#`, `rb…` is not valid Rust so not handled).
+fn is_raw_or_byte_string(chars: &[char]) -> bool {
+    let mut j = 0;
+    let mut saw_prefix = false;
+    while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') && j < 2 {
+        saw_prefix = true;
+        j += 1;
+    }
+    if !saw_prefix {
+        return false;
+    }
+    // Identifiers like `break` or `radius` must not match: require the
+    // prefix to be immediately followed by hashes-then-quote or quote.
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Whether the raw-string prefix just consumed contained an `r` (raw
+/// semantics: no escapes, hash-terminated).
+fn raw_prefix_has_r(prefix: &[char]) -> bool {
+    prefix.iter().take(2).any(|&c| c == 'r')
+}
+
+/// Mark the lines of every `#[cfg(test)]` item (attribute through the
+/// item's closing brace, or its `;` for brace-less items).
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].code.trim().starts_with("#[cfg(test)]") {
+            let mut depth: i32 = 0;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                lines[j].test = true;
+                for c in lines[j].code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        ';' if !opened && depth == 0 => {
+                            // Brace-less item (`#[cfg(test)] use …;`).
+                            opened = true;
+                            depth = 0;
+                        }
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// A lint violation at a source location.
+#[derive(Debug)]
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.file.display(), self.line, self.message)
+    }
+}
+
+/// Walk the first-party source tree (skips `vendor/`, `target/`,
+/// `tests/`, `benches/`, `examples/`).
+fn source_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.join("src"), root.join("crates")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if !matches!(name, "vendor" | "target" | "tests" | "benches" | "examples") {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// The contiguous comment/attribute block immediately above `line`
+/// (concatenated comment text), used by the SAFETY rule.
+fn preceding_annotation(lines: &[Line], line: usize) -> String {
+    let mut text = String::new();
+    let mut i = line;
+    while i > 0 {
+        i -= 1;
+        let l = &lines[i];
+        let code = l.code.trim();
+        let is_comment_only = code.is_empty() && !l.comment.trim().is_empty();
+        let is_attr_only = !code.is_empty() && (code.starts_with("#[") || code.starts_with("#!["));
+        if is_comment_only || is_attr_only {
+            text.push_str(l.comment.trim_start_matches(['/', '!']).trim());
+            text.push('\n');
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+/// Rule 1: every `unsafe` block/impl/fn is annotated.
+fn check_unsafe_annotations(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
+    for (idx, l) in lines.iter().enumerate() {
+        if l.test {
+            continue;
+        }
+        let code = &l.code;
+        let mut from = 0;
+        while let Some(pos) = code[from..].find("unsafe") {
+            let at = from + pos;
+            from = at + "unsafe".len();
+            // Word boundaries.
+            let before_ok = at == 0
+                || !code[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            let rest = &code[at + "unsafe".len()..];
+            let after_ok = !rest
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if !before_ok || !after_ok {
+                continue;
+            }
+            // Classify by the next token (search following lines too —
+            // rustfmt can break `unsafe` and `{` across lines).
+            let mut tail = rest.trim_start().to_string();
+            let mut look = idx + 1;
+            while tail.is_empty() && look < lines.len() {
+                tail = lines[look].code.trim().to_string();
+                look += 1;
+            }
+            let kind = if tail.starts_with('{') {
+                "block"
+            } else if tail.starts_with("impl") {
+                "impl"
+            } else if tail.starts_with("fn")
+                || tail.starts_with("extern")
+                || tail.starts_with("trait")
+            {
+                "fn"
+            } else {
+                // `unsafe` inside a type position (`unsafe fn` pointer
+                // types etc.) — not an obligation site.
+                continue;
+            };
+            let ann = preceding_annotation(lines, idx);
+            let ok = match kind {
+                "fn" => ann.contains("SAFETY:") || ann.contains("# Safety"),
+                _ => ann.contains("SAFETY:"),
+            };
+            if !ok {
+                out.push(Violation {
+                    file: file.to_path_buf(),
+                    line: idx + 1,
+                    message: format!(
+                        "unsafe {kind} without a contiguous `// SAFETY:` comment{}",
+                        if kind == "fn" {
+                            " (or a `# Safety` doc section)"
+                        } else {
+                            ""
+                        }
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 2: no raw `.lock().unwrap()` (recovery goes through unpoison).
+fn check_lock_unwrap(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
+    for (idx, l) in lines.iter().enumerate() {
+        if l.test {
+            continue;
+        }
+        let split_across = l.code.trim_start().starts_with(".unwrap()")
+            && idx > 0
+            && lines[idx - 1].code.trim_end().ends_with(".lock()");
+        if l.code.contains(".lock().unwrap()") || split_across {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                message: "raw `.lock().unwrap()` — recover poisoned locks with `fault::unpoison` \
+                          (or `check::unpoison` in models)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Rule 3: `thread::spawn` only inside the sanctioned substrates.
+fn check_thread_spawn(file: &Path, lines: &[Line], out: &mut Vec<Violation>) {
+    let name = file.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    // exec.rs: the work-stealing pool. serve.rs: the daemon's workers
+    // and accept loop. check.rs: the checker's parked model threads.
+    if matches!(name, "exec.rs" | "serve.rs" | "check.rs") {
+        return;
+    }
+    for (idx, l) in lines.iter().enumerate() {
+        if l.test {
+            continue;
+        }
+        if l.code.contains("thread::spawn(") || l.code.contains("thread::Builder::new") {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                message: "thread spawn outside exec.rs/serve.rs/check.rs — route parallelism \
+                          through the exec pool or the serve daemon"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+const ORDERINGS: [&str; 4] = ["Relaxed", "Acquire", "Release", "AcqRel"];
+
+/// Rule 4: audit non-SeqCst atomic orderings against the allowlist.
+fn check_atomics(root: &Path, per_file: &[(PathBuf, Vec<Line>)], out: &mut Vec<Violation>) {
+    let allow_path = root.join("xtask/atomics.allow");
+    let allow_src = std::fs::read_to_string(&allow_path).unwrap_or_default();
+    // path -> ordering -> (count, line-in-allowlist)
+    let mut allowed: Vec<(String, String, usize)> = Vec::new();
+    for (lno, line) in allow_src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(path), Some(ord), Some(count)) = (parts.next(), parts.next(), parts.next())
+        else {
+            out.push(Violation {
+                file: allow_path.clone(),
+                line: lno + 1,
+                message: "malformed allowlist line (want `<path> <Ordering> <count> <why…>`)"
+                    .to_string(),
+            });
+            continue;
+        };
+        let Ok(count) = count.parse::<usize>() else {
+            out.push(Violation {
+                file: allow_path.clone(),
+                line: lno + 1,
+                message: format!("bad count '{count}' in allowlist line"),
+            });
+            continue;
+        };
+        if parts.next().is_none() {
+            out.push(Violation {
+                file: allow_path.clone(),
+                line: lno + 1,
+                message: "allowlist entry is missing its justification".to_string(),
+            });
+        }
+        allowed.push((path.to_string(), ord.to_string(), count));
+    }
+    for (file, lines) in per_file {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        for ord in ORDERINGS {
+            let needle = format!("Ordering::{ord}");
+            let sites: Vec<usize> = lines
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| !l.test && count_word(&l.code, &needle) > 0)
+                .map(|(i, _)| i + 1)
+                .collect();
+            let count: usize = lines
+                .iter()
+                .filter(|l| !l.test)
+                .map(|l| count_word(&l.code, &needle))
+                .sum();
+            let entry = allowed
+                .iter()
+                .find(|(p, o, _)| *p == rel && *o == ord)
+                .map(|&(_, _, c)| c);
+            match (count, entry) {
+                (0, None) => {}
+                (0, Some(_)) => out.push(Violation {
+                    file: allow_path.clone(),
+                    line: 1,
+                    message: format!("stale allowlist entry: {rel} has no Ordering::{ord} left"),
+                }),
+                (n, None) => out.push(Violation {
+                    file: file.clone(),
+                    line: sites[0],
+                    message: format!(
+                        "{n} Ordering::{ord} site(s) not in xtask/atomics.allow (lines {})",
+                        fmt_lines(&sites)
+                    ),
+                }),
+                (n, Some(c)) if n != c => out.push(Violation {
+                    file: file.clone(),
+                    line: sites[0],
+                    message: format!(
+                        "Ordering::{ord} count changed: allowlist says {c}, found {n} \
+                         (lines {}) — re-audit and update xtask/atomics.allow",
+                        fmt_lines(&sites)
+                    ),
+                }),
+                _ => {}
+            }
+        }
+    }
+}
+
+fn fmt_lines(sites: &[usize]) -> String {
+    let mut s = String::new();
+    for (i, l) in sites.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{l}");
+    }
+    s
+}
+
+fn count_word(haystack: &str, needle: &str) -> usize {
+    let mut n = 0;
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let at = from + pos;
+        from = at + needle.len();
+        let after_ok = !haystack[from..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if after_ok {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Rule 5: `#![deny(unsafe_op_in_unsafe_fn)]` in every crate root.
+fn check_crate_roots(root: &Path, out: &mut Vec<Violation>) {
+    let mut roots = vec![
+        root.join("src/lib.rs"),
+        root.join("crates/xtask/src/main.rs"),
+    ];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let lib = entry.path().join("src/lib.rs");
+            if lib.is_file() {
+                roots.push(lib);
+            }
+        }
+    }
+    roots.sort();
+    for path in roots {
+        let src = std::fs::read_to_string(&path).unwrap_or_default();
+        if !src.contains("#![deny(unsafe_op_in_unsafe_fn)]") {
+            out.push(Violation {
+                file: path,
+                line: 1,
+                message: "crate root is missing `#![deny(unsafe_op_in_unsafe_fn)]`".to_string(),
+            });
+        }
+    }
+}
+
+fn lint(root: &Path) -> Result<usize, Vec<Violation>> {
+    let files = source_files(root);
+    let mut violations = Vec::new();
+    let mut lexed = Vec::new();
+    for file in &files {
+        let Ok(src) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        let lines = lex(&src);
+        check_unsafe_annotations(file, &lines, &mut violations);
+        check_lock_unwrap(file, &lines, &mut violations);
+        check_thread_spawn(file, &lines, &mut violations);
+        lexed.push((file.clone(), lines));
+    }
+    check_atomics(root, &lexed, &mut violations);
+    check_crate_roots(root, &mut violations);
+    if violations.is_empty() {
+        Ok(files.len())
+    } else {
+        Err(violations)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let default_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (cmd, root) = match args.split_first() {
+        Some((cmd, rest)) => {
+            let root = match rest {
+                [flag, path] if flag == "--root" => PathBuf::from(path),
+                [] => default_root,
+                _ => {
+                    eprintln!("usage: pardp-xtask lint [--root <repo-root>]");
+                    return ExitCode::from(2);
+                }
+            };
+            (cmd.clone(), root)
+        }
+        None => {
+            eprintln!("usage: pardp-xtask lint [--root <repo-root>]");
+            return ExitCode::from(2);
+        }
+    };
+    match cmd.as_str() {
+        "lint" => match lint(&root) {
+            Ok(n) => {
+                println!("xtask lint: OK ({n} files scanned)");
+                ExitCode::SUCCESS
+            }
+            Err(violations) => {
+                for v in &violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("xtask lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        },
+        other => {
+            eprintln!("unknown command '{other}' (expected: lint)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex_code(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn lexer_strips_comments_and_strings() {
+        let code = lex_code("let a = \"unsafe { }\"; // unsafe { }\nlet b = 'x';");
+        assert!(!code[0].contains("unsafe"));
+        assert!(code[0].starts_with("let a = \""));
+        assert_eq!(code[1], "let b = ' ';");
+    }
+
+    #[test]
+    fn lexer_handles_raw_strings_and_lifetimes() {
+        let code = lex_code("let r = r#\"has \"quotes\" and unsafe\"#;\nfn f<'a>(x: &'a u8) {}");
+        assert!(!code[0].contains("unsafe"));
+        assert!(code[1].contains("<'a>"));
+    }
+
+    #[test]
+    fn lexer_handles_nested_block_comments() {
+        let code = lex_code("a /* one /* two */ still */ b");
+        assert_eq!(code[0].replace(' ', ""), "ab");
+    }
+
+    #[test]
+    fn cfg_test_regions_are_masked() {
+        let lines = lex("fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn live2() {}");
+        let flags: Vec<bool> = lines.iter().map(|l| l.test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn unannotated_unsafe_block_is_flagged() {
+        let lines = lex("fn f() {\n    let x = unsafe { danger() };\n}");
+        let mut out = Vec::new();
+        check_unsafe_annotations(Path::new("x.rs"), &lines, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn annotated_unsafe_block_passes() {
+        let lines = lex("fn f() {\n    // SAFETY: justified.\n    let x = unsafe { danger() };\n}");
+        let mut out = Vec::new();
+        check_unsafe_annotations(Path::new("x.rs"), &lines, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unsafe_fn_accepts_safety_doc_heading() {
+        let lines =
+            lex("/// Does things.\n///\n/// # Safety\n/// Caller must…\npub unsafe fn f() {}");
+        let mut out = Vec::new();
+        check_unsafe_annotations(Path::new("x.rs"), &lines, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn lock_unwrap_is_flagged() {
+        let lines = lex("let g = m.lock().unwrap();");
+        let mut out = Vec::new();
+        check_lock_unwrap(Path::new("x.rs"), &lines, &mut out);
+        assert_eq!(out.len(), 1);
+        let lines = lex("let g = unpoison(m.lock());");
+        let mut out = Vec::new();
+        check_lock_unwrap(Path::new("x.rs"), &lines, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn spawn_is_flagged_outside_sanctioned_files() {
+        let lines = lex("let h = std::thread::spawn(|| {});");
+        let mut out = Vec::new();
+        check_thread_spawn(Path::new("other.rs"), &lines, &mut out);
+        assert_eq!(out.len(), 1);
+        let mut out = Vec::new();
+        check_thread_spawn(Path::new("exec.rs"), &lines, &mut out);
+        assert!(out.is_empty());
+    }
+}

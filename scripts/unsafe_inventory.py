@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""Generate (and diff) the workspace unsafe-code inventory.
+
+Walks the first-party sources (src/, crates/*/src/ — vendor/, tests/,
+benches/ and `#[cfg(test)]` modules are out of scope, matching the
+xtask lint) and records every `unsafe` site: file, line, kind (block /
+impl / fn) and the first line of its SAFETY annotation. The committed
+`UNSAFE_INVENTORY.json` baseline makes unsafe growth reviewable the
+same way `BENCH_*.json` makes perf regressions reviewable: CI
+regenerates the inventory and diffs it, so adding, removing or moving
+an unsafe site shows up as a one-line JSON change in the PR.
+
+Usage:
+    unsafe_inventory.py generate [OUT.json]   # write inventory (default stdout)
+    unsafe_inventory.py diff BASELINE.json    # regenerate + compare, exit 1 on drift
+
+Line numbers are deliberately *excluded* from the diffed document (they
+churn with every unrelated edit); sites are keyed by file + kind +
+SAFETY first line + ordinal instead. The generated file still carries
+lines for human readers.
+"""
+
+import difflib
+import json
+import os
+import re
+import sys
+
+SKIP_DIRS = {"vendor", "target", "tests", "benches", "examples", ".git"}
+
+# Matches the `unsafe` keyword as a word; the classifier looks at what
+# follows. Strings/comments are stripped before matching.
+UNSAFE_RE = re.compile(r"\bunsafe\b")
+
+
+def strip_line(line, state):
+    """Strip comments and string/char literals from one source line.
+
+    `state` is a dict carrying multi-line lexer state (block-comment
+    depth, raw-string terminator). Returns (code, comment).
+    """
+    code, comment = [], []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if state["block"] > 0:
+            if c == "*" and nxt == "/":
+                state["block"] -= 1
+                comment.append("*/")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state["block"] += 1
+                comment.append("/*")
+                i += 2
+            else:
+                comment.append(c)
+                i += 1
+        elif state["string"] is not None:
+            term = state["string"]
+            if term == '"' and c == "\\":
+                i += 2
+            elif line.startswith(term, i):
+                state["string"] = None
+                code.append('"')
+                i += len(term)
+            else:
+                code.append(" ")
+                i += 1
+        elif c == "/" and nxt == "/":
+            comment.append(line[i:])
+            break
+        elif c == "/" and nxt == "*":
+            state["block"] += 1
+            comment.append("/*")
+            i += 2
+        elif c == '"':
+            state["string"] = '"'
+            code.append('"')
+            i += 1
+        elif re.match(r'(rb?|br?)(#*)"', line[i:]) and (
+            i == 0 or not (line[i - 1].isalnum() or line[i - 1] == "_")
+        ):
+            m = re.match(r'(rb?|br?)(#*)"', line[i:])
+            hashes = m.group(2)
+            raw = "r" in m.group(1)
+            state["string"] = ('"' + hashes) if (raw or hashes) else '"'
+            code.append(m.group(0))
+            i += len(m.group(0))
+        elif c == "'":
+            m = re.match(r"'(\\.[^']*|[^'\\])'", line[i:])
+            if m:
+                code.append("' '")
+                i += len(m.group(0))
+            else:
+                code.append(c)
+                i += 1
+        else:
+            code.append(c)
+            i += 1
+    return "".join(code), "".join(comment)
+
+
+def lex_file(path):
+    state = {"block": 0, "string": None}
+    lines = []
+    with open(path, encoding="utf-8") as handle:
+        for raw in handle.read().splitlines():
+            lines.append(strip_line(raw, state))
+    # Mark #[cfg(test)] regions.
+    flags = [False] * len(lines)
+    i = 0
+    while i < len(lines):
+        if lines[i][0].strip().startswith("#[cfg(test)]"):
+            depth, opened, j = 0, False, i
+            while j < len(lines):
+                flags[j] = True
+                for ch in lines[j][0]:
+                    if ch == "{":
+                        depth += 1
+                        opened = True
+                    elif ch == "}":
+                        depth -= 1
+                    elif ch == ";" and not opened and depth == 0:
+                        opened = True
+                if opened and depth <= 0:
+                    break
+                j += 1
+            i = j + 1
+        else:
+            i += 1
+    return lines, flags
+
+
+def classify(code_after):
+    tail = code_after.lstrip()
+    if tail.startswith("{"):
+        return "block"
+    if tail.startswith("impl"):
+        return "impl"
+    if tail.startswith(("fn", "extern", "trait")):
+        return "fn"
+    return None
+
+
+def annotation(lines, idx):
+    """First line of the contiguous SAFETY / doc annotation above idx."""
+    texts = []
+    i = idx
+    while i > 0:
+        i -= 1
+        code, comment = lines[i]
+        stripped = code.strip()
+        if not stripped and comment.strip():
+            texts.append(comment.strip().lstrip("/!").strip())
+        elif stripped.startswith(("#[", "#![")):
+            continue
+        else:
+            break
+    for text in reversed(texts):
+        if "SAFETY:" in text or "# Safety" in text:
+            return text
+    # Fall back to the closest comment line (annotated via doc section
+    # elsewhere in the block).
+    return texts[0] if texts else ""
+
+
+def source_files(root):
+    for base in ("src", "crates"):
+        for dirpath, dirnames, filenames in os.walk(os.path.join(root, base)):
+            dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+            for name in sorted(filenames):
+                if name.endswith(".rs"):
+                    yield os.path.join(dirpath, name)
+
+
+def generate(root):
+    sites = []
+    for path in sorted(source_files(root)):
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        lines, test_flags = lex_file(path)
+        ordinals = {}
+        for idx, (code, _comment) in enumerate(lines):
+            if test_flags[idx]:
+                continue
+            for m in UNSAFE_RE.finditer(code):
+                after = code[m.end():]
+                look = idx + 1
+                while not after.strip() and look < len(lines):
+                    after = lines[look][0]
+                    look += 1
+                kind = classify(after)
+                if kind is None:
+                    continue
+                safety = annotation(lines, idx)
+                key = (rel, kind, safety)
+                ordinals[key] = ordinals.get(key, 0) + 1
+                sites.append(
+                    {
+                        "file": rel,
+                        "kind": kind,
+                        "safety": safety,
+                        "ordinal": ordinals[key],
+                        "line": idx + 1,
+                    }
+                )
+    by_file = {}
+    for site in sites:
+        by_file.setdefault(site["file"], 0)
+        by_file[site["file"]] += 1
+    return {
+        "total_unsafe_sites": len(sites),
+        "sites_per_file": by_file,
+        "sites": sites,
+    }
+
+
+def normalised(document):
+    """The diffed view: drop churn-prone line numbers."""
+    doc = json.loads(json.dumps(document))
+    for site in doc["sites"]:
+        site.pop("line", None)
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if len(sys.argv) < 2 or sys.argv[1] not in ("generate", "diff"):
+        sys.exit(f"usage: {sys.argv[0]} generate [OUT.json] | diff BASELINE.json")
+    document = generate(root)
+    if sys.argv[1] == "generate":
+        text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+        if len(sys.argv) > 2:
+            with open(sys.argv[2], "w") as handle:
+                handle.write(text)
+            print(f"wrote {sys.argv[2]}: {document['total_unsafe_sites']} unsafe sites")
+        else:
+            sys.stdout.write(text)
+        return
+    baseline_path = sys.argv[2]
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    fresh_text = normalised(document)
+    base_text = normalised(baseline)
+    if fresh_text == base_text:
+        print(
+            f"unsafe inventory unchanged: {document['total_unsafe_sites']} sites "
+            f"across {len(document['sites_per_file'])} files"
+        )
+        return
+    diff = difflib.unified_diff(
+        base_text.splitlines(keepends=True),
+        fresh_text.splitlines(keepends=True),
+        fromfile=baseline_path,
+        tofile="fresh",
+    )
+    sys.stdout.writelines(diff)
+    sys.exit(
+        "unsafe inventory drifted — review the diff above and regenerate "
+        "UNSAFE_INVENTORY.json with: scripts/unsafe_inventory.py generate UNSAFE_INVENTORY.json"
+    )
+
+
+if __name__ == "__main__":
+    main()

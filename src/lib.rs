@@ -53,6 +53,7 @@
 //! pebbling game, and `crates/bench` for the experiment harnesses that
 //! regenerate every quantitative claim of the paper (EXPERIMENTS.md).
 
+#![deny(unsafe_op_in_unsafe_fn)]
 pub use pardp_apps as apps;
 pub use pardp_core as core;
 pub use pardp_pebble as pebble;
